@@ -1,0 +1,12 @@
+// Fig. 10 reproduction: normalized end-to-end latency vs request rate for
+// Llama-70B (GQA) across the three datasets and systems.
+#include "harness.h"
+
+int main() {
+  using namespace hetis;
+  bench::run_e2e_figure("Fig. 10", model::llama_70b(),
+                        {{workload::Dataset::kShareGPT, {1, 2, 3}},
+                         {workload::Dataset::kHumanEval, {3, 6, 9, 12}},
+                         {workload::Dataset::kLongBench, {0.4, 0.8, 1.2, 1.6}}});
+  return 0;
+}

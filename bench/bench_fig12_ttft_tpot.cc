@@ -1,0 +1,32 @@
+// Fig. 12 reproduction: P95 TTFT and TPOT for Llama-70B at the paper's
+// unsaturated rates (ShareGPT 1.5, HumanEval 6, LongBench 0.8 req/s),
+// normalized to Hetis.  Expected shape: Hetis best TPOT everywhere (paper:
+// up to 1.39x); TTFT worst for HexGen (P100s in the prefill path), and
+// Splitwise's migration-inclusive TTFT degrading on long-prompt datasets.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace hetis;
+  const model::ModelSpec& m = model::llama_70b();
+  const std::vector<std::pair<workload::Dataset, double>> settings{
+      {workload::Dataset::kShareGPT, 1.5},
+      {workload::Dataset::kHumanEval, 6.0},
+      {workload::Dataset::kLongBench, 0.8},
+  };
+
+  std::printf("=== Fig. 12: P95 TTFT / TPOT, Llama-70B (normalized to Hetis) ===\n\n");
+  std::printf("%-10s %6s | %9s %9s %9s | %9s %9s %9s\n", "dataset", "rate", "TTFT:SW",
+              "TTFT:HG", "TTFT:HT", "TPOT:SW", "TPOT:HG", "TPOT:HT");
+  for (const auto& [ds, rate] : settings) {
+    auto trace = bench::make_trace(ds, rate);
+    bench::SystemReports r = bench::run_three_systems(m, trace);
+    double t0 = r.hetis.ttft_p95, p0 = r.hetis.tpot_p95;
+    std::printf("%-10s %6.1f | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n",
+                workload::to_string(ds), rate, r.splitwise.ttft_p95 / t0, r.hexgen.ttft_p95 / t0,
+                1.0, r.splitwise.tpot_p95 / p0, r.hexgen.tpot_p95 / p0, 1.0);
+    std::printf("%-10s %6s | absolute Hetis: TTFT %.3fs, TPOT %.4fs\n", "", "", t0, p0);
+  }
+  return 0;
+}

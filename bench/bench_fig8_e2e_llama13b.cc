@@ -1,0 +1,14 @@
+// Fig. 8 reproduction: normalized end-to-end latency (s/token) vs request
+// rate for Llama-13B on ShareGPT / HumanEval / LongBench, all three
+// systems.  Expected shape: Hetis sustains the highest rate before the
+// latency knee (paper: up to 2.25x Splitwise, 1.33x HexGen throughput).
+#include "harness.h"
+
+int main() {
+  using namespace hetis;
+  bench::run_e2e_figure("Fig. 8", model::llama_13b(),
+                        {{workload::Dataset::kShareGPT, {3, 6, 9, 12, 15}},
+                         {workload::Dataset::kHumanEval, {15, 30, 45, 60, 75}},
+                         {workload::Dataset::kLongBench, {3, 5, 7, 9}}});
+  return 0;
+}

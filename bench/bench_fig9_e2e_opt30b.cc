@@ -1,0 +1,12 @@
+// Fig. 9 reproduction: normalized end-to-end latency vs request rate for
+// OPT-30B across the three datasets and systems.
+#include "harness.h"
+
+int main() {
+  using namespace hetis;
+  bench::run_e2e_figure("Fig. 9", model::opt_30b(),
+                        {{workload::Dataset::kShareGPT, {3, 6, 9, 12}},
+                         {workload::Dataset::kHumanEval, {15, 30, 45}},
+                         {workload::Dataset::kLongBench, {2, 4, 6}}});
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks of the hot-path substrates: the dispatch LP (solved
+// online, per arrival batch), the simplex core, the event queue, the paged
+// allocator, and kernel-model evaluation.  These justify running an exact
+// LP on the serving path (§6 "Optimization problem solving").
+#include <benchmark/benchmark.h>
+
+#include "costmodel/kernel_model.h"
+#include "hw/gpu.h"
+#include "kvcache/allocator.h"
+#include "lp/minmax.h"
+#include "model/llm.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace hetis;
+
+lp::MinMaxProblem dispatch_problem(std::size_t requests) {
+  lp::MinMaxProblem p;
+  // One merged primary + 4 workers, Llama-70B-like geometry.
+  p.base_time = {1e-3, 2e-4, 2e-4, 2e-4, 2e-4};
+  p.head_cost = {5e-9, 1.4e-7, 1.4e-7, 1.5e-7, 1.5e-7};
+  p.cache_cost = {9e-13, 3e-12, 3e-12, 3e-12, 3e-12};
+  p.mem_free = {4e9, 2.5e8, 2.5e8, 2.5e8, 2.5e8};
+  p.group_size = 8;
+  for (std::size_t r = 0; r < requests; ++r) {
+    p.demand.push_back(64);
+    p.cache_per_head.push_back(64.0 * 512 * (1 + r % 5));
+  }
+  return p;
+}
+
+void BM_DispatchLp(benchmark::State& state) {
+  lp::MinMaxProblem p = dispatch_problem(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lp::MinMaxSolution s = lp::solve_relaxed(p);
+    auto rounded = lp::round_to_groups(p, s);
+    benchmark::DoNotOptimize(rounded.size());
+  }
+  state.SetLabel("Eq. 7 LP + integral rounding");
+}
+BENCHMARK(BM_DispatchLp)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_DispatchGreedy(benchmark::State& state) {
+  lp::MinMaxProblem p = dispatch_problem(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto heads = lp::greedy_dispatch(p);
+    benchmark::DoNotOptimize(heads.size());
+  }
+  state.SetLabel("waterfilling fallback");
+}
+BENCHMARK(BM_DispatchGreedy)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<double>((i * 2654435761u) % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  kvcache::BlockAllocator alloc(1ll * GiB, 16 * 1024);
+  std::vector<kvcache::BlockId> held;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) held.push_back(*alloc.allocate());
+    alloc.free_blocks(held);
+    held.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_AllocatorChurn)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelModelDecodeIteration(benchmark::State& state) {
+  costmodel::KernelModel kernel;
+  const model::ModelSpec& m = model::llama_70b();
+  const hw::GpuSpec& gpu = hw::gpu_spec(hw::GpuType::kA100_80G);
+  std::vector<std::int64_t> ctxs(256, 800);
+  for (auto _ : state) {
+    Seconds t = kernel.dense_layer_time(gpu, m, 256, 4) +
+                kernel.decode_attention_time(gpu, m, ctxs, m.heads / 4);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetLabel("one-layer decode cost, batch 256");
+}
+BENCHMARK(BM_KernelModelDecodeIteration)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

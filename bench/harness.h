@@ -1,0 +1,93 @@
+// Shared experiment harness for the per-figure bench binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation
+// (§7); the mapping lives in DESIGN.md §3 and the measured-vs-paper record
+// in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/hexgen.h"
+#include "baselines/splitwise.h"
+#include "engine/engine.h"
+#include "hetis/hetis_engine.h"
+#include "hw/topology.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis::bench {
+
+inline constexpr std::uint64_t kSeed = 20251116;  // SC'25 start date
+inline constexpr Seconds kHorizon = 40.0;         // arrival window per run
+inline constexpr Seconds kDrain = 900.0;          // post-arrival drain cap
+
+inline std::vector<workload::Request> make_trace(workload::Dataset ds, double rate,
+                                                 Seconds horizon = kHorizon,
+                                                 std::uint64_t seed = kSeed) {
+  workload::TraceOptions opts;
+  opts.dataset = ds;
+  opts.rate = rate;
+  opts.horizon = horizon;
+  opts.seed = seed;
+  return workload::build_trace(opts);
+}
+
+inline core::HetisOptions hetis_options() {
+  core::HetisOptions opts;
+  opts.workload.decode_batch = 64;
+  opts.workload.mean_context = 512;
+  return opts;
+}
+
+struct SystemReports {
+  engine::RunReport splitwise, hexgen, hetis;
+};
+
+/// Runs the same trace through all three systems on the paper cluster.
+inline SystemReports run_three_systems(const model::ModelSpec& m,
+                                       const std::vector<workload::Request>& trace,
+                                       Seconds drain = kDrain) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  SystemReports out;
+  {
+    baselines::SplitwiseEngine eng(cluster, m);
+    out.splitwise = engine::run_trace(eng, trace, drain);
+  }
+  {
+    baselines::HexgenEngine eng(cluster, m);
+    out.hexgen = engine::run_trace(eng, trace, drain);
+  }
+  {
+    core::HetisEngine eng(cluster, m, hetis_options());
+    out.hetis = engine::run_trace(eng, trace, drain);
+  }
+  return out;
+}
+
+/// Fig. 8/9/10 row printer: normalized latency (s/token) vs request rate.
+inline void run_e2e_figure(const char* figure, const model::ModelSpec& m,
+                           const std::vector<std::pair<workload::Dataset, std::vector<double>>>&
+                               dataset_rates) {
+  std::printf("=== %s: normalized end-to-end latency (s/token), %s, paper cluster ===\n", figure,
+              m.name.c_str());
+  std::printf("(seed %llu; horizon %.0fs per point)\n\n",
+              static_cast<unsigned long long>(kSeed), kHorizon);
+  for (const auto& [ds, rates] : dataset_rates) {
+    std::printf("--- dataset %s ---\n", workload::to_string(ds));
+    std::printf("%8s %12s %12s %12s %10s %10s %10s\n", "rate", "Splitwise", "Hexgen", "Hetis",
+                "fin(SW)", "fin(HG)", "fin(HT)");
+    for (double rate : rates) {
+      auto trace = make_trace(ds, rate);
+      SystemReports r = run_three_systems(m, trace);
+      std::printf("%8.1f %12.4f %12.4f %12.4f %9zu/%-zu %9zu/%-zu %9zu/%-zu\n", rate,
+                  r.splitwise.norm_latency_mean, r.hexgen.norm_latency_mean,
+                  r.hetis.norm_latency_mean, r.splitwise.finished, trace.size(),
+                  r.hexgen.finished, trace.size(), r.hetis.finished, trace.size());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace hetis::bench

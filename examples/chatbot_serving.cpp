@@ -1,0 +1,71 @@
+// Chatbot serving scenario (paper §7.2): a ShareGPT-like conversational
+// workload on the paper cluster, served by all three systems side by side.
+//
+//   build/examples/chatbot_serving [model] [rate] [horizon_seconds]
+//
+// model in {Llama-13B, OPT-30B, Llama-70B}.  Prints a per-system metric
+// table like the rows behind Fig. 8-10.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/hexgen.h"
+#include "baselines/splitwise.h"
+#include "engine/engine.h"
+#include "hetis/hetis_engine.h"
+#include "hw/topology.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace {
+
+void print_row(const hetis::engine::RunReport& rep) {
+  std::printf("%-10s %8zu/%-8zu %12.4f %10.3f %10.4f %10.1f %8d\n", rep.engine.c_str(),
+              rep.finished, rep.arrived, rep.norm_latency_mean, rep.ttft_p95, rep.tpot_p95,
+              hetis::to_gb(rep.usable_kv), rep.preemptions);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetis;
+
+  std::string model_name = argc > 1 ? argv[1] : "Llama-13B";
+  double rate = argc > 2 ? std::atof(argv[2]) : 6.0;
+  double horizon = argc > 3 ? std::atof(argv[3]) : 60.0;
+
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  const model::ModelSpec& model = model::model_by_name(model_name);
+
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = rate;
+  topts.horizon = horizon;
+  topts.seed = 7;
+  auto trace = workload::build_trace(topts);
+
+  std::printf("chatbot workload: %s @ %.1f req/s, %zu requests, cluster %s\n\n",
+              model.name.c_str(), rate, trace.size(), cluster.to_string().c_str());
+  std::printf("%-10s %-17s %12s %10s %10s %10s %8s\n", "system", "finished", "norm(s/tok)",
+              "TTFT p95", "TPOT p95", "KV (GB)", "preempt");
+
+  {
+    baselines::SplitwiseEngine eng(cluster, model);
+    print_row(engine::run_trace(eng, trace));
+  }
+  {
+    baselines::HexgenEngine eng(cluster, model);
+    print_row(engine::run_trace(eng, trace));
+  }
+  {
+    core::HetisOptions opts;
+    opts.workload.decode_batch = 64;
+    core::HetisEngine eng(cluster, model, opts);
+    print_row(engine::run_trace(eng, trace));
+    std::printf("\nHetis plan: %s\n", eng.plan().to_string(cluster).c_str());
+    std::printf("Hetis re-dispatches: %d balance, %d rescue; migrated %.2f GB\n",
+                eng.balance_redispatches(), eng.rescue_redispatches(),
+                to_gb(eng.migrated_bytes()));
+  }
+  return 0;
+}

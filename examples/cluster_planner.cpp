@@ -1,0 +1,109 @@
+// Cluster planner: runs the Parallelizer (§4.1) as a standalone planning
+// tool over a user-described heterogeneous cluster and prints the selected
+// primary-worker parallelism, the Attention-worker pool, the KV capacity,
+// and the search diagnostics.
+//
+//   build/examples/cluster_planner [model] [gpu=count ...]
+//   e.g. build/examples/cluster_planner Llama-70B A100=4 3090=4 P100=4
+//        build/examples/cluster_planner OPT-30B  H100=2 V100=8 T4=8
+//
+// Without GPU arguments, plans the paper cluster.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/exec.h"
+#include "engine/instance.h"
+#include "hw/topology.h"
+#include "model/llm.h"
+#include "parallel/parallelizer.h"
+
+namespace {
+
+hetis::hw::GpuType gpu_by_name(const std::string& name) {
+  using hetis::hw::GpuType;
+  for (GpuType t : {GpuType::kA100_80G, GpuType::kRTX3090, GpuType::kP100, GpuType::kV100_32G,
+                    GpuType::kT4, GpuType::kL4, GpuType::kA6000, GpuType::kH100_80G}) {
+    if (name == hetis::hw::to_string(t)) return t;
+  }
+  std::fprintf(stderr, "unknown GPU type '%s' (try A100, 3090, P100, V100, T4, L4, A6000, "
+                       "H100)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetis;
+
+  std::string model_name = argc > 1 ? argv[1] : "Llama-70B";
+  const model::ModelSpec& model = model::model_by_name(model_name);
+
+  hw::Cluster cluster;
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "expected gpu=count, got '%s'\n", arg.c_str());
+        return 1;
+      }
+      hw::GpuType type = gpu_by_name(arg.substr(0, eq));
+      int count = std::atoi(arg.c_str() + eq + 1);
+      // 4 GPUs per host, like typical PCIe boxes.
+      int host_idx = 0;
+      while (count > 0) {
+        int n = std::min(4, count);
+        cluster.add_host(arg.substr(0, eq) + "-" + std::to_string(host_idx++), type, n);
+        count -= n;
+      }
+    }
+  } else {
+    cluster = hw::Cluster::paper_cluster();
+  }
+
+  std::printf("model:   %s (%.1fB params, %.1f GB FP16)\n", model.name.c_str(),
+              model.param_count() / 1e9, to_gb(model.param_bytes()));
+  std::printf("cluster: %s\n\n", cluster.to_string().c_str());
+
+  parallel::WorkloadProfile profile;
+  profile.prefill_tokens = 4096;
+  profile.decode_batch = 64;
+  profile.mean_context = 512;
+  profile.decode_weight = 256;
+
+  parallel::Parallelizer planner(cluster, model);
+  parallel::ParallelPlan plan = planner.plan(profile);
+  const parallel::SearchDiagnostics& diag = planner.diagnostics();
+
+  std::printf("selected plan: %s\n\n", plan.to_string(cluster).c_str());
+  for (std::size_t i = 0; i < plan.instances.size(); ++i) {
+    const auto& inst = plan.instances[i];
+    std::printf("instance %zu:\n", i);
+    for (std::size_t k = 0; k < inst.stages.size(); ++k) {
+      const auto& s = inst.stages[k];
+      Bytes params = engine::stage_param_bytes_per_device(model, s, k == 0,
+                                                          k + 1 == inst.stages.size());
+      std::printf("  stage %zu: %d x %s (TP%zu), %d layers, %.1f GB params/device, "
+                  "%.1f GB KV budget/device\n",
+                  k, s.tp(), hw::to_string(cluster.device(s.devices.front()).type),
+                  s.devices.size(), s.layers, to_gb(params),
+                  to_gb(engine::kv_budget(cluster.device(s.devices.front()).spec(), params)));
+    }
+    if (!inst.attention_workers.empty()) {
+      std::printf("  attention pool:");
+      for (int dev : inst.attention_workers) {
+        std::printf(" %s(%.0fGB)", hw::to_string(cluster.device(dev).type),
+                    to_gib(engine::kv_budget(cluster.device(dev).spec(), 0)));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nsearch: %d configurations over %d grouping(s), %d device(s) pruned to the "
+              "Attention pool, %.1f ms wall time\n",
+              diag.configurations_evaluated, diag.instances_considered, diag.pruned_devices,
+              to_millis(diag.wall_time));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: serve a ShareGPT-like workload on the paper's heterogeneous
+// cluster with Hetis and print the headline metrics.
+//
+//   build/examples/quickstart [rate] [horizon_seconds]
+//
+// This walks the full public API surface: cluster description, model
+// preset, trace generation, engine construction (Profiler + Parallelizer
+// run inside), and the metrics report.
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/engine.h"
+#include "hetis/hetis_engine.h"
+#include "hw/topology.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace hetis;
+
+  double rate = argc > 1 ? std::atof(argv[1]) : 4.0;
+  double horizon = argc > 2 ? std::atof(argv[2]) : 60.0;
+
+  // 1. Describe the hardware: the paper's cluster (4xA100, 4x3090, 4xP100).
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  std::printf("cluster: %s\n", cluster.to_string().c_str());
+
+  // 2. Pick a model.
+  const model::ModelSpec& model = model::llama_13b();
+  std::printf("model:   %s\n", model.to_string().c_str());
+
+  // 3. Generate a workload trace.
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = rate;
+  topts.horizon = horizon;
+  topts.seed = 42;
+  auto trace = workload::build_trace(topts);
+  auto stats = workload::trace_stats(trace);
+  std::printf("trace:   %zu requests @%.1f req/s (mean prompt %.0f, mean output %.0f)\n",
+              stats.count, rate, stats.mean_prompt, stats.mean_output);
+
+  // 4. Build Hetis (Profiler + Parallelizer run inside) and serve.
+  core::HetisOptions opts;
+  opts.workload.decode_batch = 64;
+  opts.workload.mean_context = 512;
+  core::HetisEngine engine(cluster, model, opts);
+  std::printf("plan:    %s\n", engine.plan().to_string(cluster).c_str());
+
+  engine::RunReport rep = engine::run_trace(engine, trace);
+
+  // 5. Report.
+  std::printf("\n=== results ===\n");
+  std::printf("finished            %zu / %zu requests\n", rep.finished, rep.arrived);
+  std::printf("norm latency (mean) %.4f s/token\n", rep.norm_latency_mean);
+  std::printf("TTFT  (p95)         %.3f s\n", rep.ttft_p95);
+  std::printf("TPOT  (p95)         %.4f s\n", rep.tpot_p95);
+  std::printf("usable KV cache     %.1f GB\n", to_gb(rep.usable_kv));
+  std::printf("throughput          %.2f req/s\n", rep.throughput);
+  std::printf("migrated            %.2f GB across %lld moves\n", to_gb(engine.migrated_bytes()),
+              static_cast<long long>(engine.migrations()));
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "baselines/hexgen.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "costmodel/kernel_model.h"
+
+namespace hetis::baselines {
+
+parallel::ParallelPlan hexgen_plan(const hw::Cluster& cluster, const model::ModelSpec& model) {
+  // Stage groups: one per (type, host), ordered by compute power desc so
+  // prefill's first stages sit on the fastest devices.
+  struct Group {
+    hw::GpuType type;
+    std::vector<int> devices;
+  };
+  std::vector<Group> groups;
+  for (hw::GpuType type : cluster.types_by_power_desc()) {
+    std::map<int, std::vector<int>> by_host;
+    for (int id : cluster.devices_of_type(type)) {
+      by_host[cluster.device(id).host].push_back(id);
+    }
+    for (auto& [host, devs] : by_host) {
+      groups.push_back(Group{type, devs});
+    }
+  }
+
+  // Asymmetric layer split balancing per-stage time (HexGen's objective:
+  // equalize execution time across heterogeneous stages).
+  costmodel::KernelModel kernel;
+  const std::int64_t kDecodeBatch = 64;
+  const std::int64_t kCtx = 512;
+  std::vector<double> per_layer;
+  for (const auto& g : groups) {
+    const hw::GpuSpec& gpu = hw::gpu_spec(g.type);
+    int tp = static_cast<int>(g.devices.size());
+    std::vector<std::int64_t> ctxs(static_cast<std::size_t>(kDecodeBatch), kCtx);
+    double t = kernel.dense_layer_time(gpu, model, kDecodeBatch, tp) +
+               kernel.decode_attention_time(gpu, model, ctxs, std::max(1, model.heads / tp));
+    per_layer.push_back(t);
+  }
+  double inv_sum = 0;
+  for (double c : per_layer) inv_sum += 1.0 / c;
+  std::vector<int> layers(groups.size(), 0);
+  int assigned = 0;
+  std::vector<double> frac(groups.size());
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    double ideal = model.layers * (1.0 / per_layer[k]) / inv_sum;
+    layers[k] = static_cast<int>(ideal);
+    frac[k] = ideal - layers[k];
+    assigned += layers[k];
+  }
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&frac](std::size_t a, std::size_t b) { return frac[a] > frac[b]; });
+  for (std::size_t k = 0; assigned < model.layers; ++k) {
+    layers[order[k % groups.size()]] += 1;
+    ++assigned;
+  }
+  // Every stage must own at least one layer.
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    while (layers[k] == 0) {
+      std::size_t donor = static_cast<std::size_t>(
+          std::max_element(layers.begin(), layers.end()) - layers.begin());
+      --layers[donor];
+      ++layers[k];
+    }
+  }
+
+  parallel::ParallelPlan plan;
+  parallel::InstanceConfig inst;
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    parallel::StageConfig stage;
+    stage.devices = groups[k].devices;
+    stage.layers = layers[k];
+    inst.stages.push_back(std::move(stage));
+  }
+  plan.instances.push_back(std::move(inst));
+  return plan;
+}
+
+HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model)
+    : HexgenEngine(cluster, model, hexgen_plan(cluster, model)) {}
+
+HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                           parallel::ParallelPlan plan)
+    : exec_(cluster, model), plan_(std::move(plan)) {
+  engine::InstanceOptions opts;
+  int id = 0;
+  for (const auto& inst : plan_.instances) {
+    instances_.push_back(
+        std::make_unique<engine::PipelineInstance>(exec_, inst, metrics_, opts, id++));
+  }
+}
+
+void HexgenEngine::submit(sim::Simulation& sim, const workload::Request& r) {
+  metrics_.on_arrival(r);
+  // Route to the least-filled instance (standard DP load balancing).
+  engine::PipelineInstance* best = instances_.front().get();
+  for (auto& inst : instances_) {
+    if (inst->fill_fraction() < best->fill_fraction()) best = inst.get();
+  }
+  best->submit(sim, r);
+}
+
+Bytes HexgenEngine::usable_kv_capacity() const {
+  Bytes total = 0;
+  for (const auto& inst : instances_) total += inst->usable_kv_capacity();
+  return total;
+}
+
+}  // namespace hetis::baselines

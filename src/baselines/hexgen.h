@@ -1,0 +1,45 @@
+// HexGen baseline (paper §7.1): static asymmetric parameter-splitting.
+//
+// As instantiated in the paper's evaluation: one serving instance running a
+// per-type pipeline (homogeneous GPUs per stage, TP within each stage,
+// e.g. A100x4 -> 3090x2 -> 3090x2 -> P100x4 for the paper cluster) with an
+// asymmetric layer split that balances per-stage execution time.  Prefill
+// and decode run colocated on the same workers.  The parallelization is
+// decided once, offline, and never adapts -- which is precisely the
+// static-parallelism behaviour Hetis improves on.
+#pragma once
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "engine/exec.h"
+#include "engine/instance.h"
+#include "parallel/plan.h"
+
+namespace hetis::baselines {
+
+/// Builds the paper-style HexGen plan: one pipeline stage per (type, host)
+/// group ordered high-end -> low-end, TP across the group's devices, layer
+/// counts balancing per-stage decode+prefill cost.
+parallel::ParallelPlan hexgen_plan(const hw::Cluster& cluster, const model::ModelSpec& model);
+
+class HexgenEngine : public engine::Engine {
+ public:
+  HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model);
+  /// With an externally-computed plan (tests / ablations).
+  HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+               parallel::ParallelPlan plan);
+
+  std::string name() const override { return "Hexgen"; }
+  void submit(sim::Simulation& sim, const workload::Request& r) override;
+  Bytes usable_kv_capacity() const override;
+
+  const parallel::ParallelPlan& plan() const { return plan_; }
+
+ private:
+  engine::ExecModel exec_;
+  parallel::ParallelPlan plan_;
+  std::vector<std::unique_ptr<engine::PipelineInstance>> instances_;
+};
+
+}  // namespace hetis::baselines

@@ -1,0 +1,64 @@
+// Splitwise baseline (paper §7.1): prefill/decode phase splitting.
+//
+// As instantiated in the paper: prefill runs on the high-end pool (A100s,
+// full-model TP), decode on the low-end pools (3090 -> P100 pipelines),
+// with the full model replicated in both pools and each request's KV cache
+// migrated from the prefill pool to a decode pool after its prompt is
+// processed.  The phase split is static: high-end GPUs never help decode,
+// low-end GPUs never help prefill, and memory is spent on duplicate
+// parameter copies -- the inefficiencies §2.3 dissects.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "engine/engine.h"
+#include "engine/exec.h"
+#include "engine/instance.h"
+#include "hauler/hauler.h"
+#include "parallel/plan.h"
+
+namespace hetis::baselines {
+
+struct SplitwisePlan {
+  parallel::InstanceConfig prefill;                 // single-stage, full model
+  std::vector<parallel::InstanceConfig> decode;     // PP over low-end types
+};
+
+/// Paper-style default: prefill = all devices of the most powerful type,
+/// full-model TP; decode = d pipelines over the remaining types, where d
+/// halves each type's count (the paper's 2x [3090-TP2 -> P100-TP2]).
+SplitwisePlan splitwise_default_plan(const hw::Cluster& cluster, const model::ModelSpec& model);
+
+class SplitwiseEngine : public engine::Engine {
+ public:
+  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model);
+  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model, SplitwisePlan plan);
+
+  std::string name() const override { return "Splitwise"; }
+  void submit(sim::Simulation& sim, const workload::Request& r) override;
+  Bytes usable_kv_capacity() const override;
+
+  const SplitwisePlan& plan() const { return plan_; }
+  Bytes migrated_bytes() const { return hauler_.total_bytes(); }
+
+ private:
+  /// Called when the prefill pool finishes a prompt: queue the KV migration
+  /// to a decode pool (gated on decode-side memory).
+  void on_prefill_done(sim::Simulation& sim, const engine::LiveRequest& lr);
+  /// Tries to start migrations for parked requests.
+  void pump_migrations(sim::Simulation& sim);
+
+  const hw::Cluster* cluster_;
+  engine::ExecModel exec_;
+  SplitwisePlan plan_;
+  hauler::Hauler hauler_;  // share=1.0: Splitwise migrations are foreground
+
+  std::unique_ptr<engine::PipelineInstance> prefill_;
+  std::vector<std::unique_ptr<engine::PipelineInstance>> decode_;
+
+  std::deque<engine::LiveRequest> parked_;  // prefilled, waiting for decode room
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace hetis::baselines

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hetis {
+
+namespace log_internal {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  // Strip the directory part for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)], base, line,
+               msg.c_str());
+}
+
+}  // namespace log_internal
+
+void set_log_level(LogLevel level) { log_internal::global_level() = level; }
+
+LogLevel log_level() { return log_internal::global_level(); }
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string lower = s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+}  // namespace hetis

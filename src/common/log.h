@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The simulator is performance sensitive (end-to-end benches run hundreds of
+// thousands of iterations), so logging below the active level must cost a
+// single branch.  Messages are formatted only when emitted.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace hetis {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace log_internal {
+LogLevel& global_level();
+}  // namespace log_internal
+
+/// Sets the process-wide log level.  Not thread-safe; set before spawning.
+void set_log_level(LogLevel level);
+/// Returns the current process-wide log level.
+LogLevel log_level();
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive); defaults to
+/// kInfo on unrecognized input.
+LogLevel parse_log_level(const std::string& s);
+
+namespace log_internal {
+void emit(LogLevel level, const char* file, int line, const std::string& msg);
+}  // namespace log_internal
+
+#define HETIS_LOG(level, ...)                                                       \
+  do {                                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::hetis::log_level())) {        \
+      std::ostringstream hetis_log_oss_;                                            \
+      hetis_log_oss_ << __VA_ARGS__;                                                \
+      ::hetis::log_internal::emit(level, __FILE__, __LINE__, hetis_log_oss_.str()); \
+    }                                                                               \
+  } while (0)
+
+#define HETIS_TRACE(...) HETIS_LOG(::hetis::LogLevel::kTrace, __VA_ARGS__)
+#define HETIS_DEBUG(...) HETIS_LOG(::hetis::LogLevel::kDebug, __VA_ARGS__)
+#define HETIS_INFO(...) HETIS_LOG(::hetis::LogLevel::kInfo, __VA_ARGS__)
+#define HETIS_WARN(...) HETIS_LOG(::hetis::LogLevel::kWarn, __VA_ARGS__)
+#define HETIS_ERROR(...) HETIS_LOG(::hetis::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hetis

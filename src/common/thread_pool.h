@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The paper (§6) accelerates head-wise KV-block indexing with multi-core CPU
+// parallelization; this pool is the substrate for that (see
+// kvcache/index_builder.*) and for the Parallelizer's parallel intra-stage
+// search (§4.1).  Static partitioning is used: index-building work items are
+// uniform, so work stealing would buy nothing and cost cache traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hetis {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations finish.  Iterations are statically chunked.  Exceptions from
+  /// the body propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) per worker-sized chunk.
+  /// Preferred for short loop bodies (amortizes dispatch).
+  void parallel_for_chunked(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hetis

@@ -1,0 +1,42 @@
+// Strong unit helpers used throughout the codebase.
+//
+// All times are in seconds (double), all sizes in bytes (int64), all
+// rates in units/second.  The helpers below exist so call sites read as
+// `4 * GiB` or `micros(20)` instead of bare magic numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace hetis {
+
+using Seconds = double;
+using Bytes = std::int64_t;
+using Flops = double;          // floating point operations (count)
+using FlopsPerSec = double;    // throughput
+using BytesPerSec = double;    // bandwidth
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+inline constexpr double KILO = 1e3;
+inline constexpr double MEGA = 1e6;
+inline constexpr double GIGA = 1e9;
+inline constexpr double TERA = 1e12;
+
+/// Converts microseconds to Seconds.
+constexpr Seconds micros(double us) { return us * 1e-6; }
+/// Converts milliseconds to Seconds.
+constexpr Seconds millis(double ms) { return ms * 1e-3; }
+
+/// Converts Seconds to milliseconds (for reporting).
+constexpr double to_millis(Seconds s) { return s * 1e3; }
+/// Converts Seconds to microseconds (for reporting).
+constexpr double to_micros(Seconds s) { return s * 1e6; }
+
+/// Converts bytes to GB (decimal, for reporting to match the paper's units).
+constexpr double to_gb(Bytes b) { return static_cast<double>(b) / 1e9; }
+/// Converts bytes to GiB (binary).
+constexpr double to_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(GiB); }
+
+}  // namespace hetis

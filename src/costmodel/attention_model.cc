@@ -1,0 +1,27 @@
+#include "costmodel/attention_model.h"
+
+#include <sstream>
+
+namespace hetis::costmodel {
+
+std::string AttnParams::to_string() const {
+  std::ostringstream oss;
+  oss << "AttnParams{a=" << a << " s/head, b=" << b << " s/B, c=" << c << " s}";
+  return oss.str();
+}
+
+std::string TransferParams::to_string() const {
+  std::ostringstream oss;
+  oss << "TransferParams{gamma=" << gamma << " s/B, beta=" << beta << " s}";
+  return oss.str();
+}
+
+Bytes transfer_volume(const model::ModelSpec& m, double heads) {
+  if (heads <= 0.0) return 0;
+  const double r = m.gqa_ratio();
+  const double per_head_per_layer =
+      (2.0 + 2.0 / r) * static_cast<double>(m.head_dim()) * m.dtype_bytes;
+  return static_cast<Bytes>(per_head_per_layer * heads * m.layers);
+}
+
+}  // namespace hetis::costmodel

@@ -1,0 +1,64 @@
+// The paper's linear Attention-time and transfer-overhead models (§5.1).
+//
+//   Eq. 3:  tau_i(t) = a_i * h_i(t) + b_i * g_i(t) + c_i
+//   Eq. 4:  rho_i(t) = gamma_i * d_i(t) + beta_i
+//
+// where h_i = total query heads on device i, g_i = total cache bytes on
+// device i, and d_i = (2 + 2/r) * h_i * head_dim * dtype is the per-token
+// transfer volume between a Primary and Attention worker.
+//
+// These fitted parameters are what the online Dispatcher's LP consumes;
+// they are the *interface* between profiling and optimization.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "model/llm.h"
+
+namespace hetis::costmodel {
+
+/// Per-device attention-computation model (Eq. 3).  Units: a in s/head,
+/// b in s/byte, c in s.
+struct AttnParams {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  /// Predicted attention time for h query heads over g cache bytes.
+  Seconds time(double heads, double cache_bytes) const {
+    if (heads <= 0.0) return 0.0;
+    return a * heads + b * cache_bytes + c;
+  }
+
+  /// Scales all coefficients by (1 + err); used by the Fig. 16(b)
+  /// profiling-error sensitivity experiment.
+  AttnParams perturbed(double err_a, double err_b, double err_c) const {
+    return AttnParams{a * (1.0 + err_a), b * (1.0 + err_b), c * (1.0 + err_c)};
+  }
+
+  std::string to_string() const;
+};
+
+/// Per-link transfer model (Eq. 4).  gamma in s/byte, beta in s.
+struct TransferParams {
+  double gamma = 0.0;
+  double beta = 0.0;
+
+  Seconds time(Bytes volume) const {
+    if (volume <= 0) return 0.0;
+    return gamma * static_cast<double>(volume) + beta;
+  }
+
+  TransferParams perturbed(double err_gamma, double err_beta) const {
+    return TransferParams{gamma * (1.0 + err_gamma), beta * (1.0 + err_beta)};
+  }
+
+  std::string to_string() const;
+};
+
+/// Per-decode-step transfer volume d_i for `heads` offloaded query heads
+/// (all layers): d = (2 + 2/r) * heads * head_dim * dtype * layers.
+Bytes transfer_volume(const model::ModelSpec& m, double heads);
+
+}  // namespace hetis::costmodel

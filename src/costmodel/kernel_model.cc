@@ -1,0 +1,84 @@
+#include "costmodel/kernel_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetis::costmodel {
+
+namespace {
+constexpr double kOccupancyFloor = 0.62;   // bw fraction at ~1 active head
+constexpr double kOccupancySatHeads = 96;  // heads needed to saturate HBM
+}  // namespace
+
+double KernelModel::attention_occupancy(double active_heads) {
+  if (active_heads <= 0) return kOccupancyFloor;
+  double x = std::min(1.0, active_heads / kOccupancySatHeads);
+  return kOccupancyFloor + (1.0 - kOccupancyFloor) * x;
+}
+
+Seconds KernelModel::dense_time(const hw::GpuSpec& gpu, const model::Work& work) const {
+  double compute = work.flops / gpu.eff_flops();
+  double memory = static_cast<double>(work.weight_bytes + work.act_bytes) / gpu.eff_dense_bw() +
+                  static_cast<double>(work.kv_bytes) / gpu.eff_attn_bw();
+  return std::max(compute, memory) + work.kernels * gpu.kernel_overhead;
+}
+
+Seconds KernelModel::attention_time(const hw::GpuSpec& gpu, const model::Work& work,
+                                    double active_heads) const {
+  double occupancy = attention_occupancy(active_heads);
+  double compute = work.flops / gpu.eff_flops();
+  double memory = static_cast<double>(work.kv_bytes) / (gpu.eff_attn_bw() * occupancy) +
+                  static_cast<double>(work.act_bytes + work.weight_bytes) / gpu.eff_dense_bw();
+  // Per-head scheduling/contention cost (Fig. 7c: time grows with #heads
+  // even at fixed cache size).
+  double contention = active_heads * gpu.attn_head_cost;
+  return std::max(compute, memory) + contention + work.kernels * gpu.kernel_overhead;
+}
+
+Seconds KernelModel::dense_layer_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
+                                      std::int64_t tokens, int shard) const {
+  if (tokens <= 0) return 0.0;
+  // QKV / OutProj / MLP launch as separate kernels; each individually
+  // roofline-bound.
+  Seconds t = 0.0;
+  t += dense_time(gpu, model::qkv_work(m, tokens, shard));
+  t += dense_time(gpu, model::out_proj_work(m, tokens, shard));
+  t += dense_time(gpu, model::mlp_work(m, tokens, shard));
+  return t;
+}
+
+Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
+                                           const std::vector<std::int64_t>& ctxs,
+                                           const std::vector<int>& heads) const {
+  if (ctxs.size() != heads.size()) {
+    throw std::invalid_argument("decode_attention_time: ctxs/heads size mismatch");
+  }
+  model::Work total;
+  total.kernels = 0;
+  double head_sum = 0;
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    if (heads[i] <= 0) continue;
+    total += model::decode_attention_work(m, ctxs[i], heads[i]);
+    head_sum += heads[i];
+  }
+  if (head_sum == 0) return 0.0;
+  total.kernels = 1;
+  return attention_time(gpu, total, head_sum);
+}
+
+Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
+                                           const std::vector<std::int64_t>& ctxs,
+                                           int heads) const {
+  return decode_attention_time(gpu, m, ctxs, std::vector<int>(ctxs.size(), heads));
+}
+
+Seconds KernelModel::prefill_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
+                                            const std::vector<std::int64_t>& lens,
+                                            int heads) const {
+  if (lens.empty() || heads <= 0) return 0.0;
+  model::Work total = model::prefill_attention_batch(m, lens, heads);
+  // Prefill attention is compute-bound; occupancy is irrelevant at L^2 work.
+  return attention_time(gpu, total, static_cast<double>(heads) * lens.size());
+}
+
+}  // namespace hetis::costmodel

@@ -1,0 +1,121 @@
+#include "costmodel/ols.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetis::costmodel {
+
+namespace {
+
+/// Solves A x = b for symmetric positive definite A (in-place Cholesky).
+/// A is n x n row-major.  Returns false if not positive definite.
+bool cholesky_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  // Decompose A = L L^T.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= a[k * n + ii] * b[k];
+    b[ii] = sum / a[ii * n + ii];
+  }
+  return true;
+}
+
+void predict(const std::vector<double>& x, std::size_t n_rows, std::size_t n_cols,
+             const std::vector<double>& beta, std::vector<double>& out) {
+  out.assign(n_rows, 0.0);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n_cols; ++j) acc += x[i * n_cols + j] * beta[j];
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ols_fit(const std::vector<double>& x, std::size_t n_rows,
+                            std::size_t n_cols, const std::vector<double>& y) {
+  if (x.size() != n_rows * n_cols || y.size() != n_rows) {
+    throw std::invalid_argument("ols_fit: shape mismatch");
+  }
+  if (n_rows < n_cols) throw std::invalid_argument("ols_fit: underdetermined system");
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(n_cols * n_cols, 0.0);
+  std::vector<double> xty(n_cols, 0.0);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (std::size_t j = 0; j < n_cols; ++j) {
+      double xij = x[i * n_cols + j];
+      xty[j] += xij * y[i];
+      for (std::size_t k = 0; k <= j; ++k) {
+        xtx[j * n_cols + k] += xij * x[i * n_cols + k];
+      }
+    }
+  }
+  // Symmetrize upper triangle.
+  for (std::size_t j = 0; j < n_cols; ++j) {
+    for (std::size_t k = j + 1; k < n_cols; ++k) xtx[j * n_cols + k] = xtx[k * n_cols + j];
+  }
+  // Tiny ridge keeps nearly-collinear profiling grids solvable.
+  double trace = 0.0;
+  for (std::size_t j = 0; j < n_cols; ++j) trace += xtx[j * n_cols + j];
+  double ridge = 1e-12 * (trace > 0 ? trace : 1.0);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<double> a = xtx;
+    std::vector<double> b = xty;
+    for (std::size_t j = 0; j < n_cols; ++j) a[j * n_cols + j] += ridge;
+    if (cholesky_solve(a, b, n_cols)) return b;
+    ridge *= 100.0;
+  }
+  throw std::runtime_error("ols_fit: singular normal matrix");
+}
+
+double r_squared(const std::vector<double>& x, std::size_t n_rows, std::size_t n_cols,
+                 const std::vector<double>& y, const std::vector<double>& beta) {
+  std::vector<double> pred;
+  predict(x, n_rows, n_cols, beta, pred);
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n_rows);
+  double ssr = 0.0, sst = 0.0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    ssr += (y[i] - pred[i]) * (y[i] - pred[i]);
+    sst += (y[i] - mean) * (y[i] - mean);
+  }
+  if (sst == 0.0) return 1.0;
+  return 1.0 - ssr / sst;
+}
+
+double mape_accuracy(const std::vector<double>& x, std::size_t n_rows, std::size_t n_cols,
+                     const std::vector<double>& y, const std::vector<double>& beta) {
+  std::vector<double> pred;
+  predict(x, n_rows, n_cols, beta, pred);
+  double err = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    if (std::abs(y[i]) < 1e-12) continue;
+    err += std::abs(pred[i] - y[i]) / std::abs(y[i]);
+    ++counted;
+  }
+  if (counted == 0) return 1.0;
+  return 1.0 - err / static_cast<double>(counted);
+}
+
+}  // namespace hetis::costmodel

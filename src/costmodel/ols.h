@@ -1,0 +1,31 @@
+// Ordinary least squares via normal equations + Cholesky.
+//
+// The Profiler fits the paper's linear models (Eq. 3: tau = a*h + b*g + c,
+// Eq. 4: rho = gamma*d + beta) from a handful of simulated micro-runs, so a
+// small dense solver is all that's needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetis::costmodel {
+
+/// Fits y ~ X * beta in the least-squares sense.
+/// X is row-major, n_rows x n_cols (include a column of ones for an
+/// intercept).  Returns the coefficient vector (size n_cols).
+/// Throws std::invalid_argument on shape errors and std::runtime_error if
+/// the normal matrix is singular beyond repair (a tiny ridge is applied
+/// first to keep nearly-collinear profiling grids stable).
+std::vector<double> ols_fit(const std::vector<double>& x, std::size_t n_rows,
+                            std::size_t n_cols, const std::vector<double>& y);
+
+/// R^2 goodness of fit for reporting (1 - SSR/SST).
+double r_squared(const std::vector<double>& x, std::size_t n_rows, std::size_t n_cols,
+                 const std::vector<double>& y, const std::vector<double>& beta);
+
+/// Mean absolute percentage accuracy = 1 - mean(|pred-y|/|y|), the metric
+/// the paper quotes ("accuracy levels reaching up to 93.8%", §7.4).
+double mape_accuracy(const std::vector<double>& x, std::size_t n_rows, std::size_t n_cols,
+                     const std::vector<double>& y, const std::vector<double>& beta);
+
+}  // namespace hetis::costmodel

@@ -1,0 +1,123 @@
+#include "costmodel/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "costmodel/ols.h"
+
+namespace hetis::costmodel {
+
+Profiler::Profiler(const hw::Cluster& cluster, const model::ModelSpec& model,
+                   ProfilerOptions opts)
+    : cluster_(&cluster), model_(&model), opts_(opts), comm_(cluster), rng_(opts.seed) {}
+
+Seconds Profiler::ground_truth_attention(int device_id, double heads, double cache_bytes) const {
+  const hw::GpuSpec& gpu = cluster_->device(device_id).spec();
+  if (heads <= 0.0) return 0.0;
+  // Translate (heads, cache) into a representative single-layer batch:
+  // each query head holds cache_bytes/heads of KV share, i.e. a context of
+  //   ctx = share / (2 * head_dim * dtype / r)        [per-head K+V share]
+  const double per_head_token_bytes =
+      2.0 * model_->head_dim() * model_->dtype_bytes / model_->gqa_ratio();
+  double ctx = cache_bytes / heads / per_head_token_bytes;
+  ctx = std::max(1.0, ctx);
+  model::Work w;
+  const double d = model_->head_dim();
+  w.flops = 4.0 * ctx * d * heads;
+  w.kv_bytes = static_cast<Bytes>(cache_bytes);
+  w.act_bytes = static_cast<Bytes>(2.0 * d * heads) * model_->dtype_bytes;
+  w.kernels = 1;
+  return kernel_.attention_time(gpu, w, heads);
+}
+
+Seconds Profiler::ground_truth_transfer(int src, int dst, Bytes volume) const {
+  return comm_.p2p(src, dst, volume);
+}
+
+DeviceProfile Profiler::profile_device(int device_id) {
+  const hw::GpuSpec& gpu = cluster_->device(device_id).spec();
+  // Head grid: from one request's worth of heads up to a large serving
+  // batch.  Cache grid: up to max_cache_fraction of device memory.
+  const double h_lo = model_->heads;
+  const double h_hi = model_->heads * 256.0;
+  const double g_lo = 64.0 * MiB;
+  const double g_hi = opts_.max_cache_fraction * static_cast<double>(gpu.memory);
+
+  std::vector<double> xs;  // rows of [h, g, 1]
+  std::vector<double> ys;
+  for (int i = 0; i < opts_.grid_h; ++i) {
+    double fh = opts_.grid_h == 1 ? 0.0 : static_cast<double>(i) / (opts_.grid_h - 1);
+    double h = h_lo * std::pow(h_hi / h_lo, fh);
+    for (int j = 0; j < opts_.grid_g; ++j) {
+      double fg = opts_.grid_g == 1 ? 0.0 : static_cast<double>(j) / (opts_.grid_g - 1);
+      double g = g_lo + fg * (g_hi - g_lo);
+      double t = ground_truth_attention(device_id, h, g);
+      double measured = t * (1.0 + rng_.normal(0.0, opts_.noise_stddev));
+      xs.push_back(h);
+      xs.push_back(g);
+      xs.push_back(1.0);
+      ys.push_back(std::max(0.0, measured));
+    }
+  }
+  std::size_t rows = ys.size();
+  std::vector<double> beta = ols_fit(xs, rows, 3, ys);
+
+  DeviceProfile prof;
+  prof.attn = AttnParams{beta[0], beta[1], beta[2]};
+  // Non-negative coefficients: a tiny negative intercept from noise would
+  // make the dispatcher underestimate small loads.
+  prof.attn.a = std::max(prof.attn.a, 0.0);
+  prof.attn.b = std::max(prof.attn.b, 0.0);
+  prof.attn.c = std::max(prof.attn.c, 0.0);
+  // Score the fit against the *true* (noise-free) curve, like the paper's
+  // "ground truth" comparison.
+  std::vector<double> truth(rows);
+  for (std::size_t k = 0; k < rows; ++k) {
+    truth[k] = ground_truth_attention(device_id, xs[k * 3], xs[k * 3 + 1]);
+  }
+  prof.attn_accuracy = mape_accuracy(xs, rows, 3, truth, beta);
+  prof.attn_r2 = r_squared(xs, rows, 3, truth, beta);
+  return prof;
+}
+
+LinkProfile Profiler::profile_link(int primary, int worker) {
+  // Sweep the transfer volume over the head grid (Eq. 4's d_i depends on
+  // offloaded heads).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const int points = std::max(4, opts_.grid_h);
+  for (int i = 0; i < points; ++i) {
+    double heads = model_->heads * (1.0 + 31.0 * i / std::max(1, points - 1));
+    Bytes vol = transfer_volume(*model_, heads);
+    double t = ground_truth_transfer(primary, worker, vol);
+    double measured = t * (1.0 + rng_.normal(0.0, opts_.noise_stddev));
+    xs.push_back(static_cast<double>(vol));
+    xs.push_back(1.0);
+    ys.push_back(std::max(0.0, measured));
+  }
+  std::vector<double> beta = ols_fit(xs, ys.size(), 2, ys);
+  LinkProfile prof;
+  prof.transfer = TransferParams{std::max(beta[0], 0.0), std::max(beta[1], 0.0)};
+  std::vector<double> truth(ys.size());
+  for (std::size_t k = 0; k < ys.size(); ++k) {
+    truth[k] = ground_truth_transfer(primary, worker, static_cast<Bytes>(xs[k * 2]));
+  }
+  prof.transfer_accuracy = mape_accuracy(xs, ys.size(), 2, truth, beta);
+  return prof;
+}
+
+ProfileResult Profiler::profile_all() {
+  ProfileResult result;
+  for (const auto& dev : cluster_->devices()) {
+    result.devices[dev.id] = profile_device(dev.id);
+  }
+  for (const auto& a : cluster_->devices()) {
+    for (const auto& b : cluster_->devices()) {
+      if (a.id == b.id) continue;
+      result.links[{a.id, b.id}] = profile_link(a.id, b.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace hetis::costmodel

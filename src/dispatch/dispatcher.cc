@@ -1,0 +1,466 @@
+#include "dispatch/dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace hetis::dispatch {
+
+namespace {
+// Per-head per-layer transfer volume: (2 + 2/r) * head_dim-share.  We fold
+// the model geometry into the config's bph and gqa ratio: d_head * dtype =
+// bph * r / 2, so per-head volume = (2 + 2/r) * bph * r / 2 = (r + 1) * bph.
+double per_head_layer_volume(const DispatcherConfig& cfg) {
+  return (static_cast<double>(cfg.group_size) + 1.0) * cfg.bytes_per_head_token_layer;
+}
+}  // namespace
+
+int PlacementCounts::total() const {
+  int t = local;
+  for (int h : worker_heads) t += h;
+  return t;
+}
+
+Dispatcher::Dispatcher(DispatcherConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.stages.empty()) throw std::invalid_argument("Dispatcher: no stages");
+  if (cfg_.heads <= 0 || cfg_.group_size <= 0 || cfg_.heads % cfg_.group_size != 0) {
+    throw std::invalid_argument("Dispatcher: bad head/group configuration");
+  }
+  bph_ = cfg_.bytes_per_head_token_layer;
+  if (bph_ <= 0) throw std::invalid_argument("Dispatcher: bytes_per_head_token_layer <= 0");
+}
+
+Dispatcher::Aggregates Dispatcher::aggregate() const {
+  Aggregates agg;
+  agg.worker_heads.assign(cfg_.workers.size(), 0.0);
+  agg.worker_head_tokens.assign(cfg_.workers.size(), 0.0);
+  for (const auto& [id, st] : requests_) {
+    agg.local_heads += st.counts.local;
+    agg.local_head_tokens += static_cast<double>(st.counts.local) * st.ctx;
+    for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+      agg.worker_heads[w] += st.counts.worker_heads[w];
+      agg.worker_head_tokens[w] += static_cast<double>(st.counts.worker_heads[w]) * st.ctx;
+    }
+  }
+  return agg;
+}
+
+Seconds Dispatcher::stage_time(std::size_t k, double local_heads,
+                               double local_head_tokens) const {
+  const StageDesc& s = cfg_.stages[k];
+  const double tp = static_cast<double>(s.devices.size());
+  // TP spreads local heads and their cache evenly across the group.
+  double h = local_heads / tp;
+  double g = local_head_tokens * bph_ / tp;  // per-layer bytes per device
+  if (h <= 0.0) return 0.0;
+  return s.attn.time(h, g);
+}
+
+Seconds Dispatcher::worker_time(std::size_t w, double heads, double head_tokens) const {
+  if (heads <= 0.0) return 0.0;
+  const WorkerDesc& wk = cfg_.workers[w];
+  double g = head_tokens * bph_;
+  Bytes volume = static_cast<Bytes>(per_head_layer_volume(cfg_) * heads);
+  return wk.attn.time(heads, g) + wk.transfer.time(volume);
+}
+
+std::size_t Dispatcher::bottleneck_stage(double local_heads, double local_head_tokens) const {
+  std::size_t best = 0;
+  Seconds worst = -1;
+  for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+    // Evaluate with a nominal head so empty state still ranks stages.
+    Seconds t = stage_time(k, std::max(1.0, local_heads), std::max(1.0, local_head_tokens));
+    if (t > worst) {
+      worst = t;
+      best = k;
+    }
+  }
+  return best;
+}
+
+Seconds Dispatcher::device_time(std::size_t logical) const {
+  Aggregates agg = aggregate();
+  if (logical == 0) {
+    Seconds worst = 0;
+    for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+      worst = std::max(worst, stage_time(k, agg.local_heads, agg.local_head_tokens));
+    }
+    return worst;
+  }
+  std::size_t w = logical - 1;
+  return worker_time(w, agg.worker_heads[w], agg.worker_head_tokens[w]);
+}
+
+Seconds Dispatcher::attention_iteration_time() const {
+  Aggregates agg = aggregate();
+  Seconds worker_worst = 0;
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    worker_worst =
+        std::max(worker_worst, worker_time(w, agg.worker_heads[w], agg.worker_head_tokens[w]));
+  }
+  Seconds total = 0;
+  for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+    Seconds per_layer =
+        std::max(stage_time(k, agg.local_heads, agg.local_head_tokens), worker_worst);
+    total += per_layer * cfg_.stages[k].layers;
+  }
+  return total;
+}
+
+Seconds Dispatcher::worst_per_layer() const {
+  Seconds worst = 0;
+  for (std::size_t i = 0; i < num_logical(); ++i) worst = std::max(worst, device_time(i));
+  return worst;
+}
+
+Bytes Dispatcher::device_capacity(std::size_t logical) const {
+  if (logical == 0) {
+    // Per-layer-normalized merged capacity would be misleading; report the
+    // raw sum across stages.
+    Bytes total = 0;
+    for (const auto& s : cfg_.stages) total += s.capacity;
+    return total;
+  }
+  return cfg_.workers[logical - 1].capacity;
+}
+
+Bytes Dispatcher::device_used(std::size_t logical) const {
+  Aggregates agg = aggregate();
+  if (logical == 0) {
+    // Sum over stages: local head-tokens * bph * layers_k.
+    double used = 0;
+    for (const auto& s : cfg_.stages) {
+      used += agg.local_head_tokens * bph_ * s.layers;
+    }
+    return static_cast<Bytes>(used);
+  }
+  std::size_t w = logical - 1;
+  return static_cast<Bytes>(agg.worker_head_tokens[w] * bph_ * cfg_.total_layers);
+}
+
+std::optional<std::size_t> Dispatcher::first_overflowed() const {
+  // Primary overflow must be judged per stage (the tightest stage binds).
+  Aggregates agg = aggregate();
+  double worst_ratio = 1.0;
+  std::optional<std::size_t> out;
+  for (const auto& s : cfg_.stages) {
+    if (s.capacity <= 0) continue;
+    double used = agg.local_head_tokens * bph_ * s.layers;
+    double ratio = used / static_cast<double>(s.capacity);
+    if (ratio > worst_ratio) {
+      worst_ratio = ratio;
+      out = 0;
+    }
+  }
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    if (cfg_.workers[w].capacity <= 0) continue;
+    double used = agg.worker_head_tokens[w] * bph_ * cfg_.total_layers;
+    double ratio = used / static_cast<double>(cfg_.workers[w].capacity);
+    if (ratio > worst_ratio) {
+      worst_ratio = ratio;
+      out = 1 + w;
+    }
+  }
+  return out;
+}
+
+workload::RequestId Dispatcher::evict_candidate_on(std::size_t logical) const {
+  workload::RequestId victim = -1;
+  Seconds latest = -std::numeric_limits<double>::infinity();
+  for (const auto& [id, st] : requests_) {
+    int heads_here = logical == 0 ? st.counts.local : st.counts.worker_heads[logical - 1];
+    if (heads_here <= 0) continue;
+    // Modified LIFO (§5.3.2): latest arrival on the exhausted device; ties
+    // break toward the newest id so older requests keep their progress.
+    if (st.arrival > latest || (st.arrival == latest && id > victim)) {
+      latest = st.arrival;
+      victim = id;
+    }
+  }
+  return victim;
+}
+
+bool Dispatcher::has_global_spare() const {
+  Bytes cap = 0, used = 0;
+  for (std::size_t i = 0; i < num_logical(); ++i) {
+    cap += device_capacity(i);
+    used += device_used(i);
+  }
+  return used < cap;
+}
+
+double Dispatcher::physical_heads(int device) const {
+  Aggregates agg = aggregate();
+  for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+    const auto& devs = cfg_.stages[k].devices;
+    if (std::find(devs.begin(), devs.end(), device) != devs.end()) {
+      return agg.local_heads / static_cast<double>(devs.size());
+    }
+  }
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    if (cfg_.workers[w].device == device) return agg.worker_heads[w];
+  }
+  return 0.0;
+}
+
+double Dispatcher::physical_cache_fraction(int device) const {
+  Aggregates agg = aggregate();
+  for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+    const auto& s = cfg_.stages[k];
+    if (std::find(s.devices.begin(), s.devices.end(), device) != s.devices.end()) {
+      if (s.capacity <= 0) return 0.0;
+      double used = agg.local_head_tokens * bph_ * s.layers;
+      return std::min(1.0, used / static_cast<double>(s.capacity));
+    }
+  }
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    if (cfg_.workers[w].device == device) {
+      if (cfg_.workers[w].capacity <= 0) return 0.0;
+      double used = agg.worker_head_tokens[w] * bph_ * cfg_.total_layers;
+      return std::min(1.0, used / static_cast<double>(cfg_.workers[w].capacity));
+    }
+  }
+  return 0.0;
+}
+
+lp::MinMaxProblem Dispatcher::build_problem(
+    const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
+    workload::RequestId exclude) const {
+  Aggregates agg = aggregate();
+  if (exclude >= 0) {
+    auto it = requests_.find(exclude);
+    if (it != requests_.end()) {
+      const ReqState& st = it->second;
+      agg.local_heads -= st.counts.local;
+      agg.local_head_tokens -= static_cast<double>(st.counts.local) * st.ctx;
+      for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+        agg.worker_heads[w] -= st.counts.worker_heads[w];
+        agg.worker_head_tokens[w] -= static_cast<double>(st.counts.worker_heads[w]) * st.ctx;
+      }
+    }
+  }
+
+  lp::MinMaxProblem p;
+  p.group_size = cfg_.group_size;
+  const std::size_t d = 1 + cfg_.workers.size();
+  p.base_time.resize(d);
+  p.head_cost.resize(d);
+  p.cache_cost.resize(d);
+  p.mem_free.resize(d);
+
+  // Logical device 0: merged primary.  Time coefficients from the slowest
+  // stage; per-layer free memory from the tightest stage.
+  std::size_t bk = bottleneck_stage(agg.local_heads, agg.local_head_tokens);
+  {
+    const StageDesc& s = cfg_.stages[bk];
+    const double tp = static_cast<double>(s.devices.size());
+    p.base_time[0] = stage_time(bk, agg.local_heads, agg.local_head_tokens);
+    p.head_cost[0] = s.attn.a / tp;
+    p.cache_cost[0] = s.attn.b / tp;
+    double free_pl = std::numeric_limits<double>::infinity();
+    for (const auto& stg : cfg_.stages) {
+      double used = agg.local_head_tokens * bph_ * stg.layers;
+      double free_here = (static_cast<double>(stg.capacity) - used) / stg.layers;
+      free_pl = std::min(free_pl, free_here);
+    }
+    p.mem_free[0] = std::max(0.0, free_pl);
+  }
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    const WorkerDesc& wk = cfg_.workers[w];
+    double used = agg.worker_head_tokens[w] * bph_ * cfg_.total_layers;
+    // Base includes the transfer constants unconditionally (paper Eq. 7's
+    // f_i for Attention workers); this biases against premature offload.
+    p.base_time[1 + w] = wk.attn.time(std::max(0.0, agg.worker_heads[w]),
+                                      agg.worker_head_tokens[w] * bph_) +
+                         wk.transfer.beta;
+    p.head_cost[1 + w] = wk.attn.a + wk.transfer.gamma * per_head_layer_volume(cfg_);
+    p.cache_cost[1 + w] = wk.attn.b;
+    p.mem_free[1 + w] =
+        std::max(0.0, (static_cast<double>(wk.capacity) - used) / cfg_.total_layers);
+  }
+
+  p.demand.reserve(new_requests.size());
+  p.cache_per_head.reserve(new_requests.size());
+  for (const auto& [id, ctx] : new_requests) {
+    p.demand.push_back(static_cast<double>(cfg_.heads));
+    p.cache_per_head.push_back(static_cast<double>(ctx) * bph_);
+  }
+  return p;
+}
+
+std::optional<std::vector<PlacementCounts>> Dispatcher::dispatch(
+    const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
+    Seconds now) {
+  if (new_requests.empty()) return std::vector<PlacementCounts>{};
+  lp::MinMaxProblem p = build_problem(new_requests, /*exclude=*/-1);
+
+  std::vector<std::vector<int>> heads;
+  if (cfg_.use_lp) {
+    lp::MinMaxSolution relaxed = lp::solve_relaxed(p);
+    if (relaxed.ok()) {
+      heads = lp::round_to_groups(p, relaxed);
+    }
+  }
+  if (heads.empty()) heads = lp::greedy_dispatch(p);
+
+  // Verify every request received its full head count (greedy may fall
+  // short when the cluster is memory-exhausted).
+  for (std::size_t j = 0; j < new_requests.size(); ++j) {
+    int total = 0;
+    for (std::size_t i = 0; i < heads.size(); ++i) total += heads[i][j];
+    if (total != cfg_.heads) return std::nullopt;
+  }
+
+  std::vector<PlacementCounts> out(new_requests.size());
+  for (std::size_t j = 0; j < new_requests.size(); ++j) {
+    PlacementCounts pc;
+    pc.local = heads[0][j];
+    pc.worker_heads.assign(cfg_.workers.size(), 0);
+    for (std::size_t w = 0; w < cfg_.workers.size(); ++w) pc.worker_heads[w] = heads[1 + w][j];
+    ReqState st;
+    st.ctx = new_requests[j].second;
+    st.arrival = now;
+    st.counts = pc;
+    requests_[new_requests[j].first] = st;
+    out[j] = std::move(pc);
+  }
+  return out;
+}
+
+void Dispatcher::append_token(workload::RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) throw std::out_of_range("Dispatcher::append_token: unknown id");
+  it->second.ctx += 1;
+}
+
+void Dispatcher::remove(workload::RequestId id) { requests_.erase(id); }
+
+const PlacementCounts& Dispatcher::placement(workload::RequestId id) const {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) throw std::out_of_range("Dispatcher::placement: unknown id");
+  return it->second.counts;
+}
+
+std::int64_t Dispatcher::context(workload::RequestId id) const {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) throw std::out_of_range("Dispatcher::context: unknown id");
+  return it->second.ctx;
+}
+
+Seconds Dispatcher::ideal_per_layer() const {
+  if (requests_.empty()) return 0.0;
+  // Re-dispatch everything from scratch: empty base state, all requests as
+  // "new", single global memory constraint; solved by waterfilling (fast
+  // approximation of §5.3.1's LP).
+  std::vector<std::pair<workload::RequestId, std::int64_t>> all;
+  all.reserve(requests_.size());
+  for (const auto& [id, st] : requests_) all.emplace_back(id, st.ctx);
+
+  Dispatcher empty_view(cfg_);  // same geometry, no requests
+  lp::MinMaxProblem p = empty_view.build_problem(all, -1);
+  // Global memory (7b relaxed to the cluster-wide constraint).
+  p.global_memory_only = true;
+  std::vector<std::vector<int>> heads = lp::greedy_dispatch(p);
+  // The waterfill is an upper bound on the true f*; the current placement
+  // is itself feasible for the re-dispatch problem, so f* can also never
+  // exceed the present bottleneck.
+  return std::min(lp::eval_makespan(p, heads), worst_per_layer());
+}
+
+bool Dispatcher::should_rebalance() const {
+  if (requests_.empty()) return false;
+  Seconds ideal = ideal_per_layer();
+  if (ideal <= 0) return false;
+  return worst_per_layer() > (1.0 + cfg_.theta) * ideal;
+}
+
+Rebalance Dispatcher::plan_single(workload::RequestId victim) const {
+  Rebalance rb;
+  rb.victim = victim;
+  auto it = requests_.find(victim);
+  if (it == requests_.end()) return rb;
+  rb.from = it->second.counts;
+
+  std::vector<std::pair<workload::RequestId, std::int64_t>> one{{victim, it->second.ctx}};
+  lp::MinMaxProblem p = build_problem(one, /*exclude=*/victim);
+  std::vector<std::vector<int>> heads;
+  if (cfg_.use_lp) {
+    lp::MinMaxSolution relaxed = lp::solve_relaxed(p);
+    if (relaxed.ok()) heads = lp::round_to_groups(p, relaxed);
+  }
+  if (heads.empty()) heads = lp::greedy_dispatch(p);
+  int total = 0;
+  for (std::size_t i = 0; i < heads.size(); ++i) total += heads[i][0];
+  if (total != cfg_.heads) return rb;  // infeasible
+
+  rb.to.local = heads[0][0];
+  rb.to.worker_heads.assign(cfg_.workers.size(), 0);
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) rb.to.worker_heads[w] = heads[1 + w][0];
+
+  // Moved heads: overlap-preserving reassignment means only net deltas move.
+  double moved = std::max(0, rb.to.local - rb.from.local);
+  int src = cfg_.stages.front().devices.front();
+  int dst = src;
+  double biggest_gain = -1;
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    int delta = rb.to.worker_heads[w] - rb.from.worker_heads[w];
+    if (delta > 0) {
+      moved += delta;
+      if (delta > biggest_gain) {
+        biggest_gain = delta;
+        dst = cfg_.workers[w].device;
+      }
+    } else if (delta < 0 && -delta > biggest_gain) {
+      src = cfg_.workers[w].device;
+    }
+  }
+  rb.moved_heads = moved;
+  rb.moved_bytes =
+      static_cast<Bytes>(moved * static_cast<double>(it->second.ctx) * bph_ * cfg_.total_layers);
+  rb.src_device = src;
+  rb.dst_device = dst;
+  rb.valid = moved > 0;
+  return rb;
+}
+
+Rebalance Dispatcher::plan_rebalance() const {
+  // Bottleneck logical device.
+  std::size_t bottleneck = 0;
+  Seconds worst = -1;
+  for (std::size_t i = 0; i < num_logical(); ++i) {
+    Seconds t = device_time(i);
+    if (t > worst) {
+      worst = t;
+      bottleneck = i;
+    }
+  }
+  // Dominant request on it: largest per-layer load contribution.
+  workload::RequestId victim = -1;
+  double biggest = -1;
+  for (const auto& [id, st] : requests_) {
+    int h = bottleneck == 0 ? st.counts.local : st.counts.worker_heads[bottleneck - 1];
+    if (h <= 0) continue;
+    double load = static_cast<double>(h) * st.ctx;
+    if (load > biggest) {
+      biggest = load;
+      victim = id;
+    }
+  }
+  if (victim < 0) return Rebalance{};
+  return plan_single(victim);
+}
+
+Rebalance Dispatcher::plan_rescue(workload::RequestId victim) const { return plan_single(victim); }
+
+void Dispatcher::apply(const Rebalance& rb) {
+  if (!rb.valid) throw std::logic_error("Dispatcher::apply: invalid rebalance");
+  auto it = requests_.find(rb.victim);
+  if (it == requests_.end()) throw std::out_of_range("Dispatcher::apply: unknown victim");
+  it->second.counts = rb.to;
+}
+
+}  // namespace hetis::dispatch

@@ -1,0 +1,189 @@
+// The Dispatcher (paper §5): dynamic head-wise dispatching, re-dispatching
+// and device-local eviction for one Hetis serving instance.
+//
+// Logical-device model.  Attention placement decisions see:
+//   * the PRIMARY side: every pipeline stage's TP group.  Heads NOT
+//     offloaded ("local" heads) are computed by whichever stage owns the
+//     current layer, so a request's local head count is the same on every
+//     stage; the LP therefore treats the primary side as one merged
+//     logical device whose time coefficients come from the slowest stage
+//     and whose free memory is the tightest stage's (per-layer units).
+//   * each pooled Attention worker as an individual device with its own
+//     fitted tau (Eq. 3) and transfer rho (Eq. 4) models.
+//
+// Time model.  All f_i are per-layer quantities; the decode-iteration
+// attention latency is sum_k layers_k * max(tau_stage_k, max_w f_w), which
+// instantiates the paper's objective (Eq. 7a) at the iteration level.
+//
+// Memory model.  All quantities in bytes.  One query head of a request
+// with context l holds l * bph bytes per layer, bph = 2*head_dim*dtype/r;
+// a stage hosts its layer slab for local heads, a worker hosts all L
+// layers for its offloaded heads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "costmodel/attention_model.h"
+#include "lp/minmax.h"
+#include "workload/request.h"
+
+namespace hetis::dispatch {
+
+struct StageDesc {
+  std::vector<int> devices;  // physical ids (TP group)
+  int layers = 0;
+  costmodel::AttnParams attn;  // per-physical-device Eq. 3 fit
+  Bytes capacity = 0;          // KV byte budget across the group
+};
+
+struct WorkerDesc {
+  int device = -1;
+  costmodel::AttnParams attn;
+  costmodel::TransferParams transfer;  // to the slowest-link primary
+  Bytes capacity = 0;
+};
+
+struct DispatcherConfig {
+  std::vector<StageDesc> stages;
+  std::vector<WorkerDesc> workers;
+  int heads = 0;       // H: query heads per request
+  int group_size = 1;  // r: GQA ratio (head-group granularity)
+  double bytes_per_head_token_layer = 0;  // bph
+  int total_layers = 0;
+  double theta = 0.5;  // re-dispatch trigger threshold (paper default)
+  bool use_lp = true;  // false = greedy waterfilling only (ablation)
+};
+
+/// Per-request head placement: local (primary) heads + per-worker heads.
+struct PlacementCounts {
+  int local = 0;
+  std::vector<int> worker_heads;
+
+  int total() const;
+};
+
+/// A planned placement change for one request (re-dispatch or rescue).
+struct Rebalance {
+  workload::RequestId victim = -1;
+  PlacementCounts from;
+  PlacementCounts to;
+  double moved_heads = 0;
+  Bytes moved_bytes = 0;
+  int src_device = -1;  // representative hauler endpoints
+  int dst_device = -1;
+  bool valid = false;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherConfig cfg);
+
+  // --- Request lifecycle ---
+
+  /// Dispatches new requests (Eq. 7).  On success registers them and
+  /// returns one PlacementCounts per request (same order).  Returns
+  /// nullopt when the instance cannot host them (caller keeps waiting).
+  std::optional<std::vector<PlacementCounts>> dispatch(
+      const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
+      Seconds now);
+
+  /// Grows a request's context by one token (Eq. 8 state update).
+  void append_token(workload::RequestId id);
+
+  /// Removes a finished/preempted request and frees its accounting.
+  void remove(workload::RequestId id);
+
+  bool contains(workload::RequestId id) const { return requests_.count(id) > 0; }
+  std::size_t size() const { return requests_.size(); }
+  const PlacementCounts& placement(workload::RequestId id) const;
+  std::int64_t context(workload::RequestId id) const;
+
+  // --- Time model ---
+
+  /// Per-layer attention+transfer time of logical device i right now.
+  Seconds device_time(std::size_t logical) const;
+  /// Decode-iteration attention latency: sum_k layers_k * max(tau_k, W).
+  Seconds attention_iteration_time() const;
+  /// max_i f_i (the per-layer bottleneck; re-dispatch trigger input).
+  Seconds worst_per_layer() const;
+  /// f*: ideal per-layer time if ALL requests were re-dispatched, under the
+  /// cluster-wide memory constraint (§5.3.1).  Computed by waterfilling
+  /// (documented approximation of the paper's LP).
+  Seconds ideal_per_layer() const;
+
+  // --- Re-dispatching (§5.3) ---
+
+  /// True when worst exceeds (1 + theta) * ideal.
+  bool should_rebalance() const;
+  /// Plans moving the dominant request off the bottleneck device (§5.3.1).
+  Rebalance plan_rebalance() const;
+  /// Plans re-dispatching `victim` to relieve memory pressure (§5.3.2).
+  Rebalance plan_rescue(workload::RequestId victim) const;
+  /// Commits a planned rebalance (memory accounting moves immediately; the
+  /// engine suspends the victim until the Hauler transfer lands).
+  void apply(const Rebalance& rb);
+
+  // --- Memory state ---
+
+  /// Logical device with the highest used/capacity ratio above 1, if any.
+  std::optional<std::size_t> first_overflowed() const;
+  /// Modified-LIFO victim: latest-arrival request holding cache on the
+  /// given logical device (§5.3.2); -1 when none.
+  workload::RequestId evict_candidate_on(std::size_t logical) const;
+  /// True when the cluster still has spare cache overall.
+  bool has_global_spare() const;
+
+  Bytes device_capacity(std::size_t logical) const;
+  Bytes device_used(std::size_t logical) const;
+  std::size_t num_logical() const { return 1 + cfg_.workers.size(); }
+
+  // --- Introspection (Fig. 14) ---
+
+  /// Total query heads resident on a physical device.
+  double physical_heads(int device) const;
+  /// Cache fill fraction of a physical device's budget.
+  double physical_cache_fraction(int device) const;
+
+  const DispatcherConfig& config() const { return cfg_; }
+
+ private:
+  struct ReqState {
+    std::int64_t ctx = 0;
+    Seconds arrival = 0;
+    PlacementCounts counts;
+  };
+
+  struct Aggregates {
+    double local_heads = 0;
+    double local_head_tokens = 0;  // sum over requests of local*ctx
+    std::vector<double> worker_heads;
+    std::vector<double> worker_head_tokens;
+  };
+  Aggregates aggregate() const;
+
+  /// Builds the min-max problem for `new_requests` given current state.
+  /// Excludes `exclude` (for single-request re-dispatch).
+  lp::MinMaxProblem build_problem(
+      const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
+      workload::RequestId exclude) const;
+
+  /// Per-layer tau of stage k under given local aggregates.
+  Seconds stage_time(std::size_t k, double local_heads, double local_head_tokens) const;
+  /// Per-layer f of worker w under given aggregates.
+  Seconds worker_time(std::size_t w, double heads, double head_tokens) const;
+
+  /// Index of the stage with the largest per-layer time (LP coefficients).
+  std::size_t bottleneck_stage(double local_heads, double local_head_tokens) const;
+
+  Rebalance plan_single(workload::RequestId victim) const;
+
+  DispatcherConfig cfg_;
+  std::map<workload::RequestId, ReqState> requests_;
+  double bph_ = 0;  // bytes per head-token per layer
+};
+
+}  // namespace hetis::dispatch

@@ -1,0 +1,44 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+namespace hetis::engine {
+
+RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
+                    Seconds drain_timeout) {
+  sim::Simulation sim;
+  engine.start(sim);
+  for (const auto& r : trace) {
+    sim.schedule_at(r.arrival, [&engine, &sim, r] { engine.submit(sim, r); });
+  }
+  Seconds last_arrival = trace.empty() ? 0.0 : trace.back().arrival;
+  sim.run_until(last_arrival + drain_timeout);
+
+  RunReport rep;
+  rep.engine = engine.name();
+  const MetricsCollector& m = engine.metrics();
+  rep.arrived = m.arrived();
+  rep.finished = m.finished();
+  rep.norm_latency_mean = m.norm_latency().mean();
+  rep.norm_latency_p95 = m.norm_latency().p95();
+  rep.ttft_p95 = m.ttft().p95();
+  rep.tpot_p95 = m.tpot().p95();
+  rep.mlp_module_p95 = m.mlp_module_time().p95();
+  rep.attn_module_p95 = m.attn_module_time().p95();
+  rep.preemptions = m.total_preemptions();
+  rep.usable_kv = engine.usable_kv_capacity();
+  // Serving span: first arrival to last completion (not the idle drain).
+  Seconds first = 0, last = 0;
+  bool any = false;
+  for (const auto& [id, rec] : m.records()) {
+    if (!rec.finished()) continue;
+    if (!any || rec.arrival < first) first = rec.arrival;
+    if (!any || rec.finish > last) last = rec.finish;
+    any = true;
+  }
+  rep.makespan = any ? last - first : 0.0;
+  rep.throughput = any ? static_cast<double>(rep.finished) / std::max(1e-9, rep.makespan) : 0.0;
+  return rep;
+}
+
+}  // namespace hetis::engine

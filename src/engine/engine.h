@@ -1,0 +1,65 @@
+// Serving-engine interface and the trace runner.
+//
+// An Engine owns serving instances and self-schedules iteration events on
+// the simulation; the runner feeds it a request trace and collects the
+// final metrics.  Splitwise, HexGen and Hetis all implement this interface
+// so every experiment harness treats them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/metrics.h"
+#include "sim/simulation.h"
+#include "workload/request.h"
+
+namespace hetis::engine {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before any arrival (engines may schedule periodic events).
+  virtual void start(sim::Simulation& sim) { (void)sim; }
+
+  /// Called at each request's arrival time.
+  virtual void submit(sim::Simulation& sim, const workload::Request& r) = 0;
+
+  /// Total KV-cache bytes the deployment can actually use (Fig. 11).  For
+  /// parameter-split systems this is limited by the first stage to fill up;
+  /// see each engine's implementation.
+  virtual Bytes usable_kv_capacity() const = 0;
+
+  MetricsCollector& metrics() { return metrics_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+
+ protected:
+  MetricsCollector metrics_;
+};
+
+struct RunReport {
+  std::string engine;
+  std::size_t arrived = 0;
+  std::size_t finished = 0;
+  double norm_latency_mean = 0;   // s/token
+  double norm_latency_p95 = 0;
+  double ttft_p95 = 0;
+  double tpot_p95 = 0;
+  double mlp_module_p95 = 0;
+  double attn_module_p95 = 0;
+  double throughput = 0;          // finished requests / makespan
+  int preemptions = 0;
+  Bytes usable_kv = 0;
+  Seconds makespan = 0;
+};
+
+/// Feeds `trace` into the engine on a fresh simulation; runs until the
+/// engine drains or `drain_timeout` seconds pass after the last arrival.
+RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
+                    Seconds drain_timeout = 600.0);
+
+}  // namespace hetis::engine

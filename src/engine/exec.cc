@@ -1,0 +1,106 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetis::engine {
+
+Seconds IterationTime::latency() const {
+  Seconds t = 0;
+  for (const auto& s : stages) t += s.total();
+  return t;
+}
+
+Seconds IterationTime::interval() const {
+  Seconds worst = 0;
+  for (const auto& s : stages) worst = std::max(worst, s.total());
+  return worst;
+}
+
+Seconds IterationTime::mlp_module_latency() const {
+  Seconds worst = 0;
+  for (const auto& s : stages) worst = std::max(worst, s.dense);
+  return worst * static_cast<double>(stages.size());
+}
+
+Seconds IterationTime::attn_module_latency() const {
+  Seconds worst = 0;
+  for (const auto& s : stages) worst = std::max(worst, s.attention);
+  return worst * static_cast<double>(stages.size());
+}
+
+Seconds ExecModel::stage_dense_time(const parallel::StageConfig& stage,
+                                    std::int64_t tokens) const {
+  if (stage.devices.empty() || stage.layers == 0 || tokens <= 0) return 0.0;
+  const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
+  Seconds per_layer = kernel_.dense_layer_time(gpu, *model_, tokens, stage.tp());
+  Seconds collectives = 0;
+  if (stage.tp() > 1) {
+    Bytes hidden_bytes = tokens * model_->hidden * model_->dtype_bytes;
+    // Two all-reduces per layer (post-attention projection, post-MLP).
+    collectives = 2.0 * comm_.allreduce(stage.devices, hidden_bytes);
+  }
+  return (per_layer + collectives) * stage.layers;
+}
+
+Seconds ExecModel::stage_attention_decode(const parallel::StageConfig& stage,
+                                          const std::vector<std::int64_t>& ctxs,
+                                          int heads) const {
+  if (stage.devices.empty() || stage.layers == 0 || ctxs.empty()) return 0.0;
+  const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
+  int heads_per_dev = std::max(1, heads / stage.tp());
+  Seconds per_layer = kernel_.decode_attention_time(gpu, *model_, ctxs, heads_per_dev);
+  return per_layer * stage.layers;
+}
+
+Seconds ExecModel::stage_attention_prefill(const parallel::StageConfig& stage,
+                                           const std::vector<std::int64_t>& lens,
+                                           int heads) const {
+  if (stage.devices.empty() || stage.layers == 0 || lens.empty()) return 0.0;
+  const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
+  int heads_per_dev = std::max(1, heads / stage.tp());
+  Seconds per_layer = kernel_.prefill_attention_time(gpu, *model_, lens, heads_per_dev);
+  return per_layer * stage.layers;
+}
+
+Seconds ExecModel::interstage_comm(const parallel::StageConfig& from,
+                                   const parallel::StageConfig& to,
+                                   std::int64_t tokens) const {
+  if (from.devices.empty() || to.devices.empty()) return 0.0;
+  Bytes hidden_bytes = tokens * model_->hidden * model_->dtype_bytes;
+  return comm_.p2p(from.devices.front(), to.devices.front(), hidden_bytes);
+}
+
+IterationTime ExecModel::iteration_time(const parallel::InstanceConfig& inst,
+                                        const std::vector<std::int64_t>& lens,
+                                        bool prefill) const {
+  IterationTime out;
+  std::int64_t tokens = 0;
+  if (prefill) {
+    for (std::int64_t l : lens) tokens += l;
+  } else {
+    tokens = static_cast<std::int64_t>(lens.size());
+  }
+  out.stages.resize(inst.stages.size());
+  for (std::size_t k = 0; k < inst.stages.size(); ++k) {
+    const auto& stage = inst.stages[k];
+    StageTime& st = out.stages[k];
+    st.dense = stage_dense_time(stage, tokens);
+    st.attention = prefill ? stage_attention_prefill(stage, lens, model_->heads)
+                           : stage_attention_decode(stage, lens, model_->heads);
+    if (k + 1 < inst.stages.size()) {
+      st.comm_out = interstage_comm(stage, inst.stages[k + 1], tokens);
+    }
+  }
+  return out;
+}
+
+Bytes kv_budget(const hw::GpuSpec& gpu, Bytes param_bytes_on_device) {
+  // Reserve ~6% of device memory for activations/workspace plus a 1 GiB
+  // runtime footprint (CUDA context, NCCL buffers).
+  Bytes reserve = static_cast<Bytes>(0.06 * static_cast<double>(gpu.memory)) + 1 * GiB;
+  Bytes budget = gpu.memory - param_bytes_on_device - reserve;
+  return std::max<Bytes>(0, budget);
+}
+
+}  // namespace hetis::engine

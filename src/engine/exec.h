@@ -1,0 +1,82 @@
+// Iteration-time computation shared by all serving engines.
+//
+// A serving instance executes iterations (continuous batching); these
+// helpers turn a batch description plus a pipeline configuration into
+// stage-by-stage latencies using the roofline kernel model and the
+// alpha-beta communication model.
+#pragma once
+
+#include <vector>
+
+#include "costmodel/comm_model.h"
+#include "costmodel/kernel_model.h"
+#include "model/llm.h"
+#include "parallel/plan.h"
+
+namespace hetis::engine {
+
+/// Per-stage timing breakdown of one iteration.
+struct StageTime {
+  Seconds dense = 0;      // QKV + OutProj + MLP (+ TP collectives)
+  Seconds attention = 0;  // self-attention for the stage's layers
+  Seconds comm_out = 0;   // hidden-state handoff to the next stage
+
+  Seconds total() const { return dense + attention + comm_out; }
+};
+
+struct IterationTime {
+  std::vector<StageTime> stages;
+
+  /// End-to-end latency of the iteration through the pipeline.
+  Seconds latency() const;
+  /// Steady-state issue interval under pipelining (slowest stage).
+  Seconds interval() const;
+  /// Paper §7.3 module metric: max per-stage module time x #stages.
+  Seconds mlp_module_latency() const;
+  Seconds attn_module_latency() const;
+};
+
+class ExecModel {
+ public:
+  ExecModel(const hw::Cluster& cluster, const model::ModelSpec& model)
+      : cluster_(&cluster), model_(&model), comm_(cluster) {}
+
+  /// Dense time of `tokens` tokens through one stage (all its layers),
+  /// including per-layer TP all-reduces (2 per layer: after attention
+  /// projection and after MLP).
+  Seconds stage_dense_time(const parallel::StageConfig& stage, std::int64_t tokens) const;
+
+  /// Stage-local attention: each TP member computes heads/tp query heads
+  /// for every sequence.  `ctxs` are per-sequence KV lengths.
+  Seconds stage_attention_decode(const parallel::StageConfig& stage,
+                                 const std::vector<std::int64_t>& ctxs, int heads) const;
+  Seconds stage_attention_prefill(const parallel::StageConfig& stage,
+                                  const std::vector<std::int64_t>& lens, int heads) const;
+
+  /// Hidden-state transfer between consecutive stages for `tokens` tokens.
+  Seconds interstage_comm(const parallel::StageConfig& from, const parallel::StageConfig& to,
+                          std::int64_t tokens) const;
+
+  /// Full iteration through an instance pipeline.  For decode pass the
+  /// per-sequence context lengths; for prefill pass prompt lengths and set
+  /// `prefill` true (tokens = sum of lens).
+  IterationTime iteration_time(const parallel::InstanceConfig& inst,
+                               const std::vector<std::int64_t>& lens, bool prefill) const;
+
+  const costmodel::KernelModel& kernel() const { return kernel_; }
+  const costmodel::CommModel& comm() const { return comm_; }
+  const model::ModelSpec& model_spec() const { return *model_; }
+  const hw::Cluster& cluster() const { return *cluster_; }
+
+ private:
+  const hw::Cluster* cluster_;
+  const model::ModelSpec* model_;
+  costmodel::KernelModel kernel_;
+  costmodel::CommModel comm_;
+};
+
+/// KV-cache budget of a device after reserving parameters + activations.
+/// `param_bytes_on_device` is the model shard resident there.
+Bytes kv_budget(const hw::GpuSpec& gpu, Bytes param_bytes_on_device);
+
+}  // namespace hetis::engine

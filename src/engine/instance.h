@@ -1,0 +1,142 @@
+// PipelineInstance: the shared serving-instance implementation used by the
+// static-parallelism baselines (HexGen, and both pools of Splitwise).
+//
+// Semantics:
+//  * continuous batching: waiting queue + running batch; prefill-priority
+//    iterations with a token budget (vLLM default policy).
+//  * memory: per-stage KV accounting.  Stage k holds kv_per_token * layers_k
+//    bytes per cached token of EVERY running request (token-wise, all-head
+//    blocks, like vLLM).  Admission requires every stage to fit the prompt.
+//  * iterations are serialized; iteration latency is the sum of stage
+//    latencies (single batch in flight -- the standard PP decode model,
+//    also what HexGen's cost model assumes).
+//  * on out-of-memory during decode: LIFO recompute preemption (vLLM
+//    §4.5): the latest-arrived running request is dropped back to the
+//    waiting queue and later re-prefills from scratch.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "engine/exec.h"
+#include "engine/metrics.h"
+#include "parallel/plan.h"
+#include "sim/simulation.h"
+#include "workload/request.h"
+
+namespace hetis::engine {
+
+struct LiveRequest {
+  workload::Request req;
+  std::int64_t generated = 0;
+  bool prefilled = false;
+
+  std::int64_t context() const { return req.prompt_len + generated; }
+  bool done() const { return generated >= req.output_len; }
+};
+
+struct InstanceOptions {
+  std::int64_t max_prefill_tokens = 8192;  // prefill-iteration token budget
+  std::size_t max_batch = 256;             // decode batch cap
+  bool decode_only = false;                // Splitwise decode pool: requests
+                                           // arrive pre-filled
+  bool prefill_only = false;               // Splitwise prefill pool
+  bool defer_first_token = false;          // Splitwise: the first token is
+                                           // only emitted decode-side, after
+                                           // the KV migration lands
+};
+
+class PipelineInstance {
+ public:
+  /// `on_prefill_done`: Splitwise hook -- called instead of joining the
+  /// local running batch when prefill_only is set.
+  using PrefillHandoff = std::function<void(sim::Simulation&, const LiveRequest&)>;
+
+  PipelineInstance(const ExecModel& exec, parallel::InstanceConfig cfg,
+                   MetricsCollector& metrics, InstanceOptions opts, int id);
+
+  /// Enqueues a fresh request (will be prefilled here unless decode_only).
+  void submit(sim::Simulation& sim, const workload::Request& r);
+
+  /// Splitwise: enqueues an already-prefilled request with `context` cached
+  /// tokens to decode here.  Returns false if the prompt can never fit.
+  bool submit_prefilled(sim::Simulation& sim, const LiveRequest& lr);
+
+  /// Splitwise migration protocol: the engine reserves space in the decode
+  /// pool when a migration STARTS (so concurrent decode growth cannot
+  /// steal it), then converts the reservation when the transfer lands.
+  bool reserve_incoming(std::int64_t tokens);
+  void submit_reserved(sim::Simulation& sim, const LiveRequest& lr);
+
+  /// True if the decode pool currently has room for a request of `tokens`
+  /// cached tokens (prompt + margin).  Splitwise uses this to gate
+  /// migrations.
+  bool has_room(std::int64_t tokens) const;
+
+  void set_prefill_handoff(PrefillHandoff cb) { handoff_ = std::move(cb); }
+
+  /// Splitwise: frees the prompt KV a handed-off request still occupies in
+  /// the prefill pool (call when its migration to the decode pool ends).
+  void release_prefilled(const LiveRequest& lr);
+
+  bool idle() const { return inflight_ == 0 && waiting_.empty() && running_.empty(); }
+  std::size_t running_count() const { return running_.size(); }
+  std::size_t waiting_count() const { return waiting_.size(); }
+
+  /// Total KV budget across stages (bytes).
+  Bytes kv_capacity() const;
+  /// Usable KV capacity: bounded by the tightest stage relative to its
+  /// share of per-token bytes (a parameter-split deployment cannot fill
+  /// other stages once one is exhausted -- the paper's Fig. 1b).
+  Bytes usable_kv_capacity() const;
+  Bytes kv_used() const;
+  /// Used fraction of the tightest stage.
+  double fill_fraction() const;
+
+  const parallel::InstanceConfig& config() const { return cfg_; }
+
+ private:
+  // Pipelined issue model: consecutive iterations overlap across pipeline
+  // stages (issue interval = slowest stage), except that a decode
+  // iteration depends on the previous decode's state and therefore
+  // serializes behind it.  Single-stage instances degenerate to strict
+  // serialization.
+  void kick(sim::Simulation& sim);     // alias of pump
+  void pump(sim::Simulation& sim);     // decide + issue iterations
+  void finish_prefill_iteration(sim::Simulation& sim, std::vector<LiveRequest> batch);
+  void finish_decode_iteration(sim::Simulation& sim);
+
+  bool admit(const LiveRequest& lr);              // reserve prompt memory
+  void reserve_tokens(std::int64_t tokens);       // all stages
+  void release_tokens(std::int64_t tokens);
+  bool can_reserve(std::int64_t tokens) const;
+  void preempt_lifo(sim::Simulation& sim);
+
+  const ExecModel* exec_;
+  parallel::InstanceConfig cfg_;
+  MetricsCollector* metrics_;
+  InstanceOptions opts_;
+  int id_;
+
+  std::deque<LiveRequest> waiting_;
+  std::vector<LiveRequest> running_;
+  int inflight_ = 0;               // iterations currently in the pipeline
+  bool decode_inflight_ = false;   // at most one decode at a time
+  Seconds head_free_ = 0;          // when the first stage frees up
+  Seconds decode_done_ = 0;        // completion of the last decode
+
+  // Per-stage memory accounting.
+  std::vector<Bytes> stage_cap_;
+  std::vector<Bytes> stage_used_;
+  std::vector<Bytes> per_token_;  // kv bytes per cached token, per stage
+
+  PrefillHandoff handoff_;
+};
+
+/// Parameter bytes resident on each device of a stage (layer shard / TP +
+/// embedding share on the first and last pipeline stages).
+Bytes stage_param_bytes_per_device(const model::ModelSpec& m, const parallel::StageConfig& s,
+                                   bool first, bool last);
+
+}  // namespace hetis::engine

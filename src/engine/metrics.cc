@@ -1,0 +1,89 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetis::engine {
+
+void MetricsCollector::on_arrival(const workload::Request& r) {
+  RequestRecord rec;
+  rec.id = r.id;
+  rec.arrival = r.arrival;
+  rec.prompt_len = r.prompt_len;
+  rec.output_len = r.output_len;
+  auto [it, inserted] = records_.emplace(r.id, rec);
+  if (!inserted) throw std::logic_error("MetricsCollector: duplicate arrival");
+}
+
+void MetricsCollector::on_first_token(workload::RequestId id, Seconds t) {
+  auto it = records_.find(id);
+  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
+  // A preempted-and-recomputed request keeps its original first-token time.
+  if (it->second.first_token < 0) it->second.first_token = t;
+}
+
+void MetricsCollector::on_finish(workload::RequestId id, Seconds t) {
+  auto it = records_.find(id);
+  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
+  it->second.finish = t;
+}
+
+void MetricsCollector::on_preemption(workload::RequestId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
+  ++it->second.preemptions;
+}
+
+void MetricsCollector::add_decode_module_sample(Seconds mlp_time, Seconds attn_time) {
+  mlp_module_.add(mlp_time);
+  attn_module_.add(attn_time);
+}
+
+std::size_t MetricsCollector::finished() const {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.finished()) ++n;
+  }
+  return n;
+}
+
+Summary MetricsCollector::norm_latency() const {
+  Summary s;
+  for (const auto& [id, rec] : records_) {
+    if (rec.finished()) s.add(rec.norm_latency());
+  }
+  return s;
+}
+
+Summary MetricsCollector::ttft() const {
+  Summary s;
+  for (const auto& [id, rec] : records_) {
+    if (rec.first_token >= 0) s.add(rec.ttft());
+  }
+  return s;
+}
+
+Summary MetricsCollector::tpot() const {
+  Summary s;
+  for (const auto& [id, rec] : records_) {
+    if (rec.finished() && rec.output_len > 1) s.add(rec.tpot());
+  }
+  return s;
+}
+
+int MetricsCollector::total_preemptions() const {
+  int n = 0;
+  for (const auto& [id, rec] : records_) n += rec.preemptions;
+  return n;
+}
+
+std::string MetricsCollector::summary_string() const {
+  std::ostringstream oss;
+  oss << "arrived=" << arrived() << " finished=" << finished()
+      << " norm_latency(mean)=" << norm_latency().mean() << "s/tok"
+      << " ttft(p95)=" << ttft().p95() << "s tpot(p95)=" << tpot().p95() << "s"
+      << " preemptions=" << total_preemptions();
+  return oss.str();
+}
+
+}  // namespace hetis::engine

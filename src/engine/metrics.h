@@ -1,0 +1,83 @@
+// Serving metrics (paper §7: normalized latency, TTFT, TPOT, module-level
+// latency, cache usage time series).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "workload/request.h"
+
+namespace hetis::engine {
+
+struct RequestRecord {
+  workload::RequestId id = -1;
+  Seconds arrival = 0;
+  Seconds first_token = -1;  // prefill completion (TTFT reference)
+  Seconds finish = -1;
+  std::int64_t prompt_len = 0;
+  std::int64_t output_len = 0;
+  int preemptions = 0;
+
+  bool finished() const { return finish >= 0; }
+  Seconds ttft() const { return first_token - arrival; }
+  /// Time-per-output-token over the decode phase.
+  Seconds tpot() const {
+    if (output_len <= 1) return 0.0;
+    return (finish - first_token) / static_cast<double>(output_len - 1);
+  }
+  /// The paper's normalized end-to-end latency (s/token).
+  Seconds norm_latency() const {
+    return (finish - arrival) / static_cast<double>(std::max<std::int64_t>(1, output_len));
+  }
+};
+
+/// One sample of the Fig. 14 time series.
+struct UsageSample {
+  Seconds time = 0;
+  int device = -1;
+  double cache_used_fraction = 0;  // of the device's KV budget
+  double heads = 0;                // query heads resident
+};
+
+class MetricsCollector {
+ public:
+  void on_arrival(const workload::Request& r);
+  void on_first_token(workload::RequestId id, Seconds t);
+  void on_finish(workload::RequestId id, Seconds t);
+  void on_preemption(workload::RequestId id);
+
+  /// Module-latency accounting (§7.3): per decode iteration, the max
+  /// per-stage module time multiplied by the number of stages.
+  void add_decode_module_sample(Seconds mlp_time, Seconds attn_time);
+
+  void add_usage_sample(const UsageSample& s) { usage_.push_back(s); }
+
+  // --- Aggregation ---
+  std::size_t arrived() const { return records_.size(); }
+  std::size_t finished() const;
+
+  /// Normalized latency (s/token) over finished requests.
+  Summary norm_latency() const;
+  Summary ttft() const;
+  Summary tpot() const;
+  Summary mlp_module_time() const { return mlp_module_; }
+  Summary attn_module_time() const { return attn_module_; }
+  int total_preemptions() const;
+
+  const std::vector<UsageSample>& usage_series() const { return usage_; }
+  const std::map<workload::RequestId, RequestRecord>& records() const { return records_; }
+
+  std::string summary_string() const;
+
+ private:
+  std::map<workload::RequestId, RequestRecord> records_;
+  Summary mlp_module_;
+  Summary attn_module_;
+  std::vector<UsageSample> usage_;
+};
+
+}  // namespace hetis::engine

@@ -1,0 +1,41 @@
+#include "hauler/hauler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetis::hauler {
+
+Hauler::Hauler(const hw::Cluster& cluster, HaulerOptions opts) : cluster_(&cluster), opts_(opts) {
+  if (opts_.bandwidth_share <= 0.0 || opts_.bandwidth_share > 1.0) {
+    throw std::invalid_argument("Hauler: bandwidth_share must be in (0, 1]");
+  }
+}
+
+std::pair<int, int> Hauler::channel_key(int src, int dst) const {
+  // One background channel per (src-host, dst-host) pair.
+  int hs = cluster_->device(src).host;
+  int hd = cluster_->device(dst).host;
+  return {hs, hd};
+}
+
+Seconds Hauler::migrate(int src, int dst, Bytes bytes, Seconds now) {
+  if (bytes <= 0 || src == dst) return now;
+  hw::Link link = cluster_->link(src, dst);
+  Seconds duration =
+      link.latency + static_cast<double>(bytes) / (link.bandwidth * opts_.bandwidth_share);
+  auto key = channel_key(src, dst);
+  Seconds start = std::max(now, busy_until_.count(key) ? busy_until_[key] : 0.0);
+  Seconds done = start + duration;
+  busy_until_[key] = done;
+  total_bytes_ += bytes;
+  ++total_migrations_;
+  return done;
+}
+
+Seconds Hauler::channel_busy_until(int src, int dst) const {
+  auto key = channel_key(src, dst);
+  auto it = busy_until_.find(key);
+  return it == busy_until_.end() ? 0.0 : it->second;
+}
+
+}  // namespace hetis::hauler

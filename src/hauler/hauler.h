@@ -1,0 +1,51 @@
+// The Hauler (paper §3.2 module 4, §6 "live cache migration").
+//
+// Executes KV-cache migrations on a background channel modeled after
+// low-priority CUDA streams + dedicated NCCL P2P groups: migrations never
+// delay foreground compute/collectives (the "interference-free" property),
+// but they only receive a fraction of each link's bandwidth and serialize
+// per (src-host, dst-host) channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/units.h"
+#include "hw/topology.h"
+
+namespace hetis::hauler {
+
+struct HaulerOptions {
+  /// Fraction of link bandwidth the low-priority stream receives while
+  /// foreground traffic has priority.
+  double bandwidth_share = 0.5;
+};
+
+class Hauler {
+ public:
+  Hauler(const hw::Cluster& cluster, HaulerOptions opts = {});
+
+  /// Schedules `bytes` from device `src` to device `dst` starting no
+  /// earlier than `now`; returns the completion time.  Transfers on the
+  /// same host-pair channel serialize; distinct channels proceed in
+  /// parallel.
+  Seconds migrate(int src, int dst, Bytes bytes, Seconds now);
+
+  /// Completion time the channel between src and dst is busy until.
+  Seconds channel_busy_until(int src, int dst) const;
+
+  /// Total bytes migrated so far (reporting).
+  Bytes total_bytes() const { return total_bytes_; }
+  std::int64_t total_migrations() const { return total_migrations_; }
+
+ private:
+  std::pair<int, int> channel_key(int src, int dst) const;
+
+  const hw::Cluster* cluster_;
+  HaulerOptions opts_;
+  std::map<std::pair<int, int>, Seconds> busy_until_;
+  Bytes total_bytes_ = 0;
+  std::int64_t total_migrations_ = 0;
+};
+
+}  // namespace hetis::hauler

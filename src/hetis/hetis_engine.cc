@@ -1,0 +1,449 @@
+#include "hetis/hetis_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace hetis::core {
+
+namespace {
+
+/// Applies the Fig. 16(b) error-injection: each fitted coefficient is
+/// scaled by (1 +- profile_error), sign chosen by a seeded coin so errors
+/// do not systematically cancel.
+costmodel::ProfileResult inject_error(costmodel::ProfileResult profile, double err,
+                                      std::uint64_t seed,
+                                      HetisOptions::ErrorTarget target) {
+  if (err == 0.0) return profile;
+  using ET = HetisOptions::ErrorTarget;
+  Rng rng(seed ^ 0xE44Au);
+  auto sign = [&rng] { return rng.bernoulli(0.5) ? 1.0 : -1.0; };
+  auto err_if = [&](ET which) {
+    double s = err * sign();  // consume the stream deterministically
+    return (target == ET::kAll || target == which) ? s : 0.0;
+  };
+  for (auto& [dev, prof] : profile.devices) {
+    prof.attn = prof.attn.perturbed(err_if(ET::kA), err_if(ET::kB), err_if(ET::kC));
+  }
+  for (auto& [link, prof] : profile.links) {
+    prof.transfer = prof.transfer.perturbed(err_if(ET::kGamma), err_if(ET::kBeta));
+  }
+  return profile;
+}
+
+}  // namespace
+
+HetisEngine::HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                         HetisOptions opts)
+    : opts_(opts), exec_(cluster, model), hauler_(cluster) {
+  parallel::Parallelizer parallelizer(cluster, model, opts_.search);
+  plan_ = parallelizer.plan(opts_.workload);
+  costmodel::ProfilerOptions popts;
+  popts.seed = opts_.profile_seed;
+  costmodel::Profiler profiler(cluster, model, popts);
+  profile_ = inject_error(profiler.profile_all(), opts_.profile_error, opts_.profile_seed,
+                          opts_.profile_error_target);
+  build_instances(cluster, model);
+}
+
+HetisEngine::HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                         HetisOptions opts, parallel::ParallelPlan plan)
+    : opts_(opts), exec_(cluster, model), plan_(std::move(plan)), hauler_(cluster) {
+  costmodel::ProfilerOptions popts;
+  popts.seed = opts_.profile_seed;
+  costmodel::Profiler profiler(cluster, model, popts);
+  profile_ = inject_error(profiler.profile_all(), opts_.profile_error, opts_.profile_seed,
+                          opts_.profile_error_target);
+  build_instances(cluster, model);
+}
+
+HetisEngine::~HetisEngine() = default;
+
+void HetisEngine::build_instances(const hw::Cluster& cluster, const model::ModelSpec& model) {
+  (void)cluster;
+  (void)model;
+  int id = 0;
+  for (const auto& inst : plan_.instances) {
+    instances_.push_back(std::make_unique<HetisInstance>(exec_, inst, profile_, metrics_,
+                                                         hauler_, opts_, id++));
+  }
+}
+
+void HetisEngine::start(sim::Simulation& sim) {
+  if (opts_.sample_interval > 0) {
+    // Periodic Fig. 14 usage sampling via a self-chaining event.
+    auto chain = std::make_shared<std::function<void()>>();
+    *chain = [this, &sim, chain]() {
+      for (auto& inst : instances_) inst->sample_usage(sim);
+      if (opts_.sample_horizon <= 0 || sim.now() < opts_.sample_horizon) {
+        sim.schedule_in(opts_.sample_interval, *chain);
+      }
+    };
+    sim.schedule_in(opts_.sample_interval, *chain);
+  }
+}
+
+void HetisEngine::submit(sim::Simulation& sim, const workload::Request& r) {
+  metrics_.on_arrival(r);
+  HetisInstance* best = instances_.front().get();
+  for (auto& inst : instances_) {
+    if (inst->fill_fraction() < best->fill_fraction()) best = inst.get();
+  }
+  best->submit(sim, r);
+}
+
+Bytes HetisEngine::usable_kv_capacity() const {
+  // Head-wise placement makes every byte of every pool usable (§2.4 O2).
+  Bytes total = 0;
+  for (const auto& inst : instances_) total += inst->kv_capacity();
+  return total;
+}
+
+int HetisEngine::rescue_redispatches() const {
+  int n = 0;
+  for (const auto& inst : instances_) n += inst->rescue_redispatches();
+  return n;
+}
+
+int HetisEngine::balance_redispatches() const {
+  int n = 0;
+  for (const auto& inst : instances_) n += inst->balance_redispatches();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// HetisInstance
+// ---------------------------------------------------------------------------
+
+dispatch::DispatcherConfig HetisInstance::make_dispatcher_config(
+    const parallel::InstanceConfig& cfg, const costmodel::ProfileResult& profile,
+    const HetisOptions& opts) const {
+  const model::ModelSpec& m = exec_->model_spec();
+  dispatch::DispatcherConfig dc;
+  dc.heads = m.heads;
+  dc.group_size = m.gqa_ratio();
+  dc.bytes_per_head_token_layer =
+      2.0 * m.head_dim() * m.dtype_bytes / static_cast<double>(m.gqa_ratio());
+  dc.total_layers = m.layers;
+  dc.theta = opts.theta;
+  dc.use_lp = opts.use_lp;
+
+  for (std::size_t k = 0; k < cfg.stages.size(); ++k) {
+    const auto& s = cfg.stages[k];
+    dispatch::StageDesc sd;
+    sd.devices = s.devices;
+    sd.layers = s.layers;
+    sd.attn = profile.attn(s.devices.front());
+    Bytes params =
+        engine::stage_param_bytes_per_device(m, s, k == 0, k + 1 == cfg.stages.size());
+    Bytes cap = 0;
+    for (int dev : s.devices) cap += engine::kv_budget(exec_->cluster().device(dev).spec(), params);
+    sd.capacity = cap;
+    dc.stages.push_back(std::move(sd));
+  }
+  for (int dev : cfg.attention_workers) {
+    dispatch::WorkerDesc wd;
+    wd.device = dev;
+    wd.attn = profile.attn(dev);
+    // Worst-case link to any stage representative (conservative).
+    costmodel::TransferParams worst{};
+    for (const auto& s : cfg.stages) {
+      if (profile.has_link(s.devices.front(), dev)) {
+        const auto& tp = profile.transfer(s.devices.front(), dev);
+        worst.gamma = std::max(worst.gamma, tp.gamma);
+        worst.beta = std::max(worst.beta, tp.beta);
+      }
+    }
+    wd.transfer = worst;
+    wd.capacity = engine::kv_budget(exec_->cluster().device(dev).spec(), 0);
+    dc.workers.push_back(std::move(wd));
+  }
+  return dc;
+}
+
+HetisInstance::HetisInstance(const engine::ExecModel& exec, const parallel::InstanceConfig& cfg,
+                             const costmodel::ProfileResult& profile,
+                             engine::MetricsCollector& metrics, hauler::Hauler& hauler,
+                             const HetisOptions& opts, int id)
+    : exec_(&exec),
+      cfg_(cfg),
+      metrics_(&metrics),
+      hauler_(&hauler),
+      opts_(opts),
+      id_(id),
+      dispatcher_(make_dispatcher_config(cfg, profile, opts)) {}
+
+double HetisInstance::fill_fraction() const {
+  double worst = 0;
+  for (std::size_t i = 0; i < dispatcher_.num_logical(); ++i) {
+    Bytes cap = dispatcher_.device_capacity(i);
+    if (cap > 0) {
+      worst = std::max(worst, static_cast<double>(dispatcher_.device_used(i)) /
+                                  static_cast<double>(cap));
+    }
+  }
+  return worst;
+}
+
+Bytes HetisInstance::kv_capacity() const {
+  Bytes total = 0;
+  for (std::size_t i = 0; i < dispatcher_.num_logical(); ++i) {
+    total += dispatcher_.device_capacity(i);
+  }
+  return total;
+}
+
+void HetisInstance::submit(sim::Simulation& sim, const workload::Request& r) {
+  engine::LiveRequest lr;
+  lr.req = r;
+  waiting_.push_back(lr);
+  kick(sim);
+}
+
+void HetisInstance::sample_usage(sim::Simulation& sim) {
+  for (const auto& s : cfg_.stages) {
+    for (int dev : s.devices) {
+      metrics_->add_usage_sample(engine::UsageSample{
+          sim.now(), dev, dispatcher_.physical_cache_fraction(dev),
+          dispatcher_.physical_heads(dev)});
+    }
+  }
+  for (int dev : cfg_.attention_workers) {
+    metrics_->add_usage_sample(engine::UsageSample{sim.now(), dev,
+                                                   dispatcher_.physical_cache_fraction(dev),
+                                                   dispatcher_.physical_heads(dev)});
+  }
+}
+
+void HetisInstance::kick(sim::Simulation& sim) { pump(sim); }
+
+void HetisInstance::pump(sim::Simulation& sim) {
+  const int max_inflight = std::max<int>(1, static_cast<int>(cfg_.stages.size()));
+  while (inflight_ < max_inflight) {
+    // --- Prefill-priority admission via the dispatch LP (Eq. 7) ---
+    std::vector<engine::LiveRequest> prefill_batch;
+    std::int64_t budget = opts_.max_prefill_tokens;
+    while (!waiting_.empty() && running_.size() + prefill_batch.size() < opts_.max_batch &&
+           budget > 0) {
+      engine::LiveRequest& head = waiting_.front();
+      if (head.req.prompt_len > budget && !prefill_batch.empty()) break;
+      // Dispatch this request's heads (reserves memory at its destinations).
+      std::vector<std::pair<workload::RequestId, std::int64_t>> one{
+          {head.req.id, head.req.prompt_len + 1}};
+      auto placed = dispatcher_.dispatch(one, sim.now());
+      if (!placed) break;  // instance cannot host it right now
+      budget -= head.req.prompt_len;
+      prefill_batch.push_back(head);
+      waiting_.pop_front();
+    }
+
+    if (!prefill_batch.empty()) {
+      std::vector<std::int64_t> lens;
+      for (const auto& lr : prefill_batch) lens.push_back(lr.req.prompt_len);
+      // Prefill (dense + attention) runs entirely on the primary pipeline
+      // (design idea I1: compute-intensive phases stay on capable devices).
+      parallel::InstanceConfig primary_only;
+      primary_only.stages = cfg_.stages;
+      engine::IterationTime it = exec_->iteration_time(primary_only, lens, /*prefill=*/true);
+      Seconds issue = std::max(sim.now(), head_free_);
+      head_free_ = issue + it.interval();
+      ++inflight_;
+      sim.schedule_at(issue + it.latency(),
+                      [this, &sim, batch = std::move(prefill_batch)]() mutable {
+                        finish_prefill(sim, std::move(batch));
+                      });
+      continue;
+    }
+
+    if (decode_inflight_) return;
+
+    // --- Decode iteration over non-suspended running requests ---
+    std::vector<workload::RequestId> decoded;
+    std::vector<std::int64_t> ctxs;
+    for (auto& [id, lr] : running_) {
+      auto sit = suspended_until_.find(id);
+      if (sit != suspended_until_.end()) {
+        if (sim.now() < sit->second) continue;
+        suspended_until_.erase(sit);
+      }
+      decoded.push_back(id);
+      ctxs.push_back(lr.context());
+    }
+
+    if (decoded.empty()) {
+      if (!suspended_until_.empty() && !wake_scheduled_) {
+        // Wake when the earliest migration lands.
+        Seconds wake = std::numeric_limits<double>::infinity();
+        for (const auto& [id, t] : suspended_until_) wake = std::min(wake, t);
+        wake_scheduled_ = true;
+        sim.schedule_at(wake, [this, &sim] {
+          wake_scheduled_ = false;
+          pump(sim);
+        });
+      }
+      return;
+    }
+
+    // Dense part on the primary pipeline; attention via the dispatcher's
+    // fine-grained placement.
+    Seconds dense = 0;
+    Seconds worst_stage = 0;
+    for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
+      Seconds stage = exec_->stage_dense_time(cfg_.stages[k],
+                                              static_cast<std::int64_t>(decoded.size()));
+      dense += stage;
+      worst_stage = std::max(worst_stage, stage);
+      if (k + 1 < cfg_.stages.size()) {
+        dense += exec_->interstage_comm(cfg_.stages[k], cfg_.stages[k + 1],
+                                        static_cast<std::int64_t>(decoded.size()));
+      }
+    }
+    Seconds attn = dispatcher_.attention_iteration_time();
+
+    // Module metrics (§7.3): max per-stage dense x #stages; attention total.
+    metrics_->add_decode_module_sample(worst_stage * static_cast<double>(cfg_.stages.size()),
+                                       attn);
+
+    Seconds latency = dense + attn;
+    // The slowest stage (including its attention share) gates the pipeline.
+    Seconds interval =
+        worst_stage + attn / static_cast<double>(std::max<std::size_t>(1, cfg_.stages.size()));
+    Seconds issue = std::max({sim.now(), head_free_, decode_done_});
+    head_free_ = issue + interval;
+    decode_done_ = issue + latency;
+    decode_inflight_ = true;
+    ++inflight_;
+    sim.schedule_at(issue + latency, [this, &sim, decoded = std::move(decoded)]() mutable {
+      finish_decode(sim, std::move(decoded));
+    });
+    return;
+  }
+}
+
+Seconds HetisInstance::ship_offloaded_kv(sim::Simulation& sim, workload::RequestId id) {
+  const dispatch::PlacementCounts& pc = dispatcher_.placement(id);
+  const model::ModelSpec& m = exec_->model_spec();
+  const double bph = 2.0 * m.head_dim() * m.dtype_bytes / m.gqa_ratio();
+  std::int64_t ctx = dispatcher_.context(id);
+  int src = cfg_.stages.front().devices.front();
+  Seconds done = sim.now();
+  for (std::size_t w = 0; w < pc.worker_heads.size(); ++w) {
+    if (pc.worker_heads[w] <= 0) continue;
+    Bytes bytes = static_cast<Bytes>(static_cast<double>(pc.worker_heads[w]) * ctx * bph *
+                                     m.layers);
+    int dst = cfg_.attention_workers[w];
+    done = std::max(done, hauler_->migrate(src, dst, bytes, sim.now()));
+  }
+  return done;
+}
+
+void HetisInstance::finish_prefill(sim::Simulation& sim, std::vector<engine::LiveRequest> batch) {
+  for (auto& lr : batch) {
+    lr.prefilled = true;
+    lr.generated = 1;
+    metrics_->on_first_token(lr.req.id, sim.now());
+    if (lr.done()) {
+      dispatcher_.remove(lr.req.id);
+      metrics_->on_finish(lr.req.id, sim.now());
+      continue;
+    }
+    // Ship offloaded heads' prompt KV in the background; the request only
+    // resumes decoding once its cache is in place.
+    Seconds ready = ship_offloaded_kv(sim, lr.req.id);
+    if (ready > sim.now()) suspended_until_[lr.req.id] = ready;
+    running_[lr.req.id] = lr;
+  }
+  --inflight_;
+  pump(sim);
+}
+
+void HetisInstance::finish_decode(sim::Simulation& sim,
+                                  std::vector<workload::RequestId> decoded) {
+  ++decode_iterations_;
+  for (workload::RequestId id : decoded) {
+    auto it = running_.find(id);
+    if (it == running_.end()) continue;  // preempted mid-flight
+    it->second.generated += 1;
+    if (it->second.done()) {
+      dispatcher_.remove(id);
+      metrics_->on_finish(id, sim.now());
+      running_.erase(it);
+    } else {
+      dispatcher_.append_token(id);
+    }
+  }
+  resolve_memory_pressure(sim);
+  if (opts_.enable_redispatch && decode_iterations_ % opts_.redispatch_period == 0) {
+    maybe_rebalance(sim);
+  }
+  --inflight_;
+  decode_inflight_ = false;
+  pump(sim);
+}
+
+void HetisInstance::resolve_memory_pressure(sim::Simulation& sim) {
+  // §5.3.2: on exhaustion, prefer re-dispatching the device-local LIFO
+  // victim into the cluster's spare memory; preempt only when no spare
+  // memory remains.
+  for (int guard = 0; guard < 64; ++guard) {
+    auto over = dispatcher_.first_overflowed();
+    if (!over) return;
+    workload::RequestId victim = dispatcher_.evict_candidate_on(*over);
+    if (victim < 0) return;
+    if (opts_.enable_redispatch && dispatcher_.has_global_spare()) {
+      dispatch::Rebalance rb = dispatcher_.plan_rescue(victim);
+      if (rb.valid) {
+        // The rescue must actually relieve the overflowed device.
+        execute_rebalance(sim, rb);
+        ++rescue_count_;
+        auto still = dispatcher_.first_overflowed();
+        if (still && *still == *over) {
+          // No relief: fall through to preemption of the next candidate.
+          preempt(sim, dispatcher_.evict_candidate_on(*over));
+        }
+        continue;
+      }
+    }
+    preempt(sim, victim);
+  }
+}
+
+void HetisInstance::maybe_rebalance(sim::Simulation& sim) {
+  // §5.3.1: trigger when the bottleneck exceeds (1 + Theta) x ideal.
+  if (!dispatcher_.should_rebalance()) return;
+  dispatch::Rebalance rb = dispatcher_.plan_rebalance();
+  if (!rb.valid) return;
+  execute_rebalance(sim, rb);
+  ++balance_count_;
+}
+
+void HetisInstance::execute_rebalance(sim::Simulation& sim, const dispatch::Rebalance& rb) {
+  dispatcher_.apply(rb);
+  if (rb.moved_bytes > 0 && rb.src_device != rb.dst_device) {
+    Seconds done = hauler_->migrate(rb.src_device, rb.dst_device, rb.moved_bytes, sim.now());
+    if (done > sim.now()) {
+      auto it = suspended_until_.find(rb.victim);
+      suspended_until_[rb.victim] =
+          it == suspended_until_.end() ? done : std::max(it->second, done);
+    }
+  }
+}
+
+void HetisInstance::preempt(sim::Simulation& sim, workload::RequestId id) {
+  (void)sim;
+  auto it = running_.find(id);
+  if (it == running_.end() || id < 0) return;
+  engine::LiveRequest lr = it->second;
+  running_.erase(it);
+  suspended_until_.erase(id);
+  dispatcher_.remove(id);
+  metrics_->on_preemption(id);
+  lr.prefilled = false;
+  lr.generated = 0;
+  waiting_.push_front(lr);
+}
+
+}  // namespace hetis::core

@@ -1,0 +1,142 @@
+// HetisEngine: the paper's system (§3-§6) assembled on the simulation
+// substrate.
+//
+// Pipeline: Profiler fits Eq. 3/4 per device -> Parallelizer (§4.1) selects
+// primary stages + Attention workers -> each instance runs continuous
+// batching where decode Attention is placed per request, at head
+// granularity, by the Dispatcher's LP (§5.2), re-balanced online (§5.3),
+// with KV movement executed by the Hauler on a low-priority channel (§6).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "costmodel/profiler.h"
+#include "dispatch/dispatcher.h"
+#include "engine/engine.h"
+#include "engine/exec.h"
+#include "engine/instance.h"
+#include "hauler/hauler.h"
+#include "parallel/parallelizer.h"
+
+namespace hetis::core {
+
+struct HetisOptions {
+  double theta = 0.5;              // re-dispatch trigger (paper default)
+  bool enable_redispatch = true;   // Fig. 15a ablation: false = plain LIFO
+  bool use_lp = true;              // false = greedy dispatch (ablation)
+  int redispatch_period = 16;      // decode iterations between f* checks
+  std::int64_t max_prefill_tokens = 8192;
+  std::size_t max_batch = 256;
+
+  // Profiling controls (Fig. 16b).
+  std::uint64_t profile_seed = 2025;
+  double profile_error = 0.0;      // +-fraction applied to fitted coefficients
+  // Which coefficient family the error hits (the paper sweeps each of
+  // a, b, c, gamma, beta separately).
+  enum class ErrorTarget { kAll, kA, kB, kC, kGamma, kBeta };
+  ErrorTarget profile_error_target = ErrorTarget::kAll;
+
+  // Fig. 14 instrumentation: sample device usage every `sample_interval`
+  // seconds (0 disables).
+  Seconds sample_interval = 0.0;
+  Seconds sample_horizon = 0.0;
+
+  // Parallelizer inputs.
+  parallel::WorkloadProfile workload;
+  parallel::ParallelizerOptions search;
+};
+
+class HetisInstance;
+
+class HetisEngine : public engine::Engine {
+ public:
+  HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model, HetisOptions opts = {});
+  /// With an externally-fixed plan (ablations / tests).
+  HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model, HetisOptions opts,
+              parallel::ParallelPlan plan);
+  ~HetisEngine() override;
+
+  std::string name() const override { return "Hetis"; }
+  void start(sim::Simulation& sim) override;
+  void submit(sim::Simulation& sim, const workload::Request& r) override;
+  Bytes usable_kv_capacity() const override;
+
+  const parallel::ParallelPlan& plan() const { return plan_; }
+  const costmodel::ProfileResult& profile() const { return profile_; }
+  Bytes migrated_bytes() const { return hauler_.total_bytes(); }
+  std::int64_t migrations() const { return hauler_.total_migrations(); }
+  int rescue_redispatches() const;
+  int balance_redispatches() const;
+
+ private:
+  void build_instances(const hw::Cluster& cluster, const model::ModelSpec& model);
+
+  HetisOptions opts_;
+  engine::ExecModel exec_;
+  parallel::ParallelPlan plan_;
+  costmodel::ProfileResult profile_;
+  hauler::Hauler hauler_;
+  std::vector<std::unique_ptr<HetisInstance>> instances_;
+};
+
+/// One Hetis serving instance (primary pipeline + attention-worker pool).
+class HetisInstance {
+ public:
+  HetisInstance(const engine::ExecModel& exec, const parallel::InstanceConfig& cfg,
+                const costmodel::ProfileResult& profile, engine::MetricsCollector& metrics,
+                hauler::Hauler& hauler, const HetisOptions& opts, int id);
+
+  void submit(sim::Simulation& sim, const workload::Request& r);
+  void sample_usage(sim::Simulation& sim);
+
+  /// Fill fraction for routing (max over logical devices).
+  double fill_fraction() const;
+  Bytes kv_capacity() const;
+
+  int rescue_redispatches() const { return rescue_count_; }
+  int balance_redispatches() const { return balance_count_; }
+  const dispatch::Dispatcher& dispatcher() const { return dispatcher_; }
+
+ private:
+  void kick(sim::Simulation& sim);   // alias of pump
+  void pump(sim::Simulation& sim);   // pipelined iteration issue
+  void finish_prefill(sim::Simulation& sim, std::vector<engine::LiveRequest> batch);
+  void finish_decode(sim::Simulation& sim, std::vector<workload::RequestId> decoded);
+  void resolve_memory_pressure(sim::Simulation& sim);
+  void maybe_rebalance(sim::Simulation& sim);
+  void preempt(sim::Simulation& sim, workload::RequestId id);
+  /// Post-prefill: ship offloaded heads' prompt KV to workers; returns the
+  /// completion time (== now when nothing is offloaded).
+  Seconds ship_offloaded_kv(sim::Simulation& sim, workload::RequestId id);
+  /// Executes a planned rebalance: apply + migrate + suspend the victim.
+  void execute_rebalance(sim::Simulation& sim, const dispatch::Rebalance& rb);
+
+  dispatch::DispatcherConfig make_dispatcher_config(const parallel::InstanceConfig& cfg,
+                                                    const costmodel::ProfileResult& profile,
+                                                    const HetisOptions& opts) const;
+
+  const engine::ExecModel* exec_;
+  parallel::InstanceConfig cfg_;
+  engine::MetricsCollector* metrics_;
+  hauler::Hauler* hauler_;
+  HetisOptions opts_;
+  int id_;
+
+  dispatch::Dispatcher dispatcher_;
+  std::deque<engine::LiveRequest> waiting_;
+  std::map<workload::RequestId, engine::LiveRequest> running_;
+  std::map<workload::RequestId, Seconds> suspended_until_;
+  int inflight_ = 0;
+  bool decode_inflight_ = false;
+  bool wake_scheduled_ = false;
+  Seconds head_free_ = 0;
+  Seconds decode_done_ = 0;
+  std::int64_t decode_iterations_ = 0;
+  int rescue_count_ = 0;
+  int balance_count_ = 0;
+};
+
+}  // namespace hetis::core

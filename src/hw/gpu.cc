@@ -1,0 +1,146 @@
+#include "hw/gpu.h"
+
+#include <stdexcept>
+
+namespace hetis::hw {
+
+const char* to_string(GpuType type) {
+  switch (type) {
+    case GpuType::kA100_80G: return "A100";
+    case GpuType::kRTX3090: return "3090";
+    case GpuType::kP100: return "P100";
+    case GpuType::kV100_32G: return "V100";
+    case GpuType::kT4: return "T4";
+    case GpuType::kL4: return "L4";
+    case GpuType::kA6000: return "A6000";
+    case GpuType::kH100_80G: return "H100";
+  }
+  return "?";
+}
+
+namespace {
+
+// Calibration notes (targets are the paper's Table 1; OPT-2.7B, prefill
+// batch 3 x 256 tokens, decode batch 25 @ ctx 256):
+//   A100 : prefill 0.060 s, decode 0.0097 s    (reference device)
+//   3090 : prefill 2.45x A100, decode 1.47x
+//   P100 : prefill 24.5x A100, decode 7.93x
+// bench_table1_device_gap verifies the reproduction.
+std::vector<GpuSpec> make_catalog() {
+  std::vector<GpuSpec> specs;
+
+  specs.push_back(GpuSpec{
+      .type = GpuType::kA100_80G,
+      .name = "A100",
+      .memory = 80 * GiB,
+      .peak_fp16_flops = 312 * TERA,
+      .mem_bandwidth = 2039e9,
+      .dense_eff = 0.50,
+      .dense_membw_eff = 0.55,
+      .attn_membw_eff = 0.55,
+      .kernel_overhead = micros(3),
+      .attn_head_cost = 20e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kRTX3090,
+      .name = "3090",
+      .memory = 24 * GiB,
+      .peak_fp16_flops = 142 * TERA,
+      .mem_bandwidth = 936e9,
+      .dense_eff = 0.45,
+      .dense_membw_eff = 0.60,
+      .attn_membw_eff = 0.65,
+      .kernel_overhead = micros(4),
+      .attn_head_cost = 45e-9,
+  });
+  specs.push_back(GpuSpec{
+      // The paper's cluster hosts the 12 GB PCIe variant.
+      .type = GpuType::kP100,
+      .name = "P100",
+      .memory = 12 * GiB,
+      .peak_fp16_flops = 19.05 * TERA,
+      .mem_bandwidth = 549e9,      // 12GB variant bandwidth
+      .dense_eff = 0.33,           // no tensor cores; poor GEMM efficiency
+      .dense_membw_eff = 0.22,     // decode GEMV on Pascal is notoriously bad
+      .attn_membw_eff = 0.62,      // streaming attention is still fine
+      .kernel_overhead = micros(8),
+      .attn_head_cost = 110e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kV100_32G,
+      .name = "V100",
+      .memory = 32 * GiB,
+      .peak_fp16_flops = 125 * TERA,
+      .mem_bandwidth = 900e9,
+      .dense_eff = 0.45,
+      .dense_membw_eff = 0.55,
+      .attn_membw_eff = 0.58,
+      .kernel_overhead = micros(4),
+      .attn_head_cost = 40e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kT4,
+      .name = "T4",
+      .memory = 16 * GiB,
+      .peak_fp16_flops = 65 * TERA,
+      .mem_bandwidth = 300e9,
+      .dense_eff = 0.35,
+      .dense_membw_eff = 0.50,
+      .attn_membw_eff = 0.60,
+      .kernel_overhead = micros(6),
+      .attn_head_cost = 90e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kL4,
+      .name = "L4",
+      .memory = 24 * GiB,
+      .peak_fp16_flops = 121 * TERA,
+      .mem_bandwidth = 300e9,
+      .dense_eff = 0.45,
+      .dense_membw_eff = 0.55,
+      .attn_membw_eff = 0.62,
+      .kernel_overhead = micros(4),
+      .attn_head_cost = 60e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kA6000,
+      .name = "A6000",
+      .memory = 48 * GiB,
+      .peak_fp16_flops = 155 * TERA,
+      .mem_bandwidth = 768e9,
+      .dense_eff = 0.47,
+      .dense_membw_eff = 0.58,
+      .attn_membw_eff = 0.62,
+      .kernel_overhead = micros(4),
+      .attn_head_cost = 45e-9,
+  });
+  specs.push_back(GpuSpec{
+      .type = GpuType::kH100_80G,
+      .name = "H100",
+      .memory = 80 * GiB,
+      .peak_fp16_flops = 989 * TERA,
+      .mem_bandwidth = 3350e9,
+      .dense_eff = 0.50,
+      .dense_membw_eff = 0.60,
+      .attn_membw_eff = 0.60,
+      .kernel_overhead = micros(3),
+      .attn_head_cost = 12e-9,
+  });
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<GpuSpec>& gpu_catalog() {
+  static const std::vector<GpuSpec> catalog = make_catalog();
+  return catalog;
+}
+
+const GpuSpec& gpu_spec(GpuType type) {
+  for (const auto& s : gpu_catalog()) {
+    if (s.type == type) return s;
+  }
+  throw std::out_of_range("gpu_spec: unknown GpuType");
+}
+
+}  // namespace hetis::hw

@@ -1,0 +1,91 @@
+// GPU device catalog.
+//
+// Each GpuSpec carries the physical peak numbers of a device plus three
+// *calibration* fractions fitted once against the paper's Table 1
+// (OPT-2.7B iteration times on A100 / RTX-3090 / P100).  The fractions
+// play the role of the paper's offline Profiler: they capture how much of
+// the peak a real serving kernel achieves on that microarchitecture.
+//
+//   dense_eff        fraction of peak FP16 FLOPs achieved by large GEMMs
+//                    (prefill, large-batch decode MLP/QKV/proj)
+//   dense_membw_eff  fraction of HBM bandwidth achieved by weight-streaming
+//                    GEMV/GEMM kernels in decode (tensor-core-less devices
+//                    such as the P100 are very poor here, which is exactly
+//                    the paper's 7.93x decode gap)
+//   attn_membw_eff   fraction of HBM bandwidth achieved by paged-attention
+//                    KV streaming (efficient on all devices; this is why
+//                    the paper's Fig. 2b attention gap is only ~3x while
+//                    the MLP gap is ~25-40x)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hetis::hw {
+
+/// Identifies a GPU *type* (model line), not an instance.
+enum class GpuType : std::uint8_t {
+  kA100_80G,
+  kRTX3090,
+  kP100,
+  kV100_32G,
+  kT4,
+  kL4,
+  kA6000,
+  kH100_80G,
+};
+
+/// Printable short name ("A100", "3090", ...).
+const char* to_string(GpuType type);
+
+struct GpuSpec {
+  GpuType type;
+  std::string name;
+
+  Bytes memory = 0;                 // total device memory
+  FlopsPerSec peak_fp16_flops = 0;  // dense tensor peak (FP16/BF16)
+  BytesPerSec mem_bandwidth = 0;    // HBM/GDDR peak
+
+  // Calibration (see file header).
+  double dense_eff = 0.5;
+  double dense_membw_eff = 0.5;
+  double attn_membw_eff = 0.5;
+
+  Seconds kernel_overhead = micros(3);  // per-kernel launch + sync cost
+
+  // Per-query-head scheduling/contention cost of the decode-attention
+  // kernel (paper Fig. 7c: time grows with #heads at fixed cache because
+  // more heads contend for SM and HBM resources).  ~20 ns/head on A100.
+  Seconds attn_head_cost = 20e-9;
+
+  /// Effective dense throughput (FLOPs/s) after calibration.
+  FlopsPerSec eff_flops() const { return peak_fp16_flops * dense_eff; }
+  /// Effective bandwidth for dense weight streaming.
+  BytesPerSec eff_dense_bw() const { return mem_bandwidth * dense_membw_eff; }
+  /// Effective bandwidth for attention KV streaming.
+  BytesPerSec eff_attn_bw() const { return mem_bandwidth * attn_membw_eff; }
+
+  /// Relative compute power used for ordering low-end -> high-end in the
+  /// Parallelizer's pruning pass (§4.1).
+  double compute_power() const { return eff_flops(); }
+};
+
+/// Returns the calibrated spec for a known GPU type.
+const GpuSpec& gpu_spec(GpuType type);
+
+/// All catalog entries (for enumeration in tests / planners).
+const std::vector<GpuSpec>& gpu_catalog();
+
+/// A physical device instance placed in the cluster.
+struct Device {
+  int id = -1;        // cluster-unique
+  int host = -1;      // host index
+  GpuType type{};
+
+  const GpuSpec& spec() const { return gpu_spec(type); }
+};
+
+}  // namespace hetis::hw

@@ -1,0 +1,106 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace hetis::hw {
+
+int Cluster::add_host(const std::string& name, GpuType type, int count) {
+  return add_host(name, std::vector<GpuType>(static_cast<std::size_t>(count), type));
+}
+
+int Cluster::add_host(const std::string& name, const std::vector<GpuType>& types) {
+  Host host;
+  host.id = static_cast<int>(hosts_.size());
+  host.name = name;
+  for (GpuType t : types) {
+    Device d;
+    d.id = static_cast<int>(devices_.size());
+    d.host = host.id;
+    d.type = t;
+    host.device_ids.push_back(d.id);
+    devices_.push_back(d);
+  }
+  hosts_.push_back(std::move(host));
+  return hosts_.back().id;
+}
+
+std::vector<int> Cluster::devices_of_type(GpuType type) const {
+  std::vector<int> out;
+  for (const auto& d : devices_) {
+    if (d.type == type) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<GpuType> Cluster::types_by_power_desc() const {
+  std::vector<GpuType> types;
+  for (const auto& d : devices_) {
+    if (std::find(types.begin(), types.end(), d.type) == types.end()) types.push_back(d.type);
+  }
+  std::sort(types.begin(), types.end(), [](GpuType a, GpuType b) {
+    return gpu_spec(a).compute_power() > gpu_spec(b).compute_power();
+  });
+  return types;
+}
+
+bool Cluster::same_host(int a, int b) const { return device(a).host == device(b).host; }
+
+Link Cluster::link(int a, int b) const {
+  if (a == b) return Link{0.0, std::numeric_limits<double>::infinity()};
+  return same_host(a, b) ? intra_ : inter_;
+}
+
+Bytes Cluster::total_memory() const {
+  Bytes total = 0;
+  for (const auto& d : devices_) total += d.spec().memory;
+  return total;
+}
+
+Cluster Cluster::paper_cluster() {
+  Cluster c;
+  c.add_host("host-a100", GpuType::kA100_80G, 4);
+  c.add_host("host-3090-a", GpuType::kRTX3090, 2);
+  c.add_host("host-3090-b", GpuType::kRTX3090, 2);
+  c.add_host("host-p100", GpuType::kP100, 4);
+  return c;
+}
+
+Cluster Cluster::ablation_cluster() {
+  Cluster c;
+  c.add_host("host-a100", GpuType::kA100_80G, 1);
+  c.add_host("host-3090", GpuType::kRTX3090, 2);
+  return c;
+}
+
+Cluster Cluster::synthetic_cluster(const std::vector<GpuType>& types, int per_type) {
+  Cluster c;
+  constexpr int kGpusPerHost = 4;
+  for (GpuType t : types) {
+    int remaining = per_type;
+    int host_idx = 0;
+    while (remaining > 0) {
+      int n = std::min(kGpusPerHost, remaining);
+      std::ostringstream name;
+      name << "host-" << hw::to_string(t) << "-" << host_idx++;
+      c.add_host(name.str(), t, n);
+      remaining -= n;
+    }
+  }
+  return c;
+}
+
+std::string Cluster::to_string() const {
+  std::ostringstream oss;
+  oss << "Cluster{" << hosts_.size() << " hosts, " << devices_.size() << " devices:";
+  for (const auto& h : hosts_) {
+    oss << " [" << h.name << ":";
+    for (int id : h.device_ids) oss << " " << hw::to_string(device(id).type);
+    oss << "]";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace hetis::hw

@@ -1,0 +1,91 @@
+// Cluster topology: hosts, devices, and the link table.
+//
+// The paper's testbed: one host with 4xA100-80G, two hosts with 2x3090
+// each, one host with 4xP100; hosts on a 100 Gbps LAN, GPUs within a host
+// on PCIe.  `Cluster::paper_cluster()` builds exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/gpu.h"
+
+namespace hetis::hw {
+
+/// A point-to-point link characterized by the alpha-beta model:
+/// transfer(bytes) = latency + bytes / bandwidth.
+struct Link {
+  Seconds latency = 0;       // alpha
+  BytesPerSec bandwidth = 0; // 1/beta
+
+  Seconds transfer_time(Bytes bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+struct Host {
+  int id = -1;
+  std::string name;
+  std::vector<int> device_ids;  // indices into Cluster::devices()
+};
+
+/// An immutable description of the hardware.  Build once, share by
+/// reference everywhere.
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Adds a host with `count` GPUs of `type`; returns the host id.
+  int add_host(const std::string& name, GpuType type, int count);
+
+  /// Adds a host with an explicit mixed device list.
+  int add_host(const std::string& name, const std::vector<GpuType>& types);
+
+  const std::vector<Device>& devices() const { return devices_; }
+  const std::vector<Host>& hosts() const { return hosts_; }
+  const Device& device(int id) const { return devices_.at(static_cast<std::size_t>(id)); }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+
+  /// All device ids of a given type, in id order.
+  std::vector<int> devices_of_type(GpuType type) const;
+  /// Distinct types present, ordered high-end -> low-end by compute power.
+  std::vector<GpuType> types_by_power_desc() const;
+
+  /// Link between two devices (intra-host PCIe or inter-host LAN).
+  /// a == b yields an infinite-bandwidth zero-latency link.
+  Link link(int a, int b) const;
+
+  bool same_host(int a, int b) const;
+
+  /// Sets the fabric parameters.  Defaults: PCIe 16 GB/s @ 5 us,
+  /// LAN 12.5 GB/s (100 Gbps) @ 20 us.
+  void set_intra_host_link(Link l) { intra_ = l; }
+  void set_inter_host_link(Link l) { inter_ = l; }
+  const Link& intra_host_link() const { return intra_; }
+  const Link& inter_host_link() const { return inter_; }
+
+  /// Total memory across all devices.
+  Bytes total_memory() const;
+
+  /// The paper's evaluation cluster (§7.1).
+  static Cluster paper_cluster();
+
+  /// A small single-host mixed cluster used by the Fig. 14 ablation:
+  /// one A100 plus two 3090s.
+  static Cluster ablation_cluster();
+
+  /// Synthetic large cluster: `types` GPU kinds x `per_type` devices,
+  /// 4 GPUs per host.  Used by the search-overhead experiment (§7.4).
+  static Cluster synthetic_cluster(const std::vector<GpuType>& types, int per_type);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<Host> hosts_;
+  Link intra_{micros(5), 16e9};
+  Link inter_{micros(20), 12.5e9};
+};
+
+}  // namespace hetis::hw

@@ -1,0 +1,53 @@
+#include "kvcache/allocator.h"
+
+#include <stdexcept>
+
+namespace hetis::kvcache {
+
+BlockAllocator::BlockAllocator(Bytes capacity, Bytes block_bytes)
+    : total_(0), block_bytes_(block_bytes) {
+  if (block_bytes <= 0) throw std::invalid_argument("BlockAllocator: block_bytes <= 0");
+  if (capacity < 0) throw std::invalid_argument("BlockAllocator: negative capacity");
+  total_ = static_cast<std::size_t>(capacity / block_bytes);
+  free_list_.reserve(total_);
+  // Push in reverse so blocks are handed out in ascending id order.
+  for (std::size_t i = total_; i-- > 0;) {
+    free_list_.push_back(static_cast<BlockId>(i));
+  }
+  allocated_.assign(total_, false);
+}
+
+std::optional<BlockId> BlockAllocator::allocate() {
+  if (free_list_.empty()) return std::nullopt;
+  BlockId id = free_list_.back();
+  free_list_.pop_back();
+  allocated_[static_cast<std::size_t>(id)] = true;
+  return id;
+}
+
+std::vector<BlockId> BlockAllocator::allocate_n(std::size_t n) {
+  std::vector<BlockId> out;
+  if (n > free_list_.size()) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(*allocate());
+  }
+  return out;
+}
+
+void BlockAllocator::free_block(BlockId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= total_) {
+    throw std::out_of_range("BlockAllocator::free_block: bad id");
+  }
+  if (!allocated_[static_cast<std::size_t>(id)]) {
+    throw std::logic_error("BlockAllocator::free_block: double free");
+  }
+  allocated_[static_cast<std::size_t>(id)] = false;
+  free_list_.push_back(id);
+}
+
+void BlockAllocator::free_blocks(const std::vector<BlockId>& ids) {
+  for (BlockId id : ids) free_block(id);
+}
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,56 @@
+// Paged KV-cache block allocator (vLLM-style), one per device.
+//
+// Memory is carved into fixed-size blocks; sequences (or, in Hetis,
+// per-head-group shares of sequences) own integer numbers of blocks.  The
+// allocator is a simple LIFO free list: O(1) allocate/free, deterministic
+// reuse order (good for reproducibility and cache locality of the index
+// builder's physical ids).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hetis::kvcache {
+
+using BlockId = std::int32_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+class BlockAllocator {
+ public:
+  /// `capacity` bytes of cache space divided into blocks of `block_bytes`.
+  BlockAllocator(Bytes capacity, Bytes block_bytes);
+
+  /// Allocates one block; nullopt when exhausted.
+  std::optional<BlockId> allocate();
+
+  /// Allocates `n` blocks all-or-nothing.  Empty vector (with n>0) means
+  /// insufficient space; no partial allocation escapes.
+  std::vector<BlockId> allocate_n(std::size_t n);
+
+  /// Returns a block to the free list.  Double-free is detected and throws.
+  void free_block(BlockId id);
+  void free_blocks(const std::vector<BlockId>& ids);
+
+  std::size_t total_blocks() const { return total_; }
+  std::size_t free_blocks_count() const { return free_list_.size(); }
+  std::size_t used_blocks() const { return total_ - free_list_.size(); }
+
+  Bytes block_bytes() const { return block_bytes_; }
+  Bytes capacity() const { return static_cast<Bytes>(total_) * block_bytes_; }
+  Bytes used_bytes() const { return static_cast<Bytes>(used_blocks()) * block_bytes_; }
+  Bytes free_bytes() const { return static_cast<Bytes>(free_blocks_count()) * block_bytes_; }
+  double utilization() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(used_blocks()) / static_cast<double>(total_);
+  }
+
+ private:
+  std::size_t total_;
+  Bytes block_bytes_;
+  std::vector<BlockId> free_list_;
+  std::vector<bool> allocated_;  // double-free / foreign-free detection
+};
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,189 @@
+#include "kvcache/block_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetis::kvcache {
+
+namespace {
+std::size_t blocks_for(std::int64_t len, int block_size) {
+  if (len <= 0) return 0;
+  return static_cast<std::size_t>((len + block_size - 1) / block_size);
+}
+}  // namespace
+
+TokenBlockTable::TokenBlockTable(BlockAllocator& alloc, int block_size)
+    : alloc_(&alloc), block_size_(block_size) {
+  if (block_size <= 0) throw std::invalid_argument("TokenBlockTable: block_size <= 0");
+}
+
+bool TokenBlockTable::add_sequence(SeqId seq, std::int64_t len) {
+  if (seqs_.count(seq)) throw std::logic_error("TokenBlockTable: duplicate sequence");
+  std::vector<BlockId> blocks = alloc_->allocate_n(blocks_for(len, block_size_));
+  if (blocks.empty() && len > 0) return false;
+  seqs_.emplace(seq, Entry{len, std::move(blocks)});
+  return true;
+}
+
+bool TokenBlockTable::append_token(SeqId seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("TokenBlockTable: unknown sequence");
+  Entry& e = it->second;
+  std::size_t need = blocks_for(e.len + 1, block_size_);
+  if (need > e.blocks.size()) {
+    auto blk = alloc_->allocate();
+    if (!blk) return false;
+    e.blocks.push_back(*blk);
+  }
+  ++e.len;
+  return true;
+}
+
+void TokenBlockTable::remove_sequence(SeqId seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) return;
+  alloc_->free_blocks(it->second.blocks);
+  seqs_.erase(it);
+}
+
+std::int64_t TokenBlockTable::length(SeqId seq) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("TokenBlockTable: unknown sequence");
+  return it->second.len;
+}
+
+const std::vector<BlockId>& TokenBlockTable::blocks(SeqId seq) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("TokenBlockTable: unknown sequence");
+  return it->second.blocks;
+}
+
+std::int64_t TokenBlockTable::slot(SeqId seq, std::int64_t pos) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("TokenBlockTable: unknown sequence");
+  const Entry& e = it->second;
+  if (pos < 0 || pos >= e.len) throw std::out_of_range("TokenBlockTable: position out of range");
+  BlockId blk = e.blocks[static_cast<std::size_t>(pos / block_size_)];
+  return static_cast<std::int64_t>(blk) * block_size_ + pos % block_size_;
+}
+
+HeadBlockTable::HeadBlockTable(BlockAllocator& alloc, int block_size)
+    : alloc_(&alloc), block_size_(block_size) {
+  if (block_size <= 0) throw std::invalid_argument("HeadBlockTable: block_size <= 0");
+}
+
+bool HeadBlockTable::ensure_capacity(GroupEntry& ge, std::int64_t len) {
+  std::size_t need = blocks_for(len, block_size_);
+  while (ge.blocks.size() < need) {
+    auto blk = alloc_->allocate();
+    if (!blk) return false;
+    ge.blocks.push_back(*blk);
+    ++storage_ops_;
+  }
+  return true;
+}
+
+bool HeadBlockTable::add_groups(SeqId seq, const std::vector<int>& groups, std::int64_t len) {
+  if (groups.empty()) return true;
+  auto& entry = seqs_[seq];
+  if (entry.groups.empty()) entry.len = len;
+  if (entry.len != len) {
+    throw std::logic_error("HeadBlockTable::add_groups: length mismatch with hosted groups");
+  }
+  // All-or-nothing: try to allocate every group; roll back on failure.
+  std::vector<int> added;
+  for (int g : groups) {
+    if (entry.groups.count(g)) {
+      throw std::logic_error("HeadBlockTable::add_groups: group already hosted");
+    }
+    GroupEntry ge;
+    if (!ensure_capacity(ge, len)) {
+      alloc_->free_blocks(ge.blocks);
+      for (int rollback : added) remove_group(seq, rollback);
+      if (seqs_.count(seq) && seqs_[seq].groups.empty()) seqs_.erase(seq);
+      return false;
+    }
+    entry.groups.emplace(g, std::move(ge));
+    added.push_back(g);
+  }
+  return true;
+}
+
+bool HeadBlockTable::append_token(SeqId seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("HeadBlockTable: unknown sequence");
+  SeqEntry& e = it->second;
+  std::int64_t new_len = e.len + 1;
+  // Check capacity first so failure leaves no partial allocation.
+  std::size_t need = blocks_for(new_len, block_size_);
+  std::size_t extra = 0;
+  for (auto& [g, ge] : e.groups) {
+    if (ge.blocks.size() < need) ++extra;
+  }
+  if (extra > alloc_->free_blocks_count()) return false;
+  for (auto& [g, ge] : e.groups) {
+    bool ok = ensure_capacity(ge, new_len);
+    (void)ok;  // guaranteed by the pre-check
+  }
+  e.len = new_len;
+  return true;
+}
+
+void HeadBlockTable::remove_group(SeqId seq, int group) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) return;
+  auto git = it->second.groups.find(group);
+  if (git == it->second.groups.end()) return;
+  alloc_->free_blocks(git->second.blocks);
+  it->second.groups.erase(git);
+  if (it->second.groups.empty()) seqs_.erase(it);
+}
+
+void HeadBlockTable::remove_sequence(SeqId seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) return;
+  for (auto& [g, ge] : it->second.groups) alloc_->free_blocks(ge.blocks);
+  seqs_.erase(it);
+}
+
+bool HeadBlockTable::has_group(SeqId seq, int group) const {
+  auto it = seqs_.find(seq);
+  return it != seqs_.end() && it->second.groups.count(group) > 0;
+}
+
+std::vector<int> HeadBlockTable::groups_of(SeqId seq) const {
+  std::vector<int> out;
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) return out;
+  out.reserve(it->second.groups.size());
+  for (const auto& [g, ge] : it->second.groups) out.push_back(g);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t HeadBlockTable::length(SeqId seq) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("HeadBlockTable: unknown sequence");
+  return it->second.len;
+}
+
+std::int64_t HeadBlockTable::slot(SeqId seq, int group, std::int64_t pos) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("HeadBlockTable: unknown sequence");
+  const SeqEntry& e = it->second;
+  auto git = e.groups.find(group);
+  if (git == e.groups.end()) throw std::out_of_range("HeadBlockTable: group not hosted");
+  if (pos < 0 || pos >= e.len) throw std::out_of_range("HeadBlockTable: position out of range");
+  BlockId blk = git->second.blocks[static_cast<std::size_t>(pos / block_size_)];
+  return static_cast<std::int64_t>(blk) * block_size_ + pos % block_size_;
+}
+
+const std::vector<BlockId>& HeadBlockTable::blocks(SeqId seq, int group) const {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) throw std::out_of_range("HeadBlockTable: unknown sequence");
+  auto git = it->second.groups.find(group);
+  if (git == it->second.groups.end()) throw std::out_of_range("HeadBlockTable: group not hosted");
+  return git->second.blocks;
+}
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,117 @@
+// Block tables: the logical->physical mapping for KV caches.
+//
+// TokenBlockTable implements vLLM semantics: one block stream per sequence,
+// each block holding `block_size` tokens of ALL heads' K/V.
+//
+// HeadBlockTable implements Hetis semantics (§6 "KV cache management"):
+// blocks are further split along the head dimension, so the unit of
+// placement is a (sequence, head-group) share.  A head group is one KV head
+// plus the r query heads attached to it (r = GQA ratio), which is the
+// smallest unit dynamic Attention parallelism can move between devices.
+// Caches are addressed by (sequence id, position, head group) exactly as
+// the paper's custom CUDA kernels do.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/allocator.h"
+
+namespace hetis::kvcache {
+
+using SeqId = std::int64_t;
+
+/// vLLM-style per-sequence block list.
+class TokenBlockTable {
+ public:
+  /// `block_size`: tokens per block; `alloc` must outlive the table.
+  TokenBlockTable(BlockAllocator& alloc, int block_size);
+
+  /// Registers a sequence with `len` tokens already cached (prefill).
+  /// Returns false (and allocates nothing) if space is insufficient.
+  bool add_sequence(SeqId seq, std::int64_t len);
+
+  /// Extends a sequence by one token; false on out-of-memory.
+  bool append_token(SeqId seq);
+
+  /// Frees all blocks of a sequence.
+  void remove_sequence(SeqId seq);
+
+  bool contains(SeqId seq) const { return seqs_.count(seq) > 0; }
+  std::int64_t length(SeqId seq) const;
+  const std::vector<BlockId>& blocks(SeqId seq) const;
+
+  /// Physical slot of (seq, pos): block_id * block_size + offset.
+  std::int64_t slot(SeqId seq, std::int64_t pos) const;
+
+  int block_size() const { return block_size_; }
+  std::size_t num_sequences() const { return seqs_.size(); }
+
+ private:
+  struct Entry {
+    std::int64_t len = 0;
+    std::vector<BlockId> blocks;
+  };
+  BlockAllocator* alloc_;
+  int block_size_;
+  std::unordered_map<SeqId, Entry> seqs_;
+};
+
+/// Hetis head-granular block table.  One allocator per device; a device's
+/// table only tracks the head groups hosted locally.
+class HeadBlockTable {
+ public:
+  /// `block_size`: tokens per block (per head group; a head-group block is
+  /// proportionally smaller in bytes than a token-wise block).
+  HeadBlockTable(BlockAllocator& alloc, int block_size);
+
+  /// Registers `groups` head-group shares of a sequence with `len` cached
+  /// tokens each.  All-or-nothing; false on out-of-memory.
+  bool add_groups(SeqId seq, const std::vector<int>& groups, std::int64_t len);
+
+  /// Appends one token to every locally-hosted group of `seq`.
+  /// All-or-nothing; false on out-of-memory.
+  bool append_token(SeqId seq);
+
+  /// Drops one head group's share (used when migrating a group away).
+  void remove_group(SeqId seq, int group);
+
+  /// Drops everything this device holds for `seq`.
+  void remove_sequence(SeqId seq);
+
+  bool contains(SeqId seq) const { return seqs_.count(seq) > 0; }
+  bool has_group(SeqId seq, int group) const;
+  std::vector<int> groups_of(SeqId seq) const;  // sorted
+  std::int64_t length(SeqId seq) const;
+  std::size_t num_sequences() const { return seqs_.size(); }
+
+  /// Physical slot of (seq, group, pos).
+  std::int64_t slot(SeqId seq, int group, std::int64_t pos) const;
+
+  const std::vector<BlockId>& blocks(SeqId seq, int group) const;
+
+  int block_size() const { return block_size_; }
+
+  /// Total storage operations performed (block allocations); the Fig. 15(b)
+  /// "storage overhead" metric counts these.
+  std::uint64_t storage_ops() const { return storage_ops_; }
+
+ private:
+  struct GroupEntry {
+    std::vector<BlockId> blocks;
+  };
+  struct SeqEntry {
+    std::int64_t len = 0;
+    std::unordered_map<int, GroupEntry> groups;
+  };
+
+  bool ensure_capacity(GroupEntry& ge, std::int64_t len);
+
+  BlockAllocator* alloc_;
+  int block_size_;
+  std::unordered_map<SeqId, SeqEntry> seqs_;
+  std::uint64_t storage_ops_ = 0;
+};
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,105 @@
+#include "kvcache/index_builder.h"
+
+#include <numeric>
+
+namespace hetis::kvcache {
+
+namespace {
+
+/// Computes item_offsets from per-item lengths (exclusive prefix sum),
+/// reusing `out`'s storage.
+void offsets_from(const std::vector<GatherItem>& items, std::vector<std::size_t>& out) {
+  out.resize(items.size() + 1);
+  out[0] = 0;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    out[k + 1] = out[k] + static_cast<std::size_t>(items[k].len);
+  }
+}
+
+/// Expands one item's block list into physical slots.  Writing via the raw
+/// pointer keeps the hot loop free of bounds checks.
+template <typename BlocksFn>
+void expand_item(const GatherItem& item, int block_size, BlocksFn&& blocks_of,
+                 std::int64_t* out) {
+  const std::vector<BlockId>& blocks = blocks_of(item);
+  std::int64_t pos = 0;
+  for (std::size_t b = 0; pos < item.len; ++b) {
+    const std::int64_t base = static_cast<std::int64_t>(blocks[b]) * block_size;
+    const std::int64_t limit = std::min<std::int64_t>(item.len - pos, block_size);
+    for (std::int64_t off = 0; off < limit; ++off) {
+      out[pos++] = base + off;
+    }
+  }
+}
+
+}  // namespace
+
+void build_token_index_into(const TokenBlockTable& table, const std::vector<GatherItem>& items,
+                            GatherPlan& plan) {
+  offsets_from(items, plan.item_offsets);
+  plan.slots.resize(plan.item_offsets.back());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    expand_item(
+        items[k], table.block_size(),
+        [&table](const GatherItem& it) -> const std::vector<BlockId>& {
+          return table.blocks(it.seq);
+        },
+        plan.slots.data() + plan.item_offsets[k]);
+  }
+}
+
+GatherPlan build_token_index(const TokenBlockTable& table,
+                             const std::vector<GatherItem>& items) {
+  GatherPlan plan;
+  build_token_index_into(table, items, plan);
+  return plan;
+}
+
+void build_head_index_serial_into(const HeadBlockTable& table,
+                                  const std::vector<GatherItem>& items, GatherPlan& plan) {
+  offsets_from(items, plan.item_offsets);
+  plan.slots.resize(plan.item_offsets.back());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    expand_item(
+        items[k], table.block_size(),
+        [&table](const GatherItem& it) -> const std::vector<BlockId>& {
+          return table.blocks(it.seq, it.group);
+        },
+        plan.slots.data() + plan.item_offsets[k]);
+  }
+}
+
+GatherPlan build_head_index_serial(const HeadBlockTable& table,
+                                   const std::vector<GatherItem>& items) {
+  GatherPlan plan;
+  build_head_index_serial_into(table, items, plan);
+  return plan;
+}
+
+void build_head_index_parallel_into(const HeadBlockTable& table,
+                                    const std::vector<GatherItem>& items, ThreadPool& pool,
+                                    GatherPlan& plan) {
+  offsets_from(items, plan.item_offsets);
+  plan.slots.resize(plan.item_offsets.back());
+  std::int64_t* out = plan.slots.data();
+  const std::vector<std::size_t>& offsets = plan.item_offsets;
+  pool.parallel_for_chunked(0, items.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      expand_item(
+          items[k], table.block_size(),
+          [&table](const GatherItem& it) -> const std::vector<BlockId>& {
+            return table.blocks(it.seq, it.group);
+          },
+          out + offsets[k]);
+    }
+  });
+}
+
+GatherPlan build_head_index_parallel(const HeadBlockTable& table,
+                                     const std::vector<GatherItem>& items, ThreadPool& pool) {
+  GatherPlan plan;
+  build_head_index_parallel_into(table, items, pool, plan);
+  return plan;
+}
+
+}  // namespace hetis::kvcache

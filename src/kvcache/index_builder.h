@@ -1,0 +1,63 @@
+// Gather-index construction for the decode-phase attention kernel.
+//
+// Before each decode step the engine must translate every (sequence,
+// head-group, position) into a physical cache slot -- the "compute-
+// intensive block indexing process" the paper accelerates with multi-core
+// CPU parallelization (§6).  This module is real CPU code and is measured
+// for real by bench_fig15b_head_mgmt: the serial token-wise path models
+// vLLM, the parallel head-wise path models Hetis (+13% storage ops, -26%
+// fetch time in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "kvcache/block_table.h"
+
+namespace hetis::kvcache {
+
+/// One decode-attention work item: gather all cached positions of one
+/// (sequence, head-group) pair.
+struct GatherItem {
+  SeqId seq = 0;
+  int group = 0;         // ignored by the token-wise builder
+  std::int64_t len = 0;  // positions [0, len) are gathered
+};
+
+/// Flat gather plan: slots[item_offsets[k] .. item_offsets[k+1]) are the
+/// physical slots of item k, in position order.
+struct GatherPlan {
+  std::vector<std::int64_t> slots;
+  std::vector<std::size_t> item_offsets;  // size = items + 1
+
+  std::size_t num_items() const {
+    return item_offsets.empty() ? 0 : item_offsets.size() - 1;
+  }
+};
+
+/// Token-wise (vLLM) index build: expands each item from the per-sequence
+/// block list; `group` is ignored (every head group shares the sequence's
+/// blocks, the kernel applies the head offset).  The *_into variants reuse
+/// the output buffers (serving engines keep pinned index buffers across
+/// steps; re-zeroing them every iteration would dominate the measurement).
+GatherPlan build_token_index(const TokenBlockTable& table,
+                             const std::vector<GatherItem>& items);
+void build_token_index_into(const TokenBlockTable& table, const std::vector<GatherItem>& items,
+                            GatherPlan& out);
+
+/// Head-wise (Hetis) index build, serial reference implementation.
+GatherPlan build_head_index_serial(const HeadBlockTable& table,
+                                   const std::vector<GatherItem>& items);
+void build_head_index_serial_into(const HeadBlockTable& table,
+                                  const std::vector<GatherItem>& items, GatherPlan& out);
+
+/// Head-wise index build parallelized over items on `pool` (§6's multi-core
+/// acceleration).  Bit-identical output to the serial version.
+GatherPlan build_head_index_parallel(const HeadBlockTable& table,
+                                     const std::vector<GatherItem>& items, ThreadPool& pool);
+void build_head_index_parallel_into(const HeadBlockTable& table,
+                                    const std::vector<GatherItem>& items, ThreadPool& pool,
+                                    GatherPlan& out);
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,104 @@
+#include "kvcache/migration.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hetis::kvcache {
+
+Bytes group_cache_bytes(const model::ModelSpec& m, std::int64_t len) {
+  // One head group = one KV head: 2 (K+V) * head_dim * dtype per token per
+  // layer.
+  return static_cast<Bytes>(2) * m.head_dim() * m.dtype_bytes * len * m.layers;
+}
+
+MigrationPlan plan_migration(const model::ModelSpec& m, SeqId seq, std::int64_t len,
+                             const Placement& from, const Placement& to) {
+  // Build group -> device maps.
+  std::map<int, int> old_loc;
+  for (const auto& [dev, groups] : from) {
+    for (int g : groups) {
+      if (!old_loc.emplace(g, dev).second) {
+        throw std::invalid_argument("plan_migration: group duplicated in `from`");
+      }
+    }
+  }
+  std::map<int, int> new_loc;
+  for (const auto& [dev, groups] : to) {
+    for (int g : groups) {
+      if (!new_loc.emplace(g, dev).second) {
+        throw std::invalid_argument("plan_migration: group duplicated in `to`");
+      }
+    }
+  }
+
+  MigrationPlan plan;
+  const Bytes per_group = group_cache_bytes(m, len);
+  for (const auto& [g, dst] : new_loc) {
+    auto it = old_loc.find(g);
+    if (it == old_loc.end()) {
+      throw std::invalid_argument("plan_migration: group in `to` missing from `from`");
+    }
+    if (it->second == dst) {
+      ++plan.groups_reused;
+      continue;
+    }
+    plan.moves.push_back(Move{seq, g, it->second, dst, per_group});
+    plan.total_bytes += per_group;
+    ++plan.groups_moved;
+  }
+  return plan;
+}
+
+Placement assign_groups_preserving_overlap(const Placement& from,
+                                           const std::map<int, int>& new_counts) {
+  // Collect all concrete group ids.
+  std::vector<int> all_groups;
+  std::map<int, int> old_loc;
+  for (const auto& [dev, groups] : from) {
+    for (int g : groups) {
+      all_groups.push_back(g);
+      old_loc[g] = dev;
+    }
+  }
+  std::sort(all_groups.begin(), all_groups.end());
+
+  int total_new = 0;
+  for (const auto& [dev, cnt] : new_counts) total_new += cnt;
+  if (total_new != static_cast<int>(all_groups.size())) {
+    throw std::invalid_argument(
+        "assign_groups_preserving_overlap: group count mismatch between schemes");
+  }
+
+  Placement out;
+  std::set<int> placed;
+  // Pass 1: keep groups on their old device up to the new count.
+  std::map<int, int> remaining = new_counts;
+  for (const auto& [dev, cnt] : new_counts) {
+    auto fit = from.find(dev);
+    if (fit == from.end()) continue;
+    for (int g : fit->second) {
+      if (remaining[dev] == 0) break;
+      out[dev].push_back(g);
+      placed.insert(g);
+      --remaining[dev];
+    }
+  }
+  // Pass 2: distribute displaced groups into leftover capacity
+  // (deterministic: ascending group id, ascending device id).
+  for (int g : all_groups) {
+    if (placed.count(g)) continue;
+    for (auto& [dev, cnt] : remaining) {
+      if (cnt > 0) {
+        out[dev].push_back(g);
+        placed.insert(g);
+        --cnt;
+        break;
+      }
+    }
+  }
+  for (auto& [dev, groups] : out) std::sort(groups.begin(), groups.end());
+  return out;
+}
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,57 @@
+// Migration planning for head-wise KV caches (paper §5.3 / §6).
+//
+// When the re-dispatcher moves a request from an old head-placement to a
+// new one, only the head groups that *changed device* need their cached
+// K/V moved -- the overlap is reused in place ("partial cache
+// transmission").  This module computes the minimal move set and its
+// byte volume; hauler/ executes the moves on the background channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "kvcache/block_table.h"
+#include "model/llm.h"
+
+namespace hetis::kvcache {
+
+/// Placement of one request: device id -> head groups hosted there.
+using Placement = std::map<int, std::vector<int>>;
+
+struct Move {
+  SeqId seq = 0;
+  int group = 0;
+  int src = -1;
+  int dst = -1;
+  Bytes bytes = 0;
+};
+
+struct MigrationPlan {
+  std::vector<Move> moves;
+  Bytes total_bytes = 0;
+  int groups_moved = 0;
+  int groups_reused = 0;
+
+  bool empty() const { return moves.empty(); }
+};
+
+/// Bytes of one head-group's K+V share for `len` tokens across all layers.
+Bytes group_cache_bytes(const model::ModelSpec& m, std::int64_t len);
+
+/// Plans the minimal move set from `from` to `to` for a request of length
+/// `len`.  Groups present in both placements on the same device are reused;
+/// groups that change device are moved; a group in `to` but absent from
+/// `from` is invalid (caches cannot be conjured) and throws.
+MigrationPlan plan_migration(const model::ModelSpec& m, SeqId seq, std::int64_t len,
+                             const Placement& from, const Placement& to);
+
+/// Maps old->new placements maximizing overlap: given per-device group
+/// *counts* for the new scheme (the LP decides counts, not identities),
+/// chooses which concrete group ids go where so that as many groups as
+/// possible stay put.  Returns the concrete new placement.
+Placement assign_groups_preserving_overlap(const Placement& from,
+                                           const std::map<int, int>& new_counts);
+
+}  // namespace hetis::kvcache

@@ -1,0 +1,76 @@
+// Min-max head-dispatch LP (paper Eq. 7) and integral rounding.
+//
+// Variables: x[i][j] = query heads of request j placed on device i, plus
+// the epigraph variable t:
+//
+//   min t
+//   s.t.  base[i] + sum_j (head_cost[i] + cache_cost[i]*cache_per_head[j]) x[i][j] <= t
+//         sum_i x[i][j] = demand[j]                    (head integrity, Eq. 5/7c)
+//         sum_j cache_per_head[j] * x[i][j] <= mem_free[i]   (Eq. 7b)
+//         x >= 0
+//
+// The continuous optimum is then rounded to the head-group lattice
+// (x/r integral, §5.2.1) by largest-remainder with a memory-feasibility
+// repair pass.  `solve_relaxed` alone is also used to compute the ideal
+// attention time f* that drives the re-dispatching trigger (§5.3.1); that
+// variant replaces the per-device memory constraints with the paper's
+// single cluster-wide constraint.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace hetis::lp {
+
+struct MinMaxProblem {
+  // Device side (size D).
+  std::vector<double> base_time;       // constant part of f_i (existing load)
+  std::vector<double> head_cost;       // df_i per assigned head
+  std::vector<double> cache_cost;      // df_i per byte of assigned cache
+  std::vector<double> mem_free;        // free cache bytes on device i
+  // Request side (size J).
+  std::vector<double> demand;          // heads required (H), per request
+  std::vector<double> cache_per_head;  // cache bytes one head drags along
+
+  int group_size = 1;                  // GQA ratio r: x must be multiple of r
+
+  // When true, the per-device memory rows are replaced by one global row
+  // sum_ij cache_per_head[j] x[i][j] <= sum_i mem_free[i]  (§5.3.1's f*).
+  bool global_memory_only = false;
+
+  std::size_t num_devices() const { return base_time.size(); }
+  std::size_t num_requests() const { return demand.size(); }
+  void validate() const;  // throws std::invalid_argument on shape errors
+};
+
+struct MinMaxSolution {
+  Status status = Status::kIterLimit;
+  double objective = 0.0;               // relaxed (continuous) optimum of t
+  // heads[i][j], continuous.
+  std::vector<std::vector<double>> heads;
+
+  bool ok() const { return status == Status::kOptimal; }
+};
+
+/// Solves the continuous relaxation exactly via simplex.
+MinMaxSolution solve_relaxed(const MinMaxProblem& problem);
+
+/// Rounds a continuous solution to integral multiples of group_size per
+/// (device, request) while preserving column sums (= demand) and repairing
+/// per-device memory violations.  Returns integer head counts.
+std::vector<std::vector<int>> round_to_groups(const MinMaxProblem& problem,
+                                              const MinMaxSolution& relaxed);
+
+/// Greedy waterfilling dispatcher: assigns each request's head groups one
+/// group at a time to the device with the smallest resulting f_i that has
+/// memory room.  Used as a fallback when the LP fails and as the
+/// "no-LP" ablation.  Returns integer head counts (may leave a request
+/// short only if the cluster is out of memory; callers must check).
+std::vector<std::vector<int>> greedy_dispatch(const MinMaxProblem& problem);
+
+/// Evaluates max_i f_i for an integral assignment.
+double eval_makespan(const MinMaxProblem& problem,
+                     const std::vector<std::vector<int>>& heads);
+
+}  // namespace hetis::lp

@@ -1,0 +1,246 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hetis::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+void Problem::add_le(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(Constraint{std::move(coeffs), Relation::kLe, rhs});
+}
+void Problem::add_ge(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(Constraint{std::move(coeffs), Relation::kGe, rhs});
+}
+void Problem::add_eq(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(Constraint{std::move(coeffs), Relation::kEq, rhs});
+}
+
+namespace {
+
+// Dense tableau:
+//   rows 0..m-1 : constraints (basis-reduced)
+//   row  m      : phase objective (reduced costs), rhs = -objective value
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    double piv = at(pr, pc);
+    double inv = 1.0 / piv;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;  // exact
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+      at(r, pc) = 0.0;  // exact
+    }
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+struct SimplexCore {
+  Tableau tab;
+  std::vector<std::size_t> basis;  // basis[r] = column basic in row r
+  std::size_t m;                   // constraint rows
+  std::size_t total_cols;          // structural + slack + artificial + rhs
+  double eps;
+
+  SimplexCore(std::size_t m_, std::size_t cols_, double eps_)
+      : tab(m_ + 1, cols_), basis(m_, 0), m(m_), total_cols(cols_), eps(eps_) {}
+
+  std::size_t rhs_col() const { return total_cols - 1; }
+
+  // Returns kOptimal when reduced costs are all >= -eps, kUnbounded when a
+  // negative column has no positive entry, kIterLimit otherwise.
+  Status iterate(std::size_t max_iter) {
+    const std::size_t obj = m;
+    for (std::size_t it = 0; it < max_iter; ++it) {
+      // Bland's rule: entering = lowest-index column with negative reduced cost.
+      std::size_t enter = total_cols;
+      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
+        if (tab.at(obj, c) < -eps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == total_cols) return Status::kOptimal;
+
+      // Ratio test; Bland tie-break on the lowest basis column.
+      std::size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        double a = tab.at(r, enter);
+        if (a > eps) {
+          double ratio = tab.at(r, rhs_col()) / a;
+          if (ratio < best_ratio - eps ||
+              (ratio < best_ratio + eps && (leave == m || basis[r] < basis[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == m) return Status::kUnbounded;
+      tab.pivot(leave, enter);
+      basis[leave] = enter;
+    }
+    return Status::kIterLimit;
+  }
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SolverOptions& opts) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+  if (problem.objective.size() != n) {
+    throw std::invalid_argument("lp::solve: objective size != num_vars");
+  }
+  for (const auto& c : problem.constraints) {
+    if (c.coeffs.size() != n) {
+      throw std::invalid_argument("lp::solve: constraint size != num_vars");
+    }
+  }
+
+  // Count auxiliary columns.  After normalizing rhs >= 0:
+  //   <=  -> slack (+1)
+  //   >=  -> surplus (-1) + artificial
+  //   ==  -> artificial
+  std::size_t n_slack = 0, n_art = 0;
+  std::vector<int> row_sign(m, 1);
+  std::vector<Relation> rel(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    rel[r] = problem.constraints[r].rel;
+    if (problem.constraints[r].rhs < 0.0) {
+      row_sign[r] = -1;
+      if (rel[r] == Relation::kLe) rel[r] = Relation::kGe;
+      else if (rel[r] == Relation::kGe) rel[r] = Relation::kLe;
+    }
+    if (rel[r] == Relation::kLe) {
+      ++n_slack;
+    } else if (rel[r] == Relation::kGe) {
+      ++n_slack;
+      ++n_art;
+    } else {
+      ++n_art;
+    }
+  }
+
+  const std::size_t cols = n + n_slack + n_art + 1;  // + rhs
+  SimplexCore core(m, cols, opts.eps);
+  Tableau& tab = core.tab;
+
+  std::size_t slack_at = n;
+  std::size_t art_at = n + n_slack;
+  std::vector<std::size_t> art_cols;
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& c = problem.constraints[r];
+    for (std::size_t j = 0; j < n; ++j) tab.at(r, j) = row_sign[r] * c.coeffs[j];
+    tab.at(r, core.rhs_col()) = row_sign[r] * c.rhs;
+    if (rel[r] == Relation::kLe) {
+      tab.at(r, slack_at) = 1.0;
+      core.basis[r] = slack_at++;
+    } else if (rel[r] == Relation::kGe) {
+      tab.at(r, slack_at) = -1.0;
+      ++slack_at;
+      tab.at(r, art_at) = 1.0;
+      core.basis[r] = art_at;
+      art_cols.push_back(art_at++);
+    } else {
+      tab.at(r, art_at) = 1.0;
+      core.basis[r] = art_at;
+      art_cols.push_back(art_at++);
+    }
+  }
+
+  // --- Phase 1: minimize sum of artificials ---
+  if (!art_cols.empty()) {
+    const std::size_t obj = m;
+    for (std::size_t c : art_cols) tab.at(obj, c) = 1.0;
+    // Reduce: subtract rows whose basis is artificial.
+    for (std::size_t r = 0; r < m; ++r) {
+      bool is_art = std::find(art_cols.begin(), art_cols.end(), core.basis[r]) != art_cols.end();
+      if (is_art) {
+        for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) -= tab.at(r, c);
+      }
+    }
+    Status st = core.iterate(opts.max_iterations);
+    if (st == Status::kIterLimit) return Solution{Status::kIterLimit, 0.0, {}};
+    double phase1 = -tab.at(obj, core.rhs_col());
+    if (phase1 > 1e-6) return Solution{Status::kInfeasible, 0.0, {}};
+    // Drive any artificial still basic (at zero level) out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      bool is_art = std::find(art_cols.begin(), art_cols.end(), core.basis[r]) != art_cols.end();
+      if (!is_art) continue;
+      std::size_t enter = cols;
+      for (std::size_t c = 0; c < n + n_slack; ++c) {
+        if (std::abs(tab.at(r, c)) > opts.eps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter != cols) {
+        tab.pivot(r, enter);
+        core.basis[r] = enter;
+      }
+      // Else the row is all-zero (redundant constraint); leave it.
+    }
+    // Clear phase-1 objective row.
+    for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) = 0.0;
+  }
+
+  // --- Phase 2: original objective ---
+  {
+    const std::size_t obj = m;
+    for (std::size_t j = 0; j < n; ++j) tab.at(obj, j) = problem.objective[j];
+    // Forbid artificials from re-entering.
+    for (std::size_t c : art_cols) tab.at(obj, c) = 1e30;
+    // Reduce objective row by basic columns.
+    for (std::size_t r = 0; r < m; ++r) {
+      double coeff = tab.at(obj, core.basis[r]);
+      if (coeff == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) -= coeff * tab.at(r, c);
+    }
+    Status st = core.iterate(opts.max_iterations);
+    if (st != Status::kOptimal) return Solution{st, 0.0, {}};
+  }
+
+  Solution sol;
+  sol.status = Status::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (core.basis[r] < n) sol.x[core.basis[r]] = tab.at(r, core.rhs_col());
+  }
+  for (double& v : sol.x) {
+    if (v < 0.0 && v > -1e-7) v = 0.0;  // numerical cleanup
+  }
+  double objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) objective += problem.objective[j] * sol.x[j];
+  sol.objective = objective;
+  return sol;
+}
+
+}  // namespace hetis::lp

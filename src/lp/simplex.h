@@ -1,0 +1,57 @@
+// Dense two-phase primal simplex.
+//
+// The paper solves its head-dispatching problem (Eq. 7) as a linear
+// program with cvxpy/MOSEK; we carry our own solver so the repository is
+// self-contained.  Problems are small (tens of rows, a few hundred
+// columns), so a dense tableau with Bland's anti-cycling rule is simple,
+// exact, and fast enough to sit on the serving hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetis::lp {
+
+enum class Relation : std::uint8_t { kLe, kGe, kEq };
+
+struct Constraint {
+  std::vector<double> coeffs;  // size == num_vars
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// min objective . x  subject to constraints, x >= 0.
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  /// Convenience builders.
+  void add_le(std::vector<double> coeffs, double rhs);
+  void add_ge(std::vector<double> coeffs, double rhs);
+  void add_eq(std::vector<double> coeffs, double rhs);
+};
+
+enum class Status : std::uint8_t { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* to_string(Status s);
+
+struct Solution {
+  Status status = Status::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  bool ok() const { return status == Status::kOptimal; }
+};
+
+struct SolverOptions {
+  std::size_t max_iterations = 50'000;
+  double eps = 1e-9;  // pivot / feasibility tolerance
+};
+
+/// Solves the LP; never throws on solver-status outcomes (they are reported
+/// via Solution::status), throws std::invalid_argument on malformed input.
+Solution solve(const Problem& problem, const SolverOptions& opts = {});
+
+}  // namespace hetis::lp

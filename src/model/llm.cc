@@ -1,0 +1,90 @@
+#include "model/llm.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetis::model {
+
+Bytes ModelSpec::layer_param_bytes() const {
+  const std::int64_t h = hidden;
+  const std::int64_t kvd = kv_dim();
+  const std::int64_t f = ffn;
+  std::int64_t qkv = h * (h + 2 * kvd);
+  std::int64_t out = h * h;
+  std::int64_t mlp_params = (mlp == MlpKind::kGated ? 3 : 2) * h * f;
+  std::int64_t norms = 2 * h;  // two layernorms/rmsnorms
+  return (qkv + out + mlp_params + norms) * dtype_bytes;
+}
+
+Bytes ModelSpec::param_bytes() const {
+  std::int64_t embed = 2ll * vocab * hidden;  // input embedding + LM head
+  return layer_param_bytes() * layers + embed * dtype_bytes;
+}
+
+std::string ModelSpec::to_string() const {
+  std::ostringstream oss;
+  oss << name << "{L=" << layers << ", h=" << hidden << ", heads=" << heads << "/" << kv_heads
+      << ", ffn=" << ffn << ", params=" << param_count() / 1e9 << "B}";
+  return oss.str();
+}
+
+namespace {
+ModelSpec make(const std::string& name, int layers, int hidden, int heads, int kv_heads, int ffn,
+               int vocab, MlpKind mlp) {
+  ModelSpec spec;
+  spec.name = name;
+  spec.layers = layers;
+  spec.hidden = hidden;
+  spec.heads = heads;
+  spec.kv_heads = kv_heads;
+  spec.ffn = ffn;
+  spec.vocab = vocab;
+  spec.mlp = mlp;
+  return spec;
+}
+}  // namespace
+
+const ModelSpec& opt_2_7b() {
+  static const ModelSpec spec =
+      make("OPT-2.7B", 32, 2560, 32, 32, 10240, 50272, MlpKind::kStandard);
+  return spec;
+}
+
+const ModelSpec& opt_13b() {
+  static const ModelSpec spec =
+      make("OPT-13B", 40, 5120, 40, 40, 20480, 50272, MlpKind::kStandard);
+  return spec;
+}
+
+const ModelSpec& opt_30b() {
+  static const ModelSpec spec =
+      make("OPT-30B", 48, 7168, 56, 56, 28672, 50272, MlpKind::kStandard);
+  return spec;
+}
+
+const ModelSpec& llama_13b() {
+  static const ModelSpec spec = make("Llama-13B", 40, 5120, 40, 40, 13824, 32000, MlpKind::kGated);
+  return spec;
+}
+
+const ModelSpec& llama2_7b() {
+  static const ModelSpec spec = make("Llama2-7B", 32, 4096, 32, 32, 11008, 32000, MlpKind::kGated);
+  return spec;
+}
+
+const ModelSpec& llama_70b() {
+  static const ModelSpec spec = make("Llama-70B", 80, 8192, 64, 8, 28672, 32000, MlpKind::kGated);
+  return spec;
+}
+
+const ModelSpec& model_by_name(const std::string& name) {
+  if (name == "OPT-2.7B") return opt_2_7b();
+  if (name == "OPT-13B") return opt_13b();
+  if (name == "OPT-30B") return opt_30b();
+  if (name == "Llama-13B") return llama_13b();
+  if (name == "Llama2-7B") return llama2_7b();
+  if (name == "Llama-70B") return llama_70b();
+  throw std::out_of_range("model_by_name: unknown model '" + name + "'");
+}
+
+}  // namespace hetis::model

@@ -1,0 +1,71 @@
+// LLM architecture descriptors.
+//
+// Serving-time behaviour depends only on tensor *shapes* (layers, hidden
+// size, head counts, FFN width), never on weight values, so a ModelSpec is
+// all the simulator needs.  Presets cover every model in the paper's
+// evaluation (Llama-13B, OPT-30B, Llama-70B) plus the motivation-section
+// models (OPT-2.7B, Llama2-7B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace hetis::model {
+
+/// MLP family: OPT uses a 2-matrix up/down MLP, Llama a 3-matrix gated MLP.
+enum class MlpKind : std::uint8_t { kStandard, kGated };
+
+struct ModelSpec {
+  std::string name;
+  int layers = 0;
+  int hidden = 0;        // model (embedding) dimension
+  int heads = 0;         // query heads H
+  int kv_heads = 0;      // grouped key/value heads (== heads for MHA)
+  int ffn = 0;           // MLP intermediate dimension
+  int vocab = 0;
+  MlpKind mlp = MlpKind::kStandard;
+  int dtype_bytes = 2;   // FP16 serving
+
+  int head_dim() const { return hidden / heads; }
+  /// Query-heads : KV-heads ratio r (paper §5.1); 1 for MHA, 8 for Llama-70B.
+  int gqa_ratio() const { return heads / kv_heads; }
+  bool is_gqa() const { return kv_heads < heads; }
+
+  /// KV-cache dimension = kv_heads * head_dim.
+  int kv_dim() const { return kv_heads * head_dim(); }
+
+  /// Bytes of K+V cached per token per layer.
+  Bytes kv_bytes_per_token_layer() const {
+    return static_cast<Bytes>(2) * kv_dim() * dtype_bytes;
+  }
+  /// Bytes of K+V cached per token across all layers.
+  Bytes kv_bytes_per_token() const { return kv_bytes_per_token_layer() * layers; }
+  /// Bytes of K+V cached per token per layer for ONE query-head's group
+  /// share: head-wise accounting divides the per-token cache across the H
+  /// query heads (each KV head is shared by r query heads).
+  double kv_bytes_per_token_layer_per_head() const {
+    return static_cast<double>(kv_bytes_per_token_layer()) / heads;
+  }
+
+  /// Weight bytes of one transformer layer.
+  Bytes layer_param_bytes() const;
+  /// Total parameter bytes (layers + embeddings + LM head).
+  Bytes param_bytes() const;
+  /// Approximate parameter count.
+  double param_count() const { return static_cast<double>(param_bytes()) / dtype_bytes; }
+
+  std::string to_string() const;
+};
+
+/// Named presets.  Throws std::out_of_range for unknown names.
+const ModelSpec& opt_2_7b();
+const ModelSpec& opt_13b();
+const ModelSpec& opt_30b();
+const ModelSpec& llama_13b();
+const ModelSpec& llama2_7b();
+const ModelSpec& llama_70b();
+const ModelSpec& model_by_name(const std::string& name);
+
+}  // namespace hetis::model

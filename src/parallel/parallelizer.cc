@@ -1,0 +1,391 @@
+#include "parallel/parallelizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "engine/instance.h"
+
+namespace hetis::parallel {
+
+std::string ParallelPlan::to_string(const hw::Cluster& cluster) const {
+  std::ostringstream oss;
+  oss << "ParallelPlan{" << instances.size() << " instance(s)";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& inst = instances[i];
+    oss << "; I" << i << ": ";
+    for (std::size_t k = 0; k < inst.stages.size(); ++k) {
+      const auto& s = inst.stages[k];
+      if (k) oss << " -> ";
+      oss << hw::to_string(cluster.device(s.devices.front()).type) << "xTP" << s.tp() << "("
+          << s.layers << "L)";
+    }
+    if (!inst.attention_workers.empty()) {
+      oss << " + attn[";
+      for (std::size_t w = 0; w < inst.attention_workers.size(); ++w) {
+        if (w) oss << ",";
+        oss << hw::to_string(cluster.device(inst.attention_workers[w]).type);
+      }
+      oss << "]";
+    }
+  }
+  oss << "}";
+  return oss.str();
+}
+
+Parallelizer::Parallelizer(const hw::Cluster& cluster, const model::ModelSpec& model,
+                           ParallelizerOptions opts)
+    : cluster_(&cluster), model_(&model), opts_(opts), exec_(cluster, model) {}
+
+double Parallelizer::per_layer_cost_perfect(hw::GpuType type, int count,
+                                            const WorkloadProfile& profile) const {
+  // Perfect scaling: a stage of `count` devices runs the per-layer work
+  // `count` times faster than one device (no collective overhead); the
+  // paper adopts this assumption for the coarse grouping/pruning phase.
+  const hw::GpuSpec& gpu = hw::gpu_spec(type);
+  const costmodel::KernelModel& kernel = exec_.kernel();
+  Seconds prefill = kernel.dense_layer_time(gpu, *model_, profile.prefill_tokens, count);
+  std::vector<std::int64_t> prompt_lens(
+      std::max<std::int64_t>(1, profile.prefill_tokens / std::max<std::int64_t>(1, profile.mean_context)),
+      profile.mean_context);
+  prefill += kernel.prefill_attention_time(gpu, *model_, prompt_lens,
+                                           std::max(1, model_->heads / count));
+  std::vector<std::int64_t> ctxs(static_cast<std::size_t>(profile.decode_batch),
+                                 profile.mean_context);
+  Seconds decode = kernel.dense_layer_time(gpu, *model_, profile.decode_batch, count) +
+                   kernel.decode_attention_time(gpu, *model_, ctxs,
+                                                std::max(1, model_->heads / count));
+  return prefill + profile.decode_weight * decode;
+}
+
+double Parallelizer::perfect_scaling_cost(
+    const std::vector<std::pair<hw::GpuType, int>>& stage_devices,
+    const WorkloadProfile& profile) const {
+  std::vector<double> per_layer;
+  per_layer.reserve(stage_devices.size());
+  for (const auto& [type, count] : stage_devices) {
+    if (count <= 0) continue;
+    per_layer.push_back(per_layer_cost_perfect(type, count, profile));
+  }
+  if (per_layer.empty()) return std::numeric_limits<double>::infinity();
+  // Continuous balanced partition: min max_k n_k * t_k s.t. sum n_k = L is
+  // attained when all n_k * t_k are equal, i.e. C_p = L / sum(1/t_k).
+  // (The integer split is applied later; using the relaxation here keeps
+  // the Delta-ratio pruning criterion stable.)
+  double inv_sum = 0.0;
+  for (double t : per_layer) inv_sum += 1.0 / t;
+  return static_cast<double>(model_->layers) / inv_sum;
+}
+
+std::vector<int> Parallelizer::balance_layers(const std::vector<double>& per_layer_cost) const {
+  const int total = model_->layers;
+  const std::size_t n = per_layer_cost.size();
+  if (n == 0) return {};
+  if (n == 1) return {total};
+  // Continuous optimum: layers_k proportional to 1/cost_k.
+  double inv_sum = 0.0;
+  for (double c : per_layer_cost) inv_sum += 1.0 / c;
+  std::vector<double> frac(n);
+  std::vector<int> layers(n);
+  int assigned = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double ideal = total * (1.0 / per_layer_cost[k]) / inv_sum;
+    layers[k] = static_cast<int>(std::floor(ideal));
+    frac[k] = ideal - layers[k];
+    assigned += layers[k];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&frac](std::size_t a, std::size_t b) { return frac[a] > frac[b]; });
+  for (std::size_t k = 0; assigned < total; ++k) {
+    layers[order[k % n]] += 1;
+    ++assigned;
+  }
+  // A stage with zero layers would be degenerate; give it one from the
+  // largest stage (keeps every primary stage meaningful).
+  for (std::size_t k = 0; k < n; ++k) {
+    if (layers[k] == 0) {
+      std::size_t donor = static_cast<std::size_t>(
+          std::max_element(layers.begin(), layers.end()) - layers.begin());
+      if (layers[donor] > 1) {
+        --layers[donor];
+        ++layers[k];
+      }
+    }
+  }
+  return layers;
+}
+
+Bytes Parallelizer::instance_kv_capacity(const InstanceConfig& cfg) const {
+  Bytes total = 0;
+  for (std::size_t k = 0; k < cfg.stages.size(); ++k) {
+    const auto& s = cfg.stages[k];
+    Bytes params =
+        engine::stage_param_bytes_per_device(*model_, s, k == 0, k + 1 == cfg.stages.size());
+    for (int dev : s.devices) {
+      total += engine::kv_budget(cluster_->device(dev).spec(), params);
+    }
+  }
+  for (int dev : cfg.attention_workers) {
+    total += engine::kv_budget(cluster_->device(dev).spec(), 0);
+  }
+  return total;
+}
+
+double Parallelizer::instance_cost(const InstanceConfig& cfg,
+                                   const WorkloadProfile& profile) const {
+  // Full cost model C = C_comp + C_comm (HexGen-style), via ExecModel.
+  std::vector<std::int64_t> prompt_lens(
+      std::max<std::int64_t>(1, profile.prefill_tokens / std::max<std::int64_t>(1, profile.mean_context)),
+      profile.mean_context);
+  engine::IterationTime prefill = exec_.iteration_time(cfg, prompt_lens, /*prefill=*/true);
+  std::vector<std::int64_t> ctxs(static_cast<std::size_t>(profile.decode_batch),
+                                 profile.mean_context);
+  engine::IterationTime decode = exec_.iteration_time(cfg, ctxs, /*prefill=*/false);
+  return prefill.latency() + profile.decode_weight * decode.latency();
+}
+
+InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& shares,
+                                                  const std::vector<int>& pruned,
+                                                  const WorkloadProfile& profile,
+                                                  double* cost_out) const {
+  // Remaining (non-pruned) devices per type keep pipeline-stage roles.
+  std::vector<std::pair<hw::GpuType, std::vector<int>>> stage_groups;
+  for (const auto& share : shares) {
+    std::vector<int> devs;
+    for (int id : share.device_ids) {
+      if (std::find(pruned.begin(), pruned.end(), id) == pruned.end()) devs.push_back(id);
+    }
+    if (!devs.empty()) stage_groups.emplace_back(share.type, std::move(devs));
+  }
+  if (stage_groups.empty()) {
+    *cost_out = std::numeric_limits<double>::infinity();
+    return {};
+  }
+
+  // Balanced layer split across the unified per-type stages.
+  std::vector<double> per_layer;
+  for (const auto& [type, devs] : stage_groups) {
+    per_layer.push_back(per_layer_cost_perfect(type, static_cast<int>(devs.size()), profile));
+  }
+  std::vector<int> layer_split = balance_layers(per_layer);
+
+  // Intra-stage TP x PP enumeration: each unified stage of n devices with L
+  // layers may run as pp sub-stages of tp-way TP (tp * pp == n).
+  double best_cost = std::numeric_limits<double>::infinity();
+  InstanceConfig best;
+
+  // Enumerate the cross product of per-stage (tp, pp) choices.  Stage
+  // counts are small (<= 8 devices), so the product is tiny; evaluate
+  // sequentially per instance (instances themselves are searched in
+  // parallel by plan()).
+  std::vector<std::vector<std::pair<int, int>>> options(stage_groups.size());
+  for (std::size_t k = 0; k < stage_groups.size(); ++k) {
+    int n = static_cast<int>(stage_groups[k].second.size());
+    for (int tp = 1; tp <= n; ++tp) {
+      if (n % tp != 0) continue;
+      int pp = n / tp;
+      if (pp > layer_split[k]) continue;  // cannot have empty sub-stages
+      options[k].emplace_back(tp, pp);
+    }
+    if (options[k].empty()) options[k].emplace_back(n, 1);
+  }
+
+  std::vector<std::size_t> choice(stage_groups.size(), 0);
+  for (;;) {
+    InstanceConfig cfg;
+    for (std::size_t k = 0; k < stage_groups.size(); ++k) {
+      auto [tp, pp] = options[k][choice[k]];
+      const auto& devs = stage_groups[k].second;
+      int layers_left = layer_split[k];
+      for (int sub = 0; sub < pp; ++sub) {
+        StageConfig stage;
+        stage.devices.assign(devs.begin() + sub * tp, devs.begin() + (sub + 1) * tp);
+        stage.layers = layers_left / (pp - sub);
+        layers_left -= stage.layers;
+        cfg.stages.push_back(std::move(stage));
+      }
+    }
+    cfg.attention_workers = pruned;
+    double cost = instance_cost(cfg, profile);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cfg;
+    }
+    // Advance the mixed-radix counter.
+    std::size_t k = 0;
+    while (k < choice.size()) {
+      if (++choice[k] < options[k].size()) break;
+      choice[k] = 0;
+      ++k;
+    }
+    if (k == choice.size()) break;
+  }
+  *cost_out = best_cost;
+  return best;
+}
+
+ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
+  auto t0 = std::chrono::steady_clock::now();
+  diag_ = SearchDiagnostics{};
+
+  // Group devices by type, ordered high-end -> low-end.
+  std::vector<hw::GpuType> types = cluster_->types_by_power_desc();
+  std::map<hw::GpuType, std::vector<int>> by_type;
+  for (hw::GpuType t : types) by_type[t] = cluster_->devices_of_type(t);
+
+  // DP instance counts d must divide every type's count evenly.
+  std::vector<int> candidates_d{1};
+  if (opts_.allow_dp) {
+    int max_d = std::numeric_limits<int>::max();
+    for (const auto& [t, devs] : by_type) {
+      max_d = std::min(max_d, static_cast<int>(devs.size()));
+    }
+    for (int d = 2; d <= max_d; ++d) {
+      bool divides = true;
+      for (const auto& [t, devs] : by_type) {
+        if (static_cast<int>(devs.size()) % d != 0) divides = false;
+      }
+      if (divides) candidates_d.push_back(d);
+    }
+  }
+
+  struct Candidate {
+    ParallelPlan plan;
+    double cost = std::numeric_limits<double>::infinity();
+    int pruned = 0;
+  };
+  std::vector<Candidate> results(candidates_d.size());
+
+  ThreadPool pool(opts_.search_threads == 0 ? 0 : opts_.search_threads);
+  std::atomic<int> evaluated{0};
+
+  pool.parallel_for(0, candidates_d.size(), [&](std::size_t di) {
+    const int d = candidates_d[di];
+    // Per-instance workload share.
+    WorkloadProfile share = profile;
+    share.prefill_tokens = std::max<std::int64_t>(1, profile.prefill_tokens / d);
+    share.decode_batch = std::max<std::int64_t>(1, profile.decode_batch / d);
+
+    // Instance 0's device share; other instances are symmetric.
+    std::vector<TypeShare> shares;
+    for (hw::GpuType t : types) {
+      const auto& devs = by_type.at(t);
+      int per = static_cast<int>(devs.size()) / d;
+      if (per == 0) continue;
+      TypeShare ts;
+      ts.type = t;
+      ts.device_ids.assign(devs.begin(), devs.begin() + per);
+      shares.push_back(std::move(ts));
+    }
+    if (shares.empty()) return;
+
+    // --- Pruning (lowest-end first, Delta criterion) ---
+    std::vector<int> pruned;
+    auto counts_of = [&](const std::vector<int>& pr) {
+      std::vector<std::pair<hw::GpuType, int>> counts;
+      for (const auto& s : shares) {
+        int n = 0;
+        for (int id : s.device_ids) {
+          if (std::find(pr.begin(), pr.end(), id) == pr.end()) ++n;
+        }
+        counts.emplace_back(s.type, n);
+      }
+      return counts;
+    };
+    if (opts_.enable_pruning) {
+      double current = perfect_scaling_cost(counts_of(pruned), share);
+      // low-end -> high-end: iterate shares in reverse power order.
+      for (auto it = shares.rbegin(); it != shares.rend(); ++it) {
+        for (int id : it->device_ids) {
+          std::vector<int> attempt = pruned;
+          attempt.push_back(id);
+          auto counts = counts_of(attempt);
+          int remaining = 0;
+          for (const auto& [t, n] : counts) remaining += n;
+          if (remaining == 0) break;  // keep at least one primary device
+          double without = perfect_scaling_cost(counts, share);
+          ++evaluated;
+          if (without / current <= 1.0 + opts_.delta) {
+            pruned = std::move(attempt);
+            current = without;
+          } else {
+            break;  // removing more of this (or higher) type only hurts
+          }
+        }
+      }
+    }
+
+    // --- Intra-stage TP/PP search ---
+    double cost = 0.0;
+    InstanceConfig inst = best_instance_config(shares, pruned, share, &cost);
+    ++evaluated;
+    if (!std::isfinite(cost)) return;
+
+    // --- KV feasibility filter ---
+    Bytes kv = instance_kv_capacity(inst);
+    if (kv * d < profile.min_kv_bytes) return;
+
+    // Replicate across the d instances with each instance's own devices.
+    Candidate cand;
+    cand.cost = cost;
+    cand.pruned = static_cast<int>(pruned.size());
+    for (int rep = 0; rep < d; ++rep) {
+      InstanceConfig copy = inst;
+      // Map instance-0 device ids onto replica `rep` (per-type offset).
+      for (auto& stage : copy.stages) {
+        for (int& dev : stage.devices) {
+          hw::GpuType t = cluster_->device(dev).type;
+          const auto& all = by_type.at(t);
+          int per = static_cast<int>(all.size()) / d;
+          auto pos = std::find(all.begin(), all.end(), dev) - all.begin();
+          dev = all[static_cast<std::size_t>(pos + rep * per)];
+        }
+      }
+      for (int& dev : copy.attention_workers) {
+        hw::GpuType t = cluster_->device(dev).type;
+        const auto& all = by_type.at(t);
+        int per = static_cast<int>(all.size()) / d;
+        auto pos = std::find(all.begin(), all.end(), dev) - all.begin();
+        dev = all[static_cast<std::size_t>(pos + rep * per)];
+      }
+      cand.plan.instances.push_back(std::move(copy));
+    }
+    results[di] = std::move(cand);
+  });
+
+  // Pick the cheapest candidate (cost is per-instance latency; instances
+  // serve disjoint request shares, so compare per-instance cost directly;
+  // ties prefer more instances = more aggregate throughput).
+  std::size_t best = results.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].plan.instances.empty()) continue;
+    if (best == results.size() || results[i].cost < results[best].cost * 0.999) {
+      best = i;
+    }
+  }
+  diag_.configurations_evaluated = evaluated.load();
+  diag_.instances_considered = static_cast<int>(candidates_d.size());
+  auto t1 = std::chrono::steady_clock::now();
+  diag_.wall_time = std::chrono::duration<double>(t1 - t0).count();
+  if (best == results.size()) {
+    throw std::runtime_error(
+        "Parallelizer: no feasible configuration (KV capacity below min_kv_bytes?)");
+  }
+  diag_.pruned_devices = results[best].pruned;
+  diag_.best_cost = results[best].cost;
+  HETIS_INFO("Parallelizer: " << results[best].plan.to_string(*cluster_) << ", cost="
+                              << results[best].cost << ", searched in " << diag_.wall_time
+                              << "s");
+  return results[best].plan;
+}
+
+}  // namespace hetis::parallel

@@ -1,0 +1,99 @@
+// The Parallelizer (paper §4.1): primary-worker parallelism search.
+//
+// Hierarchical process, exactly as Fig. 4 describes:
+//   1. Device grouping: enumerate data-parallel instance counts d that
+//      divide every GPU type's count evenly; each instance receives an
+//      equal per-type share.
+//   2. Per-type unified pipeline stages, ordered high-end -> low-end, with
+//      a balanced layer partition minimizing C_p = max stage cost under
+//      perfect latency scaling (no comm).
+//   3. Pruning heuristic: remove GPUs kappa one at a time, lowest- to
+//      highest-end, while C_p(sigma - kappa) / C_p(sigma) <= 1 + Delta
+//      (Delta = 0.05).  Removed GPUs become Attention workers.
+//   4. Intra-stage TP x PP enumeration (evaluated in parallel on the
+//      thread pool) with the full C_comm + C_comp cost model.
+//   5. Configurations whose KV capacity cannot host the workload's decode
+//      set are filtered out; the cheapest surviving configuration wins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/exec.h"
+#include "hw/topology.h"
+#include "model/llm.h"
+#include "parallel/plan.h"
+
+namespace hetis::parallel {
+
+/// The request-distribution summary R the search optimizes for.
+struct WorkloadProfile {
+  std::int64_t prefill_tokens = 4096;  // tokens per prefill iteration
+  std::int64_t decode_batch = 64;      // concurrent sequences per instance
+  std::int64_t mean_context = 512;     // average KV length during decode
+  double decode_weight = 256;          // decode iterations per prefill
+                                       // (roughly the mean output length)
+  Bytes min_kv_bytes = 0;              // feasibility floor for filtering
+};
+
+struct ParallelizerOptions {
+  double delta = 0.05;          // pruning tolerance (paper default)
+  bool enable_pruning = true;   // ablation switch
+  bool allow_dp = true;         // consider multi-instance groupings
+  std::size_t search_threads = 0;  // 0 = hardware concurrency
+};
+
+struct SearchDiagnostics {
+  int configurations_evaluated = 0;
+  int instances_considered = 0;
+  int pruned_devices = 0;
+  double best_cost = 0;
+  Seconds wall_time = 0;
+};
+
+class Parallelizer {
+ public:
+  Parallelizer(const hw::Cluster& cluster, const model::ModelSpec& model,
+               ParallelizerOptions opts = {});
+
+  /// Runs the full hierarchical search.
+  ParallelPlan plan(const WorkloadProfile& profile);
+
+  const SearchDiagnostics& diagnostics() const { return diag_; }
+
+  /// C_p: max per-stage cost under perfect scaling for a per-type device
+  /// allocation (counts per GpuType) -- the pruning-phase cost (§4.1).
+  double perfect_scaling_cost(const std::vector<std::pair<hw::GpuType, int>>& stage_devices,
+                              const WorkloadProfile& profile) const;
+
+ private:
+  struct TypeShare {
+    hw::GpuType type;
+    std::vector<int> device_ids;  // share for one instance
+  };
+
+  /// Layer counts proportional to stage speed (balanced partition).
+  std::vector<int> balance_layers(const std::vector<double>& per_layer_cost) const;
+
+  /// Builds and costs the best intra-stage TP/PP layout for one instance.
+  InstanceConfig best_instance_config(const std::vector<TypeShare>& shares,
+                                      const std::vector<int>& pruned,
+                                      const WorkloadProfile& profile, double* cost_out) const;
+
+  double instance_cost(const InstanceConfig& cfg, const WorkloadProfile& profile) const;
+  Bytes instance_kv_capacity(const InstanceConfig& cfg) const;
+
+  /// Per-layer dense+attention cost of one token batch on `count` devices
+  /// of `type` under perfect scaling.
+  double per_layer_cost_perfect(hw::GpuType type, int count,
+                                const WorkloadProfile& profile) const;
+
+  const hw::Cluster* cluster_;
+  const model::ModelSpec* model_;
+  ParallelizerOptions opts_;
+  engine::ExecModel exec_;
+  SearchDiagnostics diag_;
+};
+
+}  // namespace hetis::parallel

@@ -1,0 +1,51 @@
+// Parallelization plan types shared by the Parallelizer, the baselines and
+// the serving engines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace hetis::parallel {
+
+/// One pipeline stage: a tensor-parallel group of same-type devices owning
+/// a contiguous slab of layers.
+struct StageConfig {
+  std::vector<int> devices;  // device ids, TP group (size = TP degree)
+  int layers = 0;
+  // Bytes already spoken for on each device of this stage by ANOTHER
+  // deployment sharing the hardware (e.g. Splitwise's prefill-pool model
+  // copy when a decode stage borrows A100s).  Subtracted from the KV
+  // budget.
+  Bytes extra_reserved = 0;
+
+  int tp() const { return static_cast<int>(devices.size()); }
+};
+
+/// One serving instance: a pipeline of stages plus (Hetis only) the
+/// Attention workers this instance can offload to.
+struct InstanceConfig {
+  std::vector<StageConfig> stages;
+  std::vector<int> attention_workers;
+
+  int total_layers() const {
+    int n = 0;
+    for (const auto& s : stages) n += s.layers;
+    return n;
+  }
+  std::vector<int> primary_devices() const {
+    std::vector<int> out;
+    for (const auto& s : stages) out.insert(out.end(), s.devices.begin(), s.devices.end());
+    return out;
+  }
+};
+
+/// A full cluster plan: data-parallel instances.
+struct ParallelPlan {
+  std::vector<InstanceConfig> instances;
+
+  std::string to_string(const hw::Cluster& cluster) const;
+};
+
+}  // namespace hetis::parallel

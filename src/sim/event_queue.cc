@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hetis::sim {
+
+void EventQueue::push(Seconds at, EventFn fn) {
+  if (at < 0.0) throw std::invalid_argument("EventQueue::push: negative time");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+EventQueue::Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  // std::priority_queue::top() returns const&; the move is safe because we
+  // pop immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace hetis::sim

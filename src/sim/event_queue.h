@@ -1,0 +1,52 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (stable tie-break via
+// a monotone sequence number), which keeps every experiment bit-for-bit
+// reproducible under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hetis::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// Schedules fn at absolute time `at` (must be >= 0).
+  void push(Seconds at, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  Seconds next_time() const { return heap_.top().time; }
+
+  /// Pops and returns the earliest event.
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hetis::sim

@@ -1,0 +1,37 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace hetis::sim {
+
+void Simulation::schedule_at(Seconds at, EventFn fn) {
+  queue_.push(at < now_ ? now_ : at, std::move(fn));
+}
+
+std::size_t Simulation::run_until(Seconds horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    EventQueue::Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+std::size_t Simulation::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (executed >= max_events) {
+      throw std::runtime_error("Simulation::run_all: exceeded max_events (runaway loop?)");
+    }
+    EventQueue::Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace hetis::sim

@@ -1,0 +1,34 @@
+// Simulation clock + event loop built on EventQueue.
+#pragma once
+
+#include "sim/event_queue.h"
+
+namespace hetis::sim {
+
+class Simulation {
+ public:
+  Seconds now() const { return now_; }
+
+  /// Schedules fn `delay` seconds from now.
+  void schedule_in(Seconds delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+  /// Schedules fn at absolute time `at` (clamped to now if in the past).
+  void schedule_at(Seconds at, EventFn fn);
+
+  /// Runs events until the queue drains or `horizon` is passed.  Events
+  /// scheduled exactly at the horizon still run.  Returns the number of
+  /// events executed.
+  std::size_t run_until(Seconds horizon);
+
+  /// Runs until the queue drains (use only with naturally-terminating
+  /// workloads).  `max_events` guards against runaway loops.
+  std::size_t run_all(std::size_t max_events = 100'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace hetis::sim

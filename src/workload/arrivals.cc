@@ -1,0 +1,30 @@
+#include "workload/arrivals.h"
+
+#include <stdexcept>
+
+namespace hetis::workload {
+
+std::vector<Seconds> generate_arrivals(const std::vector<RateSegment>& segments, Rng& rng) {
+  std::vector<Seconds> times;
+  Seconds segment_start = 0.0;
+  for (const auto& seg : segments) {
+    if (seg.duration < 0.0 || seg.rate < 0.0) {
+      throw std::invalid_argument("generate_arrivals: negative duration or rate");
+    }
+    if (seg.rate > 0.0) {
+      Seconds t = segment_start + rng.exponential(seg.rate);
+      while (t < segment_start + seg.duration) {
+        times.push_back(t);
+        t += rng.exponential(seg.rate);
+      }
+    }
+    segment_start += seg.duration;
+  }
+  return times;
+}
+
+std::vector<Seconds> generate_poisson(double rate, Seconds horizon, Rng& rng) {
+  return generate_arrivals({RateSegment{horizon, rate}}, rng);
+}
+
+}  // namespace hetis::workload

@@ -1,0 +1,26 @@
+// Arrival processes: stationary Poisson and piecewise-rate Poisson
+// (the paper's Fig. 14 drives rates 5 -> 0 -> 2.5 -> 0 over time).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace hetis::workload {
+
+/// A rate segment: `rate` requests/second for `duration` seconds.
+struct RateSegment {
+  Seconds duration;
+  double rate;  // may be 0 (silence)
+};
+
+/// Generates arrival timestamps for a piecewise-constant-rate Poisson
+/// process over the given segments (thinning-free: per-segment exponential
+/// gaps).  Returns sorted times starting at 0.
+std::vector<Seconds> generate_arrivals(const std::vector<RateSegment>& segments, Rng& rng);
+
+/// Stationary helper: `rate` req/s for `horizon` seconds.
+std::vector<Seconds> generate_poisson(double rate, Seconds horizon, Rng& rng);
+
+}  // namespace hetis::workload

@@ -1,0 +1,88 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetis::workload {
+
+const char* to_string(Dataset d) {
+  switch (d) {
+    case Dataset::kShareGPT: return "ShareGPT";
+    case Dataset::kHumanEval: return "HumanEval";
+    case Dataset::kLongBench: return "LongBench";
+  }
+  return "?";
+}
+
+Dataset dataset_by_name(const std::string& name) {
+  if (name == "SG" || name == "ShareGPT" || name == "sharegpt") return Dataset::kShareGPT;
+  if (name == "HE" || name == "HumanEval" || name == "humaneval") return Dataset::kHumanEval;
+  if (name == "LB" || name == "LongBench" || name == "longbench") return Dataset::kLongBench;
+  throw std::out_of_range("dataset_by_name: unknown dataset '" + name + "'");
+}
+
+namespace {
+
+struct LogNormalSpec {
+  double mu;      // of the underlying normal
+  double sigma;
+  double lo, hi;  // truncation bounds (tokens)
+};
+
+// Parameterization: mu = ln(median).  Values chosen to match the commonly
+// reported length statistics of each dataset (e.g. ShareGPT prompt/output
+// means of roughly 160/240 tokens with heavy tails; HumanEval prompts of
+// ~130 tokens with ~80-token completions; LongBench multi-k contexts).
+struct DatasetSpec {
+  LogNormalSpec prompt;
+  LogNormalSpec output;
+};
+
+const DatasetSpec& spec_of(Dataset d) {
+  static const DatasetSpec kShareGPT{
+      {std::log(140.0), 0.95, 4, 2048},
+      {std::log(180.0), 0.85, 8, 1024},
+  };
+  static const DatasetSpec kHumanEval{
+      {std::log(130.0), 0.40, 30, 512},
+      {std::log(75.0), 0.55, 12, 320},
+  };
+  static const DatasetSpec kLongBench{
+      // Truncated to serving-scale contexts (the paper's testbed sustains
+      // 0.4-1.6 req/s of LongBench prefill on Llama-70B, which bounds the
+      // usable prompt length to a few thousand tokens).
+      {std::log(2800.0), 0.50, 1024, 8192},
+      {std::log(130.0), 0.60, 24, 512},
+  };
+  switch (d) {
+    case Dataset::kShareGPT: return kShareGPT;
+    case Dataset::kHumanEval: return kHumanEval;
+    case Dataset::kLongBench: return kLongBench;
+  }
+  throw std::logic_error("spec_of: bad dataset");
+}
+
+std::int64_t draw(const LogNormalSpec& s, Rng& rng) {
+  return static_cast<std::int64_t>(std::llround(rng.lognormal_trunc(s.mu, s.sigma, s.lo, s.hi)));
+}
+
+double truncated_mean(const LogNormalSpec& s) {
+  // Monte-Carlo-free approximation: use the untruncated log-normal mean,
+  // clamped into the bounds; accurate enough for capacity planning.
+  double mean = std::exp(s.mu + s.sigma * s.sigma / 2.0);
+  return std::min(std::max(mean, s.lo), s.hi);
+}
+
+}  // namespace
+
+LengthSample sample_lengths(Dataset d, Rng& rng) {
+  const DatasetSpec& spec = spec_of(d);
+  return LengthSample{draw(spec.prompt, rng), draw(spec.output, rng)};
+}
+
+DatasetStats dataset_stats(Dataset d) {
+  const DatasetSpec& spec = spec_of(d);
+  return DatasetStats{truncated_mean(spec.prompt), truncated_mean(spec.output)};
+}
+
+}  // namespace hetis::workload

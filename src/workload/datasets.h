@@ -1,0 +1,47 @@
+// Synthetic dataset samplers (paper §7.1 workloads).
+//
+// We cannot ship ShareGPT / HumanEval / LongBench, but the serving system
+// only ever observes the (prompt_len, output_len) marginals, so seeded
+// log-normal samplers matched to each dataset's published length statistics
+// preserve everything the experiments depend on:
+//
+//   ShareGPT  (SG, chatbot):        medium prompts, medium-long outputs,
+//                                   heavy tail on both.
+//   HumanEval (HE, code completion): short prompts, short outputs -- this is
+//                                   why the paper drives it at 15-75 req/s.
+//   LongBench (LB, summarization):  very long prompts (multi-k tokens),
+//                                   short-to-medium outputs; the long-context
+//                                   stress test for re-dispatching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/request.h"
+
+namespace hetis::workload {
+
+enum class Dataset : std::uint8_t { kShareGPT, kHumanEval, kLongBench };
+
+const char* to_string(Dataset d);
+Dataset dataset_by_name(const std::string& name);  // "SG" | "HE" | "LB" (or full names)
+
+struct LengthSample {
+  std::int64_t prompt_len;
+  std::int64_t output_len;
+};
+
+/// Draws one (prompt, output) length pair for the dataset.
+LengthSample sample_lengths(Dataset d, Rng& rng);
+
+/// Mean prompt/output lengths of the sampler (analytic targets, used by
+/// capacity planning and the tests).
+struct DatasetStats {
+  double mean_prompt;
+  double mean_output;
+};
+DatasetStats dataset_stats(Dataset d);
+
+}  // namespace hetis::workload

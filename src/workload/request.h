@@ -1,0 +1,26 @@
+// Inference request descriptor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace hetis::workload {
+
+using RequestId = std::int64_t;
+
+struct Request {
+  RequestId id = -1;
+  Seconds arrival = 0.0;
+  std::int64_t prompt_len = 0;   // tokens in the prompt (prefill work)
+  std::int64_t output_len = 0;   // tokens to generate (decode iterations);
+                                 // the engine treats this as the point where
+                                 // EOS fires -- unknown to the scheduler a
+                                 // priori, exactly like real serving.
+
+  std::int64_t total_len() const { return prompt_len + output_len; }
+  std::string to_string() const;
+};
+
+}  // namespace hetis::workload

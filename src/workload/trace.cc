@@ -1,0 +1,52 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+namespace hetis::workload {
+
+std::string Request::to_string() const {
+  std::ostringstream oss;
+  oss << "Request{" << id << " @" << arrival << "s, prompt=" << prompt_len
+      << ", output=" << output_len << "}";
+  return oss.str();
+}
+
+std::vector<Request> build_trace(const TraceOptions& opts) {
+  Rng rng(opts.seed);
+  Rng arrival_rng = rng.fork(1);
+  Rng length_rng = rng.fork(2);
+
+  std::vector<Seconds> times =
+      opts.segments.empty() ? generate_poisson(opts.rate, opts.horizon, arrival_rng)
+                            : generate_arrivals(opts.segments, arrival_rng);
+
+  std::vector<Request> trace;
+  trace.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    LengthSample len = sample_lengths(opts.dataset, length_rng);
+    Request r;
+    r.id = static_cast<RequestId>(i);
+    r.arrival = times[i];
+    r.prompt_len = len.prompt_len;
+    r.output_len = len.output_len;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+TraceStats trace_stats(const std::vector<Request>& trace) {
+  TraceStats s;
+  s.count = trace.size();
+  if (trace.empty()) return s;
+  double prompt_sum = 0, output_sum = 0;
+  for (const auto& r : trace) {
+    prompt_sum += static_cast<double>(r.prompt_len);
+    output_sum += static_cast<double>(r.output_len);
+  }
+  s.mean_prompt = prompt_sum / static_cast<double>(trace.size());
+  s.mean_output = output_sum / static_cast<double>(trace.size());
+  s.span = trace.back().arrival - trace.front().arrival;
+  return s;
+}
+
+}  // namespace hetis::workload

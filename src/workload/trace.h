@@ -1,0 +1,35 @@
+// Trace builder: arrival process x dataset sampler -> request list.
+#pragma once
+
+#include <vector>
+
+#include "workload/arrivals.h"
+#include "workload/datasets.h"
+#include "workload/request.h"
+
+namespace hetis::workload {
+
+struct TraceOptions {
+  Dataset dataset = Dataset::kShareGPT;
+  std::uint64_t seed = 42;
+  // Stationary mode: rate > 0 with horizon.
+  double rate = 1.0;
+  Seconds horizon = 60.0;
+  // When non-empty, overrides (rate, horizon) with piecewise segments.
+  std::vector<RateSegment> segments;
+};
+
+/// Builds a sorted request trace.  Ids are assigned 0..n-1 in arrival
+/// order.
+std::vector<Request> build_trace(const TraceOptions& opts);
+
+/// Summary statistics of a trace for logging.
+struct TraceStats {
+  std::size_t count = 0;
+  double mean_prompt = 0;
+  double mean_output = 0;
+  Seconds span = 0;
+};
+TraceStats trace_stats(const std::vector<Request>& trace);
+
+}  // namespace hetis::workload

@@ -1,0 +1,290 @@
+// Unit tests: common utilities (units, logging, rng, stats, thread pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace hetis {
+namespace {
+
+// --- units ---
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(KiB, 1024);
+  EXPECT_EQ(MiB, 1024 * 1024);
+  EXPECT_EQ(GiB, 1024ll * 1024 * 1024);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(micros(1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(millis(1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(to_millis(0.5), 500.0);
+  EXPECT_DOUBLE_EQ(to_micros(1e-3), 1000.0);
+}
+
+TEST(Units, SizeConversions) {
+  EXPECT_DOUBLE_EQ(to_gb(2'000'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(to_gib(2 * GiB), 2.0);
+}
+
+// --- log ---
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(Log, SetAndGet) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+// --- rng ---
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(42), p2(42);
+  Rng a = p1.fork(7), b = p2.fork(7);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 3));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(1) && seen.count(3));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, LognormalTruncBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.lognormal_trunc(std::log(100.0), 1.0, 10.0, 500.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 500.0);
+  }
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(17);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedIndexErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(0.0));
+  }
+}
+
+// --- stats ---
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Summary, PercentileInterpolation) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+}
+
+TEST(Summary, SingleValuePercentiles) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 7.0);
+}
+
+TEST(Summary, MergeCombines) {
+  Summary a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Summary, StddevMatchesFormula) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Welford, MatchesSummary) {
+  Summary s;
+  Welford w;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.normal(10.0, 2.0);
+    s.add(v);
+    w.add(v);
+  }
+  EXPECT_NEAR(w.mean(), s.mean(), 1e-9);
+  EXPECT_NEAR(w.stddev(), s.stddev(), 1e-9);
+}
+
+TEST(Welford, EmptySafe) {
+  Welford w;
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamped into bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(15.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);  // overflow bucket
+}
+
+TEST(Histogram, BadRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --- thread pool ---
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ChunkedSeesWholeRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunked(10, 110, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(lo, hi);
+    total += hi - lo;
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, SubmitReturnsFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> x{0};
+  auto f = pool.submit([&] { x = 42; });
+  f.get();
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, 64, [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace hetis

@@ -1,0 +1,85 @@
+// Unit tests: the Hauler's background migration channel.
+#include <gtest/gtest.h>
+
+#include "hauler/hauler.h"
+#include "hw/topology.h"
+
+namespace hetis::hauler {
+namespace {
+
+TEST(Hauler, TransferTimeUsesSharedBandwidth) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{0.5});
+  // A100 (host 0) -> P100 (host 3): 12.5 GB/s LAN at 50% share.
+  Seconds done = h.migrate(0, 8, 625'000'000, 0.0);
+  EXPECT_NEAR(done, 0.1 + 20e-6, 1e-6);
+}
+
+TEST(Hauler, SameChannelSerializes) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{1.0});
+  Seconds d1 = h.migrate(0, 8, 125'000'000, 0.0);   // 10 ms
+  Seconds d2 = h.migrate(0, 9, 125'000'000, 0.0);   // same host pair channel
+  EXPECT_GT(d2, d1);
+  EXPECT_NEAR(d2 - d1, d1, 1e-4);
+}
+
+TEST(Hauler, DistinctChannelsParallel) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{1.0});
+  Seconds d1 = h.migrate(0, 8, 125'000'000, 0.0);  // host0 -> host3
+  Seconds d2 = h.migrate(4, 8, 125'000'000, 0.0);  // host1 -> host3
+  EXPECT_NEAR(d1, d2, 1e-6);
+}
+
+TEST(Hauler, IdleChannelStartsImmediately) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{1.0});
+  h.migrate(0, 8, 125'000'000, 0.0);
+  // After the channel drains, a new transfer at t=100 starts at t=100.
+  Seconds done = h.migrate(0, 8, 125'000'000, 100.0);
+  EXPECT_NEAR(done, 100.01, 1e-4);
+}
+
+TEST(Hauler, ZeroBytesAndSelfMovesAreFree) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c);
+  EXPECT_DOUBLE_EQ(h.migrate(0, 8, 0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.migrate(3, 3, 1 * GiB, 5.0), 5.0);
+  EXPECT_EQ(h.total_migrations(), 0);
+}
+
+TEST(Hauler, AccountingTotals) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c);
+  h.migrate(0, 8, 100, 0.0);
+  h.migrate(0, 9, 200, 0.0);
+  EXPECT_EQ(h.total_bytes(), 300);
+  EXPECT_EQ(h.total_migrations(), 2);
+}
+
+TEST(Hauler, IntraHostFasterThanInterHost) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{1.0});
+  Seconds intra = h.migrate(0, 1, 1 * GiB, 0.0);
+  Hauler h2(c, HaulerOptions{1.0});
+  Seconds inter = h2.migrate(0, 8, 1 * GiB, 0.0);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(Hauler, BadShareRejected) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  EXPECT_THROW(Hauler(c, HaulerOptions{0.0}), std::invalid_argument);
+  EXPECT_THROW(Hauler(c, HaulerOptions{1.5}), std::invalid_argument);
+}
+
+TEST(Hauler, ChannelBusyQuery) {
+  hw::Cluster c = hw::Cluster::paper_cluster();
+  Hauler h(c, HaulerOptions{1.0});
+  EXPECT_DOUBLE_EQ(h.channel_busy_until(0, 8), 0.0);
+  Seconds done = h.migrate(0, 8, 125'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(h.channel_busy_until(0, 8), done);
+}
+
+}  // namespace
+}  // namespace hetis::hauler

@@ -1,0 +1,165 @@
+// Unit tests: GPU catalog and cluster topology.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/gpu.h"
+#include "hw/topology.h"
+
+namespace hetis::hw {
+namespace {
+
+TEST(GpuCatalog, ContainsPaperDevices) {
+  EXPECT_EQ(gpu_spec(GpuType::kA100_80G).name, "A100");
+  EXPECT_EQ(gpu_spec(GpuType::kRTX3090).name, "3090");
+  EXPECT_EQ(gpu_spec(GpuType::kP100).name, "P100");
+}
+
+TEST(GpuCatalog, PaperMemoryCapacities) {
+  // Table 1: A100 80 GB, 3090 24 GB, P100 12 GB.
+  EXPECT_EQ(gpu_spec(GpuType::kA100_80G).memory, 80 * GiB);
+  EXPECT_EQ(gpu_spec(GpuType::kRTX3090).memory, 24 * GiB);
+  EXPECT_EQ(gpu_spec(GpuType::kP100).memory, 12 * GiB);
+}
+
+TEST(GpuCatalog, MemoryRatiosMatchPaper) {
+  // Paper §2.2: A100 has 3.33x and 6.67x more memory than 3090 / P100.
+  double a = static_cast<double>(gpu_spec(GpuType::kA100_80G).memory);
+  EXPECT_NEAR(a / gpu_spec(GpuType::kRTX3090).memory, 3.33, 0.01);
+  EXPECT_NEAR(a / gpu_spec(GpuType::kP100).memory, 6.67, 0.01);
+}
+
+TEST(GpuCatalog, EffectiveRatesPositive) {
+  for (const auto& spec : gpu_catalog()) {
+    EXPECT_GT(spec.eff_flops(), 0) << spec.name;
+    EXPECT_GT(spec.eff_dense_bw(), 0) << spec.name;
+    EXPECT_GT(spec.eff_attn_bw(), 0) << spec.name;
+    EXPECT_GT(spec.kernel_overhead, 0) << spec.name;
+    EXPECT_GT(spec.attn_head_cost, 0) << spec.name;
+  }
+}
+
+TEST(GpuCatalog, PowerOrdering) {
+  // The dense compute ordering that drives Parallelizer pruning.
+  EXPECT_GT(gpu_spec(GpuType::kA100_80G).compute_power(),
+            gpu_spec(GpuType::kRTX3090).compute_power());
+  EXPECT_GT(gpu_spec(GpuType::kRTX3090).compute_power(),
+            gpu_spec(GpuType::kP100).compute_power());
+}
+
+TEST(GpuCatalog, DensePrefillGapMatchesPaper) {
+  // Table 1 prefill: A100 is ~2.45x faster than 3090 and ~24.5x than P100.
+  double a = gpu_spec(GpuType::kA100_80G).eff_flops();
+  EXPECT_NEAR(a / gpu_spec(GpuType::kRTX3090).eff_flops(), 2.45, 0.35);
+  EXPECT_NEAR(a / gpu_spec(GpuType::kP100).eff_flops(), 24.5, 4.0);
+}
+
+TEST(GpuCatalog, AttentionGapMuchSmallerThanDenseGap) {
+  // The core heterogeneity observation (Fig. 2): the P100 attention gap is
+  // ~3x while its dense gap is >20x.
+  const GpuSpec& a100 = gpu_spec(GpuType::kA100_80G);
+  const GpuSpec& p100 = gpu_spec(GpuType::kP100);
+  double attn_gap = a100.eff_attn_bw() / p100.eff_attn_bw();
+  double dense_gap = a100.eff_flops() / p100.eff_flops();
+  EXPECT_LT(attn_gap, 5.0);
+  EXPECT_GT(dense_gap, 15.0);
+}
+
+TEST(GpuCatalog, UnknownTypeThrows) {
+  EXPECT_THROW(gpu_spec(static_cast<GpuType>(250)), std::out_of_range);
+}
+
+TEST(Cluster, PaperClusterShape) {
+  Cluster c = Cluster::paper_cluster();
+  EXPECT_EQ(c.num_devices(), 12);
+  EXPECT_EQ(c.hosts().size(), 4u);
+  EXPECT_EQ(c.devices_of_type(GpuType::kA100_80G).size(), 4u);
+  EXPECT_EQ(c.devices_of_type(GpuType::kRTX3090).size(), 4u);
+  EXPECT_EQ(c.devices_of_type(GpuType::kP100).size(), 4u);
+}
+
+TEST(Cluster, AblationClusterShape) {
+  Cluster c = Cluster::ablation_cluster();
+  EXPECT_EQ(c.num_devices(), 3);
+  EXPECT_EQ(c.devices_of_type(GpuType::kA100_80G).size(), 1u);
+  EXPECT_EQ(c.devices_of_type(GpuType::kRTX3090).size(), 2u);
+}
+
+TEST(Cluster, DeviceIdsAreContiguous) {
+  Cluster c = Cluster::paper_cluster();
+  for (int i = 0; i < c.num_devices(); ++i) {
+    EXPECT_EQ(c.device(i).id, i);
+  }
+}
+
+TEST(Cluster, HostAssignment) {
+  Cluster c = Cluster::paper_cluster();
+  // A100s are all on host 0; the two 3090 pairs on hosts 1 and 2.
+  for (int id : c.devices_of_type(GpuType::kA100_80G)) {
+    EXPECT_EQ(c.device(id).host, 0);
+  }
+  auto t3090 = c.devices_of_type(GpuType::kRTX3090);
+  EXPECT_TRUE(c.same_host(t3090[0], t3090[1]));
+  EXPECT_FALSE(c.same_host(t3090[1], t3090[2]));
+}
+
+TEST(Cluster, LinkSelection) {
+  Cluster c = Cluster::paper_cluster();
+  Link intra = c.link(0, 1);   // both A100s, host 0
+  Link inter = c.link(0, 11);  // A100 <-> P100 across hosts
+  EXPECT_GT(intra.bandwidth, inter.bandwidth);
+  EXPECT_LT(intra.latency, inter.latency);
+}
+
+TEST(Cluster, SelfLinkIsFree) {
+  Cluster c = Cluster::paper_cluster();
+  Link self = c.link(3, 3);
+  EXPECT_DOUBLE_EQ(self.transfer_time(1 * GiB), 0.0);
+}
+
+TEST(Cluster, LinkTransferTimeFormula) {
+  Link l{micros(20), 12.5e9};
+  EXPECT_NEAR(l.transfer_time(12'500'000'000), 1.0 + 20e-6, 1e-9);
+  EXPECT_NEAR(l.transfer_time(0), 20e-6, 1e-12);
+}
+
+TEST(Cluster, TypesByPowerDesc) {
+  Cluster c = Cluster::paper_cluster();
+  auto types = c.types_by_power_desc();
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], GpuType::kA100_80G);
+  EXPECT_EQ(types[1], GpuType::kRTX3090);
+  EXPECT_EQ(types[2], GpuType::kP100);
+}
+
+TEST(Cluster, SyntheticClusterScale) {
+  Cluster c = Cluster::synthetic_cluster(
+      {GpuType::kA100_80G, GpuType::kV100_32G, GpuType::kT4}, 32);
+  EXPECT_EQ(c.num_devices(), 96);
+  EXPECT_EQ(c.devices_of_type(GpuType::kV100_32G).size(), 32u);
+  // 4 GPUs per host.
+  EXPECT_EQ(c.hosts().size(), 24u);
+}
+
+TEST(Cluster, TotalMemory) {
+  Cluster c = Cluster::ablation_cluster();
+  EXPECT_EQ(c.total_memory(), 80 * GiB + 2 * 24 * GiB);
+}
+
+TEST(Cluster, MixedHost) {
+  Cluster c;
+  c.add_host("mixed", {GpuType::kA100_80G, GpuType::kT4});
+  EXPECT_EQ(c.num_devices(), 2);
+  EXPECT_TRUE(c.same_host(0, 1));
+  EXPECT_NE(c.device(0).type, c.device(1).type);
+}
+
+TEST(Cluster, ToStringMentionsHosts) {
+  Cluster c = Cluster::paper_cluster();
+  std::string s = c.to_string();
+  EXPECT_NE(s.find("host-a100"), std::string::npos);
+  EXPECT_NE(s.find("P100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetis::hw

@@ -1,0 +1,115 @@
+// Cross-system integration tests: all three engines on shared traces.
+#include <gtest/gtest.h>
+
+#include "baselines/hexgen.h"
+#include "baselines/splitwise.h"
+#include "engine/engine.h"
+#include "hetis/hetis_engine.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+std::vector<workload::Request> make_trace(workload::Dataset ds, double rate, double horizon) {
+  workload::TraceOptions opts;
+  opts.dataset = ds;
+  opts.rate = rate;
+  opts.horizon = horizon;
+  opts.seed = 123;
+  return workload::build_trace(opts);
+}
+
+struct TriReport {
+  engine::RunReport splitwise, hexgen, hetis;
+};
+
+TriReport run_all(const model::ModelSpec& m, const std::vector<workload::Request>& trace,
+                  Seconds drain = 900.0) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  TriReport out;
+  {
+    baselines::SplitwiseEngine eng(cluster, m);
+    out.splitwise = engine::run_trace(eng, trace, drain);
+  }
+  {
+    baselines::HexgenEngine eng(cluster, m);
+    out.hexgen = engine::run_trace(eng, trace, drain);
+  }
+  {
+    core::HetisOptions opts;
+    opts.workload.decode_batch = 64;
+    core::HetisEngine eng(cluster, m, opts);
+    out.hetis = engine::run_trace(eng, trace, drain);
+  }
+  return out;
+}
+
+TEST(Integration, AllSystemsDrainShareGpt13b) {
+  auto trace = make_trace(workload::Dataset::kShareGPT, 4.0, 15.0);
+  TriReport r = run_all(model::llama_13b(), trace);
+  EXPECT_EQ(r.splitwise.finished, trace.size());
+  EXPECT_EQ(r.hexgen.finished, trace.size());
+  EXPECT_EQ(r.hetis.finished, trace.size());
+}
+
+TEST(Integration, HetisHasLargestUsableCache) {
+  // Fig. 11's headline: Hetis provides the most usable KV space.
+  auto trace = make_trace(workload::Dataset::kShareGPT, 1.0, 5.0);
+  for (const auto* m : {&model::llama_13b(), &model::opt_30b(), &model::llama_70b()}) {
+    TriReport r = run_all(*m, trace);
+    EXPECT_GT(r.hetis.usable_kv, r.hexgen.usable_kv) << m->name;
+    EXPECT_GT(r.hetis.usable_kv, r.splitwise.usable_kv) << m->name;
+  }
+}
+
+TEST(Integration, HetisWinsNormalizedLatencyUnderLoad) {
+  // The Fig. 8 shape at a moderately high rate.
+  auto trace = make_trace(workload::Dataset::kShareGPT, 8.0, 20.0);
+  TriReport r = run_all(model::llama_13b(), trace);
+  EXPECT_LT(r.hetis.norm_latency_mean, r.hexgen.norm_latency_mean);
+  EXPECT_LT(r.hetis.norm_latency_mean, r.splitwise.norm_latency_mean);
+}
+
+TEST(Integration, HetisWinsTpotOn70b) {
+  // Fig. 12's TPOT ordering for the GQA model.
+  auto trace = make_trace(workload::Dataset::kShareGPT, 1.5, 20.0);
+  TriReport r = run_all(model::llama_70b(), trace);
+  EXPECT_LT(r.hetis.tpot_p95, r.hexgen.tpot_p95);
+  EXPECT_LT(r.hetis.tpot_p95, r.splitwise.tpot_p95);
+}
+
+TEST(Integration, HexgenTtftWorstUnderPipelineBubbles) {
+  // Fig. 12: HexGen's P100-laden prefill pipeline has the worst TTFT.
+  auto trace = make_trace(workload::Dataset::kShareGPT, 6.0, 15.0);
+  TriReport r = run_all(model::llama_13b(), trace);
+  EXPECT_GT(r.hexgen.ttft_p95, r.hetis.ttft_p95);
+}
+
+TEST(Integration, DeterministicSharedTrace) {
+  auto trace = make_trace(workload::Dataset::kHumanEval, 5.0, 10.0);
+  TriReport a = run_all(model::llama_13b(), trace);
+  TriReport b = run_all(model::llama_13b(), trace);
+  EXPECT_DOUBLE_EQ(a.hetis.norm_latency_mean, b.hetis.norm_latency_mean);
+  EXPECT_DOUBLE_EQ(a.hexgen.norm_latency_mean, b.hexgen.norm_latency_mean);
+  EXPECT_DOUBLE_EQ(a.splitwise.norm_latency_mean, b.splitwise.norm_latency_mean);
+}
+
+TEST(Integration, HumanEvalHighRateDrains) {
+  // HumanEval's short sequences sustain much higher rates (paper: 15-75).
+  auto trace = make_trace(workload::Dataset::kHumanEval, 20.0, 10.0);
+  TriReport r = run_all(model::llama_13b(), trace);
+  EXPECT_EQ(r.hetis.finished, trace.size());
+  EXPECT_GE(r.hexgen.finished, trace.size() * 9 / 10);
+}
+
+TEST(Integration, ModuleMetricsPopulated) {
+  auto trace = make_trace(workload::Dataset::kShareGPT, 3.0, 10.0);
+  TriReport r = run_all(model::llama_70b(), trace);
+  EXPECT_GT(r.hetis.mlp_module_p95, 0);
+  EXPECT_GT(r.hetis.attn_module_p95, 0);
+  EXPECT_GT(r.hexgen.mlp_module_p95, 0);
+}
+
+}  // namespace
+}  // namespace hetis

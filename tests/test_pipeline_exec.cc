@@ -1,0 +1,254 @@
+// Behavioural tests for the pipelined iteration-issue model, the Splitwise
+// migration/reservation protocol, and the buffer-reuse index builders.
+#include <gtest/gtest.h>
+
+#include "baselines/splitwise.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "engine/instance.h"
+#include "hetis/hetis_engine.h"
+#include "kvcache/index_builder.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+workload::Request make_req(workload::RequestId id, Seconds arrival, std::int64_t prompt,
+                           std::int64_t output) {
+  workload::Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.prompt_len = prompt;
+  r.output_len = output;
+  return r;
+}
+
+class PipelinedExec : public ::testing::Test {
+ protected:
+  PipelinedExec()
+      : cluster_(hw::Cluster::paper_cluster()), exec_(cluster_, model::llama_13b()) {
+    parallel::StageConfig s0;
+    s0.devices = {0, 1};
+    s0.layers = 20;
+    parallel::StageConfig s1;
+    s1.devices = {4, 5};
+    s1.layers = 20;
+    two_stage_.stages = {s0, s1};
+
+    parallel::StageConfig merged;
+    merged.devices = {0, 1};
+    merged.layers = 40;
+    one_stage_.stages = {merged};
+  }
+  hw::Cluster cluster_;
+  engine::ExecModel exec_;
+  parallel::InstanceConfig two_stage_;
+  parallel::InstanceConfig one_stage_;
+};
+
+TEST_F(PipelinedExec, ConsecutivePrefillsOverlapAcrossStages) {
+  // Two back-to-back prompts through a 2-stage pipeline should finish in
+  // less than 2x one prompt's pipeline latency (stage overlap).
+  engine::MetricsCollector metrics;
+  engine::PipelineInstance inst(exec_, two_stage_, metrics, engine::InstanceOptions{}, 0);
+  sim::Simulation sim;
+  // output_len 1: requests finish at prefill (isolates prefill timing).
+  // Prompts exceed the 8192-token budget jointly, forcing two iterations.
+  for (int i = 0; i < 2; ++i) {
+    workload::Request r = make_req(i, 0.0, 6000, 1);
+    metrics.on_arrival(r);
+    inst.submit(sim, r);
+  }
+  sim.run_until(120.0);
+  ASSERT_EQ(metrics.finished(), 2u);
+  Seconds t0 = metrics.records().at(0).finish;
+  Seconds t1 = metrics.records().at(1).finish;
+  std::vector<std::int64_t> lens{6000};
+  engine::IterationTime it = exec_.iteration_time(two_stage_, lens, true);
+  // Second prompt completes one *interval* (slowest stage), not one full
+  // latency, after the first.
+  EXPECT_LT(t1 - t0, it.latency() * 0.95);
+  EXPECT_GT(t1 - t0, it.interval() * 0.5);
+}
+
+TEST_F(PipelinedExec, DecodeIterationsSerialize) {
+  // A single running request's tokens are strictly sequential: finish time
+  // >= prefill + output * decode latency.
+  engine::MetricsCollector metrics;
+  engine::PipelineInstance inst(exec_, two_stage_, metrics, engine::InstanceOptions{}, 0);
+  sim::Simulation sim;
+  workload::Request r = make_req(0, 0.0, 100, 20);
+  metrics.on_arrival(r);
+  inst.submit(sim, r);
+  sim.run_until(120.0);
+  ASSERT_EQ(metrics.finished(), 1u);
+  const auto& rec = metrics.records().at(0);
+  std::vector<std::int64_t> ctx{101};
+  Seconds decode_latency = exec_.iteration_time(two_stage_, ctx, false).latency();
+  EXPECT_GE(rec.finish - rec.first_token, 19 * decode_latency * 0.9);
+}
+
+TEST_F(PipelinedExec, SingleStageStillCorrect) {
+  engine::MetricsCollector metrics;
+  engine::PipelineInstance inst(exec_, one_stage_, metrics, engine::InstanceOptions{}, 0);
+  sim::Simulation sim;
+  for (int i = 0; i < 8; ++i) {
+    workload::Request r = make_req(i, 0.1 * i, 200, 10);
+    metrics.on_arrival(r);
+    sim.schedule_at(r.arrival, [&inst, &sim, r] { inst.submit(sim, r); });
+  }
+  sim.run_until(120.0);
+  EXPECT_EQ(metrics.finished(), 8u);
+  EXPECT_EQ(inst.kv_used(), 0);
+  EXPECT_TRUE(inst.idle());
+}
+
+TEST_F(PipelinedExec, MemoryConsistentUnderPipelinedChurn) {
+  engine::MetricsCollector metrics;
+  engine::PipelineInstance inst(exec_, two_stage_, metrics, engine::InstanceOptions{}, 0);
+  sim::Simulation sim;
+  for (int i = 0; i < 40; ++i) {
+    workload::Request r = make_req(i, 0.05 * i, 150 + (i % 11) * 40, 4 + i % 17);
+    metrics.on_arrival(r);
+    sim.schedule_at(r.arrival, [&inst, &sim, r] { inst.submit(sim, r); });
+  }
+  sim.run_until(600.0);
+  EXPECT_EQ(metrics.finished(), 40u);
+  EXPECT_EQ(inst.kv_used(), 0);  // every byte released exactly once
+}
+
+// --- Splitwise reservation protocol ---
+
+TEST(SplitwiseProtocol, ReserveIncomingHoldsSpace) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  engine::ExecModel exec(cluster, model::llama_13b());
+  parallel::InstanceConfig cfg;
+  parallel::StageConfig s;
+  s.devices = {0};
+  s.layers = 40;
+  cfg.stages = {s};
+  engine::MetricsCollector metrics;
+  engine::InstanceOptions opts;
+  opts.decode_only = true;
+  engine::PipelineInstance inst(exec, cfg, metrics, opts, 0);
+
+  Bytes before = inst.kv_used();
+  ASSERT_TRUE(inst.reserve_incoming(500));
+  EXPECT_GT(inst.kv_used(), before);
+
+  sim::Simulation sim;
+  engine::LiveRequest lr;
+  lr.req = make_req(1, 0.0, 499, 5);
+  lr.prefilled = true;
+  lr.generated = 1;
+  metrics.on_arrival(lr.req);
+  inst.submit_reserved(sim, lr);  // converts the reservation, no extra memory
+  sim.run_until(60.0);
+  EXPECT_EQ(metrics.finished(), 1u);
+  EXPECT_EQ(inst.kv_used(), 0);
+}
+
+TEST(SplitwiseProtocol, ReserveFailsWhenFull) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  engine::ExecModel exec(cluster, model::llama_13b());
+  parallel::InstanceConfig cfg;
+  parallel::StageConfig s;
+  s.devices = {8};  // one P100: tiny budget after params... use A100 + reserve
+  s.devices = {0};
+  s.extra_reserved = 50 * GiB;
+  s.layers = 40;
+  cfg.stages = {s};
+  engine::MetricsCollector metrics;
+  engine::PipelineInstance inst(exec, cfg, metrics, engine::InstanceOptions{}, 0);
+  EXPECT_FALSE(inst.reserve_incoming(1'000'000));
+}
+
+TEST(SplitwiseProtocol, MigrationsCountedUnderBorrowedStage) {
+  // Llama-70B: the decode pipeline starts with a borrowed A100 stage; the
+  // 3090/P100 stages must still receive their layer shares over the LAN.
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  baselines::SplitwiseEngine eng(cluster, model::llama_70b());
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = 0.5;
+  topts.horizon = 10.0;
+  topts.seed = 9;
+  auto trace = workload::build_trace(topts);
+  engine::RunReport rep = engine::run_trace(eng, trace, 900.0);
+  EXPECT_EQ(rep.finished, trace.size());
+  EXPECT_GT(eng.migrated_bytes(), 0);
+}
+
+// --- Buffer-reuse index builders ---
+
+TEST(IndexBuilderReuse, RepeatedBuildsMatchFresh) {
+  kvcache::BlockAllocator ta(64ll * MiB, 16), ha(64ll * MiB, 16);
+  kvcache::TokenBlockTable tt(ta, 16);
+  kvcache::HeadBlockTable ht(ha, 16);
+  std::vector<kvcache::GatherItem> items;
+  for (int s = 0; s < 24; ++s) {
+    std::int64_t len = 10 + s * 7;
+    tt.add_sequence(s, len);
+    ht.add_groups(s, {0, 1, 2}, len);
+    for (int g : {0, 1, 2}) items.push_back(kvcache::GatherItem{s, g, len});
+  }
+  ThreadPool pool(4);
+  kvcache::GatherPlan reuse_token, reuse_serial, reuse_parallel;
+  for (int round = 0; round < 3; ++round) {
+    kvcache::build_token_index_into(tt, items, reuse_token);
+    kvcache::build_head_index_serial_into(ht, items, reuse_serial);
+    kvcache::build_head_index_parallel_into(ht, items, pool, reuse_parallel);
+    kvcache::GatherPlan fresh = kvcache::build_head_index_serial(ht, items);
+    EXPECT_EQ(reuse_serial.slots, fresh.slots);
+    EXPECT_EQ(reuse_parallel.slots, fresh.slots);
+    EXPECT_EQ(reuse_serial.item_offsets, fresh.item_offsets);
+    // Token-wise ignores the group: the three group rows of one sequence
+    // share the same slots.
+    EXPECT_EQ(reuse_token.slots[reuse_token.item_offsets[0]],
+              reuse_token.slots[reuse_token.item_offsets[1]]);
+  }
+}
+
+TEST(IndexBuilderReuse, ShrinkingItemListsReuseSafely) {
+  kvcache::BlockAllocator ha(64ll * MiB, 16);
+  kvcache::HeadBlockTable ht(ha, 16);
+  ht.add_groups(1, {0, 1}, 100);
+  std::vector<kvcache::GatherItem> big{{1, 0, 100}, {1, 1, 100}};
+  std::vector<kvcache::GatherItem> small{{1, 0, 40}};
+  kvcache::GatherPlan plan;
+  kvcache::build_head_index_serial_into(ht, big, plan);
+  EXPECT_EQ(plan.slots.size(), 200u);
+  kvcache::build_head_index_serial_into(ht, small, plan);
+  EXPECT_EQ(plan.slots.size(), 40u);
+  EXPECT_EQ(plan.num_items(), 1u);
+}
+
+// --- Hetis suspension path ---
+
+TEST(HetisSuspension, OffloadedRequestsResumeAfterTransfer) {
+  // Fixed plan with workers on another host forces post-prefill KV
+  // shipping for offloaded heads; everything must still drain.
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  parallel::ParallelPlan plan;
+  parallel::InstanceConfig inst;
+  parallel::StageConfig s;
+  s.devices = {0, 1};
+  s.layers = model::llama_13b().layers;
+  inst.stages = {s};
+  inst.attention_workers = {8, 9, 10, 11};
+  plan.instances.push_back(inst);
+  core::HetisOptions opts;
+  core::HetisEngine eng(cluster, model::llama_13b(), opts, plan);
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kLongBench;  // big caches -> offload
+  topts.rate = 2.0;
+  topts.horizon = 15.0;
+  topts.seed = 4;
+  auto trace = workload::build_trace(topts);
+  engine::RunReport rep = engine::run_trace(eng, trace, 1800.0);
+  EXPECT_EQ(rep.finished, trace.size());
+}
+
+}  // namespace
+}  // namespace hetis

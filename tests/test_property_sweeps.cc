@@ -1,0 +1,148 @@
+// Property sweeps across randomized heterogeneous clusters: the
+// Parallelizer must always emit well-formed plans, every engine must drain
+// arbitrary workloads, and memory accounting must balance to zero.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/hexgen.h"
+#include "baselines/splitwise.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "hetis/hetis_engine.h"
+#include "model/llm.h"
+#include "parallel/parallelizer.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+/// Builds a random 2-3-type cluster with per-type counts in {2, 4}.
+hw::Cluster random_cluster(Rng& rng) {
+  static const std::vector<hw::GpuType> kPool{
+      hw::GpuType::kH100_80G, hw::GpuType::kA100_80G, hw::GpuType::kA6000,
+      hw::GpuType::kV100_32G, hw::GpuType::kRTX3090, hw::GpuType::kL4};
+  std::set<std::size_t> picked;
+  std::size_t n_types = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+  while (picked.size() < n_types) {
+    picked.insert(static_cast<std::size_t>(rng.uniform_int(0, kPool.size() - 1)));
+  }
+  hw::Cluster c;
+  int host = 0;
+  for (std::size_t idx : picked) {
+    int count = rng.bernoulli(0.5) ? 2 : 4;
+    c.add_host("h" + std::to_string(host++), kPool[idx], count);
+  }
+  return c;
+}
+
+const model::ModelSpec& random_model(Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return model::llama2_7b();
+    case 1: return model::llama_13b();
+    default: return model::opt_13b();
+  }
+}
+
+class RandomClusterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomClusterSweep, ParallelizerPlansAreWellFormed) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  hw::Cluster cluster = random_cluster(rng);
+  const model::ModelSpec& m = random_model(rng);
+  parallel::Parallelizer par(cluster, m);
+  parallel::WorkloadProfile profile;
+  profile.decode_batch = 32;
+  parallel::ParallelPlan plan = par.plan(profile);
+
+  ASSERT_FALSE(plan.instances.empty());
+  std::set<int> seen;
+  for (const auto& inst : plan.instances) {
+    EXPECT_EQ(inst.total_layers(), m.layers);
+    for (const auto& s : inst.stages) {
+      EXPECT_GT(s.layers, 0);
+      ASSERT_FALSE(s.devices.empty());
+      for (int dev : s.devices) {
+        EXPECT_TRUE(seen.insert(dev).second) << "device reused: " << dev;
+        EXPECT_EQ(cluster.device(dev).type, cluster.device(s.devices.front()).type);
+      }
+    }
+    for (int dev : inst.attention_workers) {
+      EXPECT_TRUE(seen.insert(dev).second);
+    }
+  }
+}
+
+TEST_P(RandomClusterSweep, HetisDrainsRandomWorkload) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  hw::Cluster cluster = random_cluster(rng);
+  const model::ModelSpec& m = random_model(rng);
+  core::HetisOptions opts;
+  opts.workload.decode_batch = 32;
+  core::HetisEngine eng(cluster, m, opts);
+
+  workload::TraceOptions topts;
+  topts.dataset = rng.bernoulli(0.5) ? workload::Dataset::kShareGPT
+                                     : workload::Dataset::kHumanEval;
+  topts.rate = rng.uniform(1.0, 4.0);
+  topts.horizon = 10.0;
+  topts.seed = static_cast<std::uint64_t>(GetParam());
+  auto trace = workload::build_trace(topts);
+  engine::RunReport rep = engine::run_trace(eng, trace, 1800.0);
+  EXPECT_EQ(rep.finished, trace.size());
+  // Latency sanity: positive, and bounded by something absurd.
+  if (rep.finished > 0) {
+    EXPECT_GT(rep.norm_latency_mean, 0.0);
+    EXPECT_LT(rep.norm_latency_mean, 30.0);
+  }
+}
+
+TEST_P(RandomClusterSweep, BaselinesDrainRandomWorkload) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709);
+  hw::Cluster cluster = random_cluster(rng);
+  const model::ModelSpec& m = model::llama2_7b();  // fits everywhere
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = 2.0;
+  topts.horizon = 8.0;
+  topts.seed = static_cast<std::uint64_t>(GetParam()) + 31;
+  auto trace = workload::build_trace(topts);
+
+  baselines::HexgenEngine hex(cluster, m);
+  EXPECT_EQ(engine::run_trace(hex, trace, 1800.0).finished, trace.size());
+  baselines::SplitwiseEngine sw(cluster, m);
+  EXPECT_EQ(engine::run_trace(sw, trace, 1800.0).finished, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomClusterSweep, ::testing::Range(1, 13));
+
+// Determinism must hold across random configurations too.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsBitEqual) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  hw::Cluster cluster = random_cluster(rng);
+  workload::TraceOptions topts;
+  topts.rate = 3.0;
+  topts.horizon = 6.0;
+  topts.seed = static_cast<std::uint64_t>(GetParam());
+  auto trace = workload::build_trace(topts);
+
+  auto run_once = [&] {
+    core::HetisOptions opts;
+    opts.workload.decode_batch = 32;
+    core::HetisEngine eng(cluster, model::llama2_7b(), opts);
+    return engine::run_trace(eng, trace, 1800.0);
+  };
+  engine::RunReport a = run_once();
+  engine::RunReport b = run_once();
+  EXPECT_DOUBLE_EQ(a.norm_latency_mean, b.norm_latency_mean);
+  EXPECT_DOUBLE_EQ(a.ttft_p95, b.ttft_p95);
+  EXPECT_DOUBLE_EQ(a.tpot_p95, b.tpot_p95);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace hetis

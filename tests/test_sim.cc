@@ -1,0 +1,126 @@
+// Unit tests: discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace hetis::sim {
+namespace {
+
+TEST(EventQueue, TimeOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NegativeTimeThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  Seconds seen = -1;
+  sim.schedule_in(2.5, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, ScheduleAtPastClampsToNow) {
+  Simulation sim;
+  sim.schedule_in(5.0, [&] {
+    sim.schedule_at(1.0, [] {});  // in the past; must not go backwards
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, RunUntilHorizonStopsEarly) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(10.0, [&] { ++fired; });
+  std::size_t n = sim.run_until(5.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, EventsExactlyAtHorizonRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_in(5.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CascadingEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(0.01, recurse);
+  };
+  sim.schedule_in(0.0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(sim.now(), 0.99, 1e-9);
+}
+
+TEST(Simulation, RunAllGuardsAgainstRunaway) {
+  Simulation sim;
+  std::function<void()> forever = [&] { sim.schedule_in(0.001, forever); };
+  sim.schedule_in(0.0, forever);
+  EXPECT_THROW(sim.run_all(1000), std::runtime_error);
+}
+
+TEST(Simulation, ZeroDelayEventsRunInOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(0.0, [&] { order.push_back(1); });
+  sim.schedule_in(0.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, IdleReflectsQueue) {
+  Simulation sim;
+  EXPECT_TRUE(sim.idle());
+  sim.schedule_in(1.0, [] {});
+  EXPECT_FALSE(sim.idle());
+  sim.run_all();
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace hetis::sim

@@ -1,0 +1,168 @@
+// Unit tests: arrival processes, dataset samplers, trace builder.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/arrivals.h"
+#include "workload/datasets.h"
+#include "workload/trace.h"
+
+namespace hetis::workload {
+namespace {
+
+TEST(Arrivals, PoissonRateAccuracy) {
+  Rng rng(1);
+  auto times = generate_poisson(10.0, 1000.0, rng);
+  EXPECT_NEAR(static_cast<double>(times.size()) / 1000.0, 10.0, 0.5);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(Arrivals, ZeroRateSegmentsSilent) {
+  Rng rng(2);
+  auto times = generate_arrivals({{10.0, 5.0}, {10.0, 0.0}, {10.0, 5.0}}, rng);
+  for (Seconds t : times) {
+    EXPECT_FALSE(t >= 10.0 && t < 20.0) << "arrival inside silent segment at " << t;
+  }
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(Arrivals, SegmentBoundariesRespected) {
+  Rng rng(3);
+  auto times = generate_arrivals({{5.0, 20.0}}, rng);
+  for (Seconds t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 5.0);
+  }
+}
+
+TEST(Arrivals, NegativeInputsThrow) {
+  Rng rng(4);
+  EXPECT_THROW(generate_arrivals({{-1.0, 5.0}}, rng), std::invalid_argument);
+  EXPECT_THROW(generate_arrivals({{1.0, -5.0}}, rng), std::invalid_argument);
+}
+
+TEST(Datasets, NameRoundTrip) {
+  EXPECT_EQ(dataset_by_name("SG"), Dataset::kShareGPT);
+  EXPECT_EQ(dataset_by_name("HumanEval"), Dataset::kHumanEval);
+  EXPECT_EQ(dataset_by_name("longbench"), Dataset::kLongBench);
+  EXPECT_THROW(dataset_by_name("unknown"), std::out_of_range);
+  EXPECT_STREQ(to_string(Dataset::kShareGPT), "ShareGPT");
+}
+
+class DatasetSweep : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatasetSweep, LengthsPositiveAndBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    LengthSample s = sample_lengths(GetParam(), rng);
+    EXPECT_GT(s.prompt_len, 0);
+    EXPECT_GT(s.output_len, 0);
+    EXPECT_LE(s.prompt_len, 16384);
+    EXPECT_LE(s.output_len, 1024);
+  }
+}
+
+TEST_P(DatasetSweep, EmpiricalMeansNearAnalytic) {
+  Rng rng(6);
+  double prompt_sum = 0, output_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    LengthSample s = sample_lengths(GetParam(), rng);
+    prompt_sum += static_cast<double>(s.prompt_len);
+    output_sum += static_cast<double>(s.output_len);
+  }
+  DatasetStats stats = dataset_stats(GetParam());
+  // Truncation shifts the mean; allow a generous band.
+  EXPECT_NEAR(prompt_sum / n / stats.mean_prompt, 1.0, 0.35);
+  EXPECT_NEAR(output_sum / n / stats.mean_output, 1.0, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DatasetSweep,
+                         ::testing::Values(Dataset::kShareGPT, Dataset::kHumanEval,
+                                           Dataset::kLongBench),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Datasets, CharacteristicShapes) {
+  // LongBench prompts >> ShareGPT prompts >> HumanEval outputs (roughly).
+  EXPECT_GT(dataset_stats(Dataset::kLongBench).mean_prompt,
+            5 * dataset_stats(Dataset::kShareGPT).mean_prompt);
+  EXPECT_LT(dataset_stats(Dataset::kHumanEval).mean_output,
+            dataset_stats(Dataset::kShareGPT).mean_output);
+}
+
+TEST(Trace, SortedWithSequentialIds) {
+  TraceOptions opts;
+  opts.rate = 5.0;
+  opts.horizon = 30.0;
+  auto trace = build_trace(opts);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<RequestId>(i));
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    }
+  }
+}
+
+TEST(Trace, DeterministicBySeed) {
+  TraceOptions opts;
+  opts.rate = 3.0;
+  opts.horizon = 20.0;
+  opts.seed = 99;
+  auto a = build_trace(opts);
+  auto b = build_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].output_len, b[i].output_len);
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  TraceOptions a_opts, b_opts;
+  a_opts.rate = b_opts.rate = 5.0;
+  a_opts.horizon = b_opts.horizon = 20.0;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  auto a = build_trace(a_opts);
+  auto b = build_trace(b_opts);
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = a[i].prompt_len != b[i].prompt_len;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Trace, PiecewiseSegmentsOverrideRate) {
+  TraceOptions opts;
+  opts.rate = 100.0;  // must be ignored
+  opts.segments = {{5.0, 2.0}, {5.0, 0.0}};
+  auto trace = build_trace(opts);
+  for (const auto& r : trace) EXPECT_LT(r.arrival, 5.0);
+  EXPECT_LT(trace.size(), 40u);
+}
+
+TEST(Trace, StatsComputed) {
+  TraceOptions opts;
+  opts.rate = 4.0;
+  opts.horizon = 50.0;
+  auto trace = build_trace(opts);
+  TraceStats s = trace_stats(trace);
+  EXPECT_EQ(s.count, trace.size());
+  EXPECT_GT(s.mean_prompt, 0);
+  EXPECT_GT(s.mean_output, 0);
+  EXPECT_GT(s.span, 0);
+  EXPECT_EQ(trace_stats({}).count, 0u);
+}
+
+TEST(Trace, RequestToString) {
+  Request r;
+  r.id = 3;
+  r.prompt_len = 10;
+  r.output_len = 20;
+  EXPECT_NE(r.to_string().find("prompt=10"), std::string::npos);
+  EXPECT_EQ(r.total_len(), 30);
+}
+
+}  // namespace
+}  // namespace hetis::workload
