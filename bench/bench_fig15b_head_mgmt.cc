@@ -8,6 +8,8 @@
 //     items on the thread pool (paper: -26% fetch time).
 #include <benchmark/benchmark.h>
 
+#include "harness.h"
+
 #include "common/thread_pool.h"
 #include "kvcache/allocator.h"
 #include "kvcache/block_table.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_FetchHeadWiseParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMi
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETIS_BENCH_MAIN();

@@ -4,6 +4,8 @@
 // LP on the serving path (§6 "Optimization problem solving").
 #include <benchmark/benchmark.h>
 
+#include "harness.h"
+
 #include "costmodel/kernel_model.h"
 #include "hw/gpu.h"
 #include "kvcache/allocator.h"
@@ -92,4 +94,4 @@ BENCHMARK(BM_KernelModelDecodeIteration)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETIS_BENCH_MAIN();

@@ -6,6 +6,8 @@
 // to deployment lifetime.
 #include <benchmark/benchmark.h>
 
+#include "harness.h"
+
 #include "hw/topology.h"
 #include "model/llm.h"
 #include "parallel/parallelizer.h"
@@ -62,4 +64,4 @@ BENCHMARK(BM_SearchNoPruning)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETIS_BENCH_MAIN();

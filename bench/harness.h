@@ -17,6 +17,13 @@
 #include "model/llm.h"
 #include "workload/trace.h"
 
+// Entry point shared by the google-benchmark-based microbenches
+// (bench_micro_core, bench_fig15b_head_mgmt, bench_search_overhead).  When
+// google-benchmark is absent CMake skips those three targets entirely, so
+// this only ever expands with the library present.  Plain benches define
+// their own main() and print their figure directly.
+#define HETIS_BENCH_MAIN() BENCHMARK_MAIN()
+
 namespace hetis::bench {
 
 inline constexpr std::uint64_t kSeed = 20251116;  // SC'25 start date

@@ -31,10 +31,10 @@ SplitwisePlan splitwise_default_plan(const hw::Cluster& cluster, const model::Mo
     auto devs = plan.prefill.stages.front().devices;
     std::size_t half = devs.size() / 2;
     if (half == 0) throw std::invalid_argument("splitwise_default_plan: too few devices");
-    plan.prefill.stages.front().devices.assign(devs.begin(), devs.begin() + half);
+    plan.prefill.stages.front().devices.resize(half);
     parallel::InstanceConfig decode;
     parallel::StageConfig stage;
-    stage.devices.assign(devs.begin() + half, devs.end());
+    stage.devices = std::vector<int>(devs.begin() + half, devs.end());
     stage.layers = model.layers;
     decode.stages.push_back(std::move(stage));
     plan.decode.push_back(std::move(decode));
