@@ -15,50 +15,50 @@ using namespace hetis;
 
 engine::RunReport run_variant(const hw::Cluster& cluster, const model::ModelSpec& m,
                               const std::vector<workload::Request>& trace,
-                              core::HetisOptions opts) {
-  core::HetisEngine eng(cluster, m, opts);
-  return engine::run_trace(eng, trace);
+                              engine::HetisConfig opts) {
+  auto eng = engine::make("hetis", cluster, m, std::move(opts));
+  return engine::run_trace(*eng, trace, engine::RunOptions(bench::kDrain));
 }
 
 }  // namespace
 
 int main() {
   using namespace hetis;
-  hw::Cluster cluster = hw::Cluster::paper_cluster();
-  const model::ModelSpec& m = model::llama_13b();
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& m = model::model_by_name("Llama-13B");
   auto trace = bench::make_trace(workload::Dataset::kShareGPT, 10.0);
 
   std::printf("=== Design ablations (ShareGPT @10, Llama-13B, paper cluster) ===\n\n");
   std::printf("%-24s %14s %14s %10s\n", "variant", "mean (s/tok)", "p95 (s/tok)", "vs full");
 
-  core::HetisOptions full = bench::hetis_options();
+  engine::HetisConfig full = bench::hetis_options();
   engine::RunReport base = run_variant(cluster, m, trace, full);
   std::printf("%-24s %14.4f %14.4f %9.2fx\n", "Hetis (full)", base.norm_latency_mean,
               base.norm_latency_p95, 1.0);
 
   {
-    core::HetisOptions opts = bench::hetis_options();
+    engine::HetisConfig opts = bench::hetis_options();
     opts.use_lp = false;
     engine::RunReport r = run_variant(cluster, m, trace, opts);
     std::printf("%-24s %14.4f %14.4f %9.2fx\n", "greedy dispatch (no LP)", r.norm_latency_mean,
                 r.norm_latency_p95, r.norm_latency_mean / base.norm_latency_mean);
   }
   {
-    core::HetisOptions opts = bench::hetis_options();
+    engine::HetisConfig opts = bench::hetis_options();
     opts.search.enable_pruning = false;  // P100s join dense parallelism
     engine::RunReport r = run_variant(cluster, m, trace, opts);
     std::printf("%-24s %14.4f %14.4f %9.2fx\n", "no pruning (O1 off)", r.norm_latency_mean,
                 r.norm_latency_p95, r.norm_latency_mean / base.norm_latency_mean);
   }
   {
-    core::HetisOptions opts = bench::hetis_options();
+    engine::HetisConfig opts = bench::hetis_options();
     opts.enable_redispatch = false;
     engine::RunReport r = run_variant(cluster, m, trace, opts);
     std::printf("%-24s %14.4f %14.4f %9.2fx\n", "no re-dispatch (LIFO)", r.norm_latency_mean,
                 r.norm_latency_p95, r.norm_latency_mean / base.norm_latency_mean);
   }
   {
-    core::HetisOptions opts = bench::hetis_options();
+    engine::HetisConfig opts = bench::hetis_options();
     opts.search.allow_dp = false;
     engine::RunReport r = run_variant(cluster, m, trace, opts);
     std::printf("%-24s %14.4f %14.4f %9.2fx\n", "single instance (no DP)", r.norm_latency_mean,

@@ -1,12 +1,15 @@
 // Fig. 10 reproduction: normalized end-to-end latency vs request rate for
 // Llama-70B (GQA) across the three datasets and systems.
+//
+// Declarative harness sweep; pass --csv for the aligned row dump.
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetis;
-  bench::run_e2e_figure("Fig. 10", model::llama_70b(),
+  bench::run_e2e_figure("Fig. 10", "Llama-70B",
                         {{workload::Dataset::kShareGPT, {1, 2, 3}},
                          {workload::Dataset::kHumanEval, {3, 6, 9, 12}},
-                         {workload::Dataset::kLongBench, {0.4, 0.8, 1.2, 1.6}}});
+                         {workload::Dataset::kLongBench, {0.4, 0.8, 1.2, 1.6}}},
+                        bench::csv_requested(argc, argv));
   return 0;
 }

@@ -6,25 +6,30 @@
 // (The paper's per-dataset variation stems from HexGen re-planning per
 // request distribution; our HexGen instantiation is the paper's fixed
 // 4-stage layout, so one column per model is reported.)
+//
+// Engines are constructed by registry name; no serving run is needed --
+// usable KV capacity is a property of the deployment.
+#include <algorithm>
 #include <cstdio>
 
 #include "harness.h"
 
 int main() {
   using namespace hetis;
-  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  hw::Cluster cluster = harness::cluster_by_name("paper");
 
   std::printf("=== Fig. 11: maximum available KV cache space (GB) ===\n\n");
   std::printf("%-10s %12s %12s %12s %14s\n", "model", "Hetis", "Hexgen", "Splitwise",
               "Hetis/best-bl");
-  for (const auto* m : {&model::llama_13b(), &model::opt_30b(), &model::llama_70b()}) {
-    core::HetisEngine het(cluster, *m, bench::hetis_options());
-    baselines::HexgenEngine hex(cluster, *m);
-    baselines::SplitwiseEngine sw(cluster, *m);
-    double h = to_gb(het.usable_kv_capacity());
-    double g = to_gb(hex.usable_kv_capacity());
-    double s = to_gb(sw.usable_kv_capacity());
-    std::printf("%-10s %12.1f %12.1f %12.1f %13.2fx\n", m->name.c_str(), h, g, s,
+  for (const char* name : {"Llama-13B", "OPT-30B", "Llama-70B"}) {
+    const model::ModelSpec& m = model::model_by_name(name);
+    auto het = engine::make("hetis", cluster, m, bench::hetis_options());
+    auto hex = engine::make("hexgen", cluster, m);
+    auto sw = engine::make("splitwise", cluster, m);
+    double h = to_gb(het->usable_kv_capacity());
+    double g = to_gb(hex->usable_kv_capacity());
+    double s = to_gb(sw->usable_kv_capacity());
+    std::printf("%-10s %12.1f %12.1f %12.1f %13.2fx\n", m.name.c_str(), h, g, s,
                 h / std::max(g, s));
   }
   return 0;

@@ -13,11 +13,14 @@
 #include <cstdio>
 
 #include "harness.h"
+// Not harness-migrated: this ablation reads HetisEngine-specific re-dispatch
+// counters, so it constructs the concrete engine directly.
+#include "hetis/hetis_engine.h"
 
 int main() {
   using namespace hetis;
-  hw::Cluster cluster = hw::Cluster::ablation_cluster();
-  const model::ModelSpec& m = model::llama_13b();
+  hw::Cluster cluster = harness::cluster_by_name("ablation");
+  const model::ModelSpec& m = model::model_by_name("Llama-13B");
 
   // Fixed roles: A100 primary, both 3090s pooled for Attention.
   parallel::ParallelPlan plan;
@@ -32,12 +35,13 @@ int main() {
   auto trace = bench::make_trace(workload::Dataset::kLongBench, 2.5, 60.0);
 
   engine::RunReport with_rd, lifo;
+  const engine::RunOptions ropts(1800.0);
   int rescues = 0, balances = 0;
   {
     core::HetisOptions opts = bench::hetis_options();
     opts.enable_redispatch = true;
     core::HetisEngine eng(cluster, m, opts, plan);
-    with_rd = engine::run_trace(eng, trace, 1800.0);
+    with_rd = engine::run_trace(eng, trace, ropts);
     rescues = eng.rescue_redispatches();
     balances = eng.balance_redispatches();
   }
@@ -45,7 +49,7 @@ int main() {
     core::HetisOptions opts = bench::hetis_options();
     opts.enable_redispatch = false;  // plain LIFO preemption only
     core::HetisEngine eng(cluster, m, opts, plan);
-    lifo = engine::run_trace(eng, trace, 1800.0);
+    lifo = engine::run_trace(eng, trace, ropts);
   }
 
   std::printf("=== Fig. 15(a): re-dispatching vs LIFO (LongBench @2.5, Llama-13B, ");

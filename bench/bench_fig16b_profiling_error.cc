@@ -9,15 +9,16 @@
 
 int main() {
   using namespace hetis;
-  using ET = core::HetisOptions::ErrorTarget;
-  hw::Cluster cluster = hw::Cluster::paper_cluster();
-  const model::ModelSpec& m = model::llama_13b();
+  using ET = engine::HetisConfig::ErrorTarget;
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& m = model::model_by_name("Llama-13B");
   auto trace = bench::make_trace(workload::Dataset::kShareGPT, 6.0);
+  const engine::RunOptions ropts(bench::kDrain);
 
   double base;
   {
-    core::HetisEngine eng(cluster, m, bench::hetis_options());
-    base = engine::run_trace(eng, trace).norm_latency_mean;
+    auto eng = engine::make("hetis", cluster, m, bench::hetis_options());
+    base = engine::run_trace(*eng, trace, ropts).norm_latency_mean;
   }
 
   const std::vector<std::pair<const char*, ET>> targets{
@@ -36,12 +37,12 @@ int main() {
     for (const auto& [name, target] : targets) {
       double acc = 0;
       for (std::uint64_t seed : seeds) {
-        core::HetisOptions opts = bench::hetis_options();
+        engine::HetisConfig opts = bench::hetis_options();
         opts.profile_error = err;
         opts.profile_error_target = target;
         opts.profile_seed = seed;
-        core::HetisEngine eng(cluster, m, opts);
-        acc += engine::run_trace(eng, trace).norm_latency_mean;
+        auto eng = engine::make("hetis", cluster, m, opts);
+        acc += engine::run_trace(*eng, trace, ropts).norm_latency_mean;
       }
       std::printf(" %8.3f", acc / static_cast<double>(seeds.size()) / base);
     }

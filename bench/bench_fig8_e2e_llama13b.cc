@@ -2,13 +2,16 @@
 // rate for Llama-13B on ShareGPT / HumanEval / LongBench, all three
 // systems.  Expected shape: Hetis sustains the highest rate before the
 // latency knee (paper: up to 2.25x Splitwise, 1.33x HexGen throughput).
+//
+// Declarative harness sweep; pass --csv for the aligned row dump.
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetis;
-  bench::run_e2e_figure("Fig. 8", model::llama_13b(),
+  bench::run_e2e_figure("Fig. 8", "Llama-13B",
                         {{workload::Dataset::kShareGPT, {3, 6, 9, 12, 15}},
                          {workload::Dataset::kHumanEval, {15, 30, 45, 60, 75}},
-                         {workload::Dataset::kLongBench, {3, 5, 7, 9}}});
+                         {workload::Dataset::kLongBench, {3, 5, 7, 9}}},
+                        bench::csv_requested(argc, argv));
   return 0;
 }

@@ -1,12 +1,15 @@
 // Fig. 9 reproduction: normalized end-to-end latency vs request rate for
 // OPT-30B across the three datasets and systems.
+//
+// Declarative harness sweep; pass --csv for the aligned row dump.
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetis;
-  bench::run_e2e_figure("Fig. 9", model::opt_30b(),
+  bench::run_e2e_figure("Fig. 9", "OPT-30B",
                         {{workload::Dataset::kShareGPT, {3, 6, 9, 12}},
                          {workload::Dataset::kHumanEval, {15, 30, 45}},
-                         {workload::Dataset::kLongBench, {2, 4, 6}}});
+                         {workload::Dataset::kLongBench, {2, 4, 6}}},
+                        bench::csv_requested(argc, argv));
   return 0;
 }

@@ -1,19 +1,25 @@
-// Shared experiment harness for the per-figure bench binaries.
+// Shared experiment front-end for the per-figure bench binaries.
 //
 // Every binary regenerates one table or figure from the paper's evaluation
-// (§7); the mapping lives in DESIGN.md §3 and the measured-vs-paper record
-// in EXPERIMENTS.md.
+// (§7).  Figure benches are declarative: they build a
+// harness::ExperimentSpec (engines x rates x datasets on a cluster preset)
+// and let harness::run_sweep execute it through the engine registry -- no
+// bench includes a concrete engine header.  `--csv` on any spec-driven
+// bench dumps the aligned sweep rows instead of the human table.
 #pragma once
 
 #include <cstdio>
+#include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "baselines/hexgen.h"
-#include "baselines/splitwise.h"
 #include "engine/engine.h"
-#include "hetis/hetis_engine.h"
-#include "hw/topology.h"
+#include "engine/options.h"
+#include "engine/registry.h"
+#include "harness/experiment.h"
+#include "harness/presets.h"
 #include "model/llm.h"
 #include "workload/trace.h"
 
@@ -41,57 +47,93 @@ inline std::vector<workload::Request> make_trace(workload::Dataset ds, double ra
   return workload::build_trace(opts);
 }
 
-inline core::HetisOptions hetis_options() {
-  core::HetisOptions opts;
+inline engine::HetisConfig hetis_options() {
+  engine::HetisConfig opts;
   opts.workload.decode_batch = 64;
   opts.workload.mean_context = 512;
   return opts;
 }
 
-struct SystemReports {
-  engine::RunReport splitwise, hexgen, hetis;
-};
-
-/// Runs the same trace through all three systems on the paper cluster.
-inline SystemReports run_three_systems(const model::ModelSpec& m,
-                                       const std::vector<workload::Request>& trace,
-                                       Seconds drain = kDrain) {
-  hw::Cluster cluster = hw::Cluster::paper_cluster();
-  SystemReports out;
-  {
-    baselines::SplitwiseEngine eng(cluster, m);
-    out.splitwise = engine::run_trace(eng, trace, drain);
-  }
-  {
-    baselines::HexgenEngine eng(cluster, m);
-    out.hexgen = engine::run_trace(eng, trace, drain);
-  }
-  {
-    core::HetisEngine eng(cluster, m, hetis_options());
-    out.hetis = engine::run_trace(eng, trace, drain);
-  }
-  return out;
+/// Spec preset shared by the figure benches: paper cluster, all three
+/// systems, the bench seed/horizon/drain, paper Hetis workload hints.
+inline harness::ExperimentSpec paper_spec(const std::string& name, const std::string& model) {
+  harness::ExperimentSpec spec;
+  spec.name = name;
+  spec.models = {model};
+  spec.horizon = kHorizon;
+  spec.seed = kSeed;
+  spec.run = engine::RunOptions(kDrain);
+  spec.engine_options["hetis"] = engine::EngineOptions(hetis_options());
+  return spec;
 }
 
-/// Fig. 8/9/10 row printer: normalized latency (s/token) vs request rate.
-inline void run_e2e_figure(const char* figure, const model::ModelSpec& m,
+/// True when the bench was invoked with --csv (dump aligned sweep rows).
+inline bool csv_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+/// Report of `engine_name` within workload point `point` of a sweep whose
+/// spec ran `ne` engines (rows are engine-major within a point).  Looked
+/// up by the report's display name so table columns cannot silently
+/// desynchronize from the spec's engine order.
+inline const engine::RunReport& point_report(const std::vector<harness::SweepRow>& rows,
+                                             std::size_t point, std::size_t ne,
+                                             const std::string& engine_name) {
+  for (std::size_t i = point * ne; i < (point + 1) * ne && i < rows.size(); ++i) {
+    if (rows[i].report.engine == engine_name) return rows[i].report;
+  }
+  throw std::logic_error("no sweep row for engine '" + engine_name + "' at workload point " +
+                         std::to_string(point));
+}
+
+/// Surfaces drain-timeout truncation on stderr -- a truncated run's
+/// percentiles under-count the tail, so never let it pass silently.
+inline void warn_truncated(const std::vector<harness::SweepRow>& rows) {
+  for (const auto& row : rows) {
+    if (row.report.drain_timeout_hit) {
+      std::fprintf(stderr, "WARNING: %s\n", row.report.warning().c_str());
+    }
+  }
+}
+
+/// Fig. 8/9/10 driver: normalized latency (s/token) vs request rate, all
+/// three systems on the paper cluster.
+inline void run_e2e_figure(const char* figure, const std::string& model_name,
                            const std::vector<std::pair<workload::Dataset, std::vector<double>>>&
-                               dataset_rates) {
+                               dataset_rates,
+                           bool csv = false) {
+  harness::ExperimentSpec spec = paper_spec(figure, model_name);
+  for (const auto& [ds, rates] : dataset_rates) spec.add_rates(ds, rates);
+  const auto rows = harness::run_sweep(spec);
+  warn_truncated(rows);
+  if (csv) {
+    harness::write_csv(std::cout, rows);
+    return;
+  }
+
+  // Rows are ordered (workload point) x (engine, spec order: SW, HG, HT).
+  const std::size_t ne = spec.engines.size();
+  std::size_t point = 0;
   std::printf("=== %s: normalized end-to-end latency (s/token), %s, paper cluster ===\n", figure,
-              m.name.c_str());
+              model_name.c_str());
   std::printf("(seed %llu; horizon %.0fs per point)\n\n",
-              static_cast<unsigned long long>(kSeed), kHorizon);
+              static_cast<unsigned long long>(spec.seed), spec.horizon);
   for (const auto& [ds, rates] : dataset_rates) {
     std::printf("--- dataset %s ---\n", workload::to_string(ds));
     std::printf("%8s %12s %12s %12s %10s %10s %10s\n", "rate", "Splitwise", "Hexgen", "Hetis",
                 "fin(SW)", "fin(HG)", "fin(HT)");
     for (double rate : rates) {
-      auto trace = make_trace(ds, rate);
-      SystemReports r = run_three_systems(m, trace);
+      const auto& sw = point_report(rows, point, ne, "Splitwise");
+      const auto& hg = point_report(rows, point, ne, "Hexgen");
+      const auto& ht = point_report(rows, point, ne, "Hetis");
+      std::size_t n = rows[point * ne].trace_requests;
       std::printf("%8.1f %12.4f %12.4f %12.4f %9zu/%-zu %9zu/%-zu %9zu/%-zu\n", rate,
-                  r.splitwise.norm_latency_mean, r.hexgen.norm_latency_mean,
-                  r.hetis.norm_latency_mean, r.splitwise.finished, trace.size(),
-                  r.hexgen.finished, trace.size(), r.hetis.finished, trace.size());
+                  sw.norm_latency_mean, hg.norm_latency_mean, ht.norm_latency_mean, sw.finished,
+                  n, hg.finished, n, ht.finished, n);
+      ++point;
     }
     std::printf("\n");
   }

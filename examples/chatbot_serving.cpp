@@ -1,28 +1,29 @@
 // Chatbot serving scenario (paper §7.2): a ShareGPT-like conversational
 // workload on the paper cluster, served by all three systems side by side.
 //
-//   build/examples/chatbot_serving [model] [rate] [horizon_seconds]
+//   build/examples/chatbot_serving [model] [rate] [horizon_seconds] [--csv]
 //
-// model in {Llama-13B, OPT-30B, Llama-70B}.  Prints a per-system metric
-// table like the rows behind Fig. 8-10.
+// model in {Llama-13B, OPT-30B, Llama-70B}.  Declared as one
+// harness::ExperimentSpec and executed through the engine registry; prints
+// a per-system metric table (like the rows behind Fig. 8-10) with SLO
+// attainment and goodput under interactive chat targets, or the aligned
+// CSV rows with --csv.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <vector>
 
-#include "baselines/hexgen.h"
-#include "baselines/splitwise.h"
-#include "engine/engine.h"
-#include "hetis/hetis_engine.h"
-#include "hw/topology.h"
-#include "model/llm.h"
-#include "workload/trace.h"
+#include "harness/experiment.h"
 
 namespace {
 
-void print_row(const hetis::engine::RunReport& rep) {
-  std::printf("%-10s %8zu/%-8zu %12.4f %10.3f %10.4f %10.1f %8d\n", rep.engine.c_str(),
+void print_row(const hetis::harness::SweepRow& row) {
+  const auto& rep = row.report;
+  std::printf("%-10s %8zu/%-8zu %12.4f %10.3f %10.4f %9.1f%% %8.2f %8d\n", rep.engine.c_str(),
               rep.finished, rep.arrived, rep.norm_latency_mean, rep.ttft_p95, rep.tpot_p95,
-              hetis::to_gb(rep.usable_kv), rep.preemptions);
+              rep.slo_attainment * 100, rep.goodput, rep.preemptions);
+  if (rep.drain_timeout_hit) std::printf("  WARNING: %s\n", rep.warning().c_str());
 }
 
 }  // namespace
@@ -30,42 +31,44 @@ void print_row(const hetis::engine::RunReport& rep) {
 int main(int argc, char** argv) {
   using namespace hetis;
 
-  std::string model_name = argc > 1 ? argv[1] : "Llama-13B";
-  double rate = argc > 2 ? std::atof(argv[2]) : 6.0;
-  double horizon = argc > 3 ? std::atof(argv[3]) : 60.0;
-
-  hw::Cluster cluster = hw::Cluster::paper_cluster();
-  const model::ModelSpec& model = model::model_by_name(model_name);
-
-  workload::TraceOptions topts;
-  topts.dataset = workload::Dataset::kShareGPT;
-  topts.rate = rate;
-  topts.horizon = horizon;
-  topts.seed = 7;
-  auto trace = workload::build_trace(topts);
-
-  std::printf("chatbot workload: %s @ %.1f req/s, %zu requests, cluster %s\n\n",
-              model.name.c_str(), rate, trace.size(), cluster.to_string().c_str());
-  std::printf("%-10s %-17s %12s %10s %10s %10s %8s\n", "system", "finished", "norm(s/tok)",
-              "TTFT p95", "TPOT p95", "KV (GB)", "preempt");
-
-  {
-    baselines::SplitwiseEngine eng(cluster, model);
-    print_row(engine::run_trace(eng, trace));
+  bool csv = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") {
+      csv = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
   }
-  {
-    baselines::HexgenEngine eng(cluster, model);
-    print_row(engine::run_trace(eng, trace));
+  std::string model_name = positional.size() > 0 ? positional[0] : "Llama-13B";
+  double rate = positional.size() > 1 ? std::atof(positional[1].c_str()) : 6.0;
+  double horizon = positional.size() > 2 ? std::atof(positional[2].c_str()) : 60.0;
+
+  harness::ExperimentSpec spec;
+  spec.name = "chatbot";
+  spec.models = {model_name};
+  spec.workloads = {{workload::Dataset::kShareGPT, rate}};
+  spec.horizon = horizon;
+  spec.seed = 7;
+  spec.run = engine::RunOptions(900.0);
+  engine::SloSpec slo;
+  slo.ttft = 2.0;   // interactive chat targets
+  slo.tpot = 0.15;
+  spec.run.slo = slo;
+  engine::HetisConfig hetis_cfg;
+  hetis_cfg.workload.decode_batch = 64;
+  spec.engine_options["hetis"] = engine::EngineOptions(hetis_cfg);
+
+  if (csv) {
+    harness::write_csv(std::cout, harness::run_sweep(spec));
+    return 0;
   }
-  {
-    core::HetisOptions opts;
-    opts.workload.decode_batch = 64;
-    core::HetisEngine eng(cluster, model, opts);
-    print_row(engine::run_trace(eng, trace));
-    std::printf("\nHetis plan: %s\n", eng.plan().to_string(cluster).c_str());
-    std::printf("Hetis re-dispatches: %d balance, %d rescue; migrated %.2f GB\n",
-                eng.balance_redispatches(), eng.rescue_redispatches(),
-                to_gb(eng.migrated_bytes()));
-  }
+
+  std::printf("chatbot workload: %s @ %.1f req/s over %.0fs, paper cluster\n", model_name.c_str(),
+              rate, horizon);
+  std::printf("SLO: TTFT <= %.1fs, TPOT <= %.2fs\n\n", slo.ttft, slo.tpot);
+  std::printf("%-10s %-17s %12s %10s %10s %10s %8s %8s\n", "system", "finished", "norm(s/tok)",
+              "TTFT p95", "TPOT p95", "SLO att.", "goodput", "preempt");
+  harness::run_sweep(spec, print_row);
   return 0;
 }

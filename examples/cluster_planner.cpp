@@ -1,7 +1,9 @@
 // Cluster planner: runs the Parallelizer (§4.1) as a standalone planning
 // tool over a user-described heterogeneous cluster and prints the selected
 // primary-worker parallelism, the Attention-worker pool, the KV capacity,
-// and the search diagnostics.
+// and the search diagnostics -- then validates the plan by serving a short
+// ShareGPT trace through the registry front-end with the plan pinned via
+// EngineOptions.
 //
 //   build/examples/cluster_planner [model] [gpu=count ...]
 //   e.g. build/examples/cluster_planner Llama-70B A100=4 3090=4 P100=4
@@ -13,11 +15,16 @@
 #include <cstring>
 #include <string>
 
+#include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
+#include "engine/options.h"
+#include "engine/registry.h"
+#include "harness/presets.h"
 #include "hw/topology.h"
 #include "model/llm.h"
 #include "parallel/parallelizer.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -61,7 +68,7 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    cluster = hw::Cluster::paper_cluster();
+    cluster = harness::cluster_by_name("paper");
   }
 
   std::printf("model:   %s (%.1fB params, %.1f GB FP16)\n", model.name.c_str(),
@@ -105,5 +112,25 @@ int main(int argc, char** argv) {
               "Attention pool, %.1f ms wall time\n",
               diag.configurations_evaluated, diag.instances_considered, diag.pruned_devices,
               to_millis(diag.wall_time));
+
+  // Validate the plan end to end: pin it into EngineOptions and serve a
+  // short ShareGPT smoke trace through the registry front-end.
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = 2.0;
+  topts.horizon = 10.0;
+  topts.seed = 11;
+  auto trace = workload::build_trace(topts);
+
+  engine::HetisConfig cfg;
+  cfg.workload = profile;
+  cfg.plan = plan;  // serve on the plan above; no second search
+  auto eng = engine::make("hetis", cluster, model, cfg);
+  engine::RunReport rep = engine::run_trace(*eng, trace, engine::RunOptions(300.0));
+
+  std::printf("\nsmoke serve (ShareGPT @2.0 for 10s on this plan): %zu/%zu finished, "
+              "norm latency %.4f s/token, TTFT p95 %.3fs\n",
+              rep.finished, rep.arrived, rep.norm_latency_mean, rep.ttft_p95);
+  if (rep.drain_timeout_hit) std::printf("WARNING: %s\n", rep.warning().c_str());
   return 0;
 }

@@ -82,13 +82,16 @@ parallel::ParallelPlan hexgen_plan(const hw::Cluster& cluster, const model::Mode
   return plan;
 }
 
-HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model)
-    : HexgenEngine(cluster, model, hexgen_plan(cluster, model)) {}
+HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                           const engine::HexgenConfig& cfg)
+    : HexgenEngine(cluster, model, cfg.plan ? *cfg.plan : hexgen_plan(cluster, model), cfg) {}
 
 HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
-                           parallel::ParallelPlan plan)
+                           parallel::ParallelPlan plan, const engine::HexgenConfig& cfg)
     : exec_(cluster, model), plan_(std::move(plan)) {
   engine::InstanceOptions opts;
+  opts.max_prefill_tokens = cfg.max_prefill_tokens;
+  opts.max_batch = cfg.max_batch;
   int id = 0;
   for (const auto& inst : plan_.instances) {
     instances_.push_back(
@@ -113,3 +116,13 @@ Bytes HexgenEngine::usable_kv_capacity() const {
 }
 
 }  // namespace hetis::baselines
+
+#include "engine/registry.h"
+
+HETIS_REGISTER_ENGINE(hexgen, [](const hetis::hw::Cluster& cluster,
+                                 const hetis::model::ModelSpec& model,
+                                 const hetis::engine::EngineOptions& opts)
+                                  -> std::unique_ptr<hetis::engine::Engine> {
+  auto cfg = opts.get_or_default<hetis::engine::HexgenConfig>("hexgen");
+  return std::make_unique<hetis::baselines::HexgenEngine>(cluster, model, cfg);
+});

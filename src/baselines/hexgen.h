@@ -14,6 +14,7 @@
 #include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
+#include "engine/options.h"
 #include "parallel/plan.h"
 
 namespace hetis::baselines {
@@ -25,10 +26,13 @@ parallel::ParallelPlan hexgen_plan(const hw::Cluster& cluster, const model::Mode
 
 class HexgenEngine : public engine::Engine {
  public:
-  HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model);
+  /// `cfg.plan` (when set) overrides the default asymmetric layout, like
+  /// the plan overload below.
+  HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+               const engine::HexgenConfig& cfg = {});
   /// With an externally-computed plan (tests / ablations).
   HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
-               parallel::ParallelPlan plan);
+               parallel::ParallelPlan plan, const engine::HexgenConfig& cfg = {});
 
   std::string name() const override { return "Hexgen"; }
   void submit(sim::Simulation& sim, const workload::Request& r) override;

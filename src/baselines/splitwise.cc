@@ -160,16 +160,19 @@ SplitwisePlan splitwise_default_plan(const hw::Cluster& cluster, const model::Mo
   return plan;
 }
 
-SplitwiseEngine::SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model)
-    : SplitwiseEngine(cluster, model, splitwise_default_plan(cluster, model)) {}
+SplitwiseEngine::SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                                 const engine::SplitwiseConfig& cfg)
+    : SplitwiseEngine(cluster, model, splitwise_default_plan(cluster, model), cfg) {}
 
 SplitwiseEngine::SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
-                                 SplitwisePlan plan)
+                                 SplitwisePlan plan, const engine::SplitwiseConfig& cfg)
     : cluster_(&cluster),
       exec_(cluster, model),
       plan_(std::move(plan)),
       hauler_(cluster, hauler::HaulerOptions{/*bandwidth_share=*/1.0}) {
   engine::InstanceOptions popts;
+  popts.max_prefill_tokens = cfg.max_prefill_tokens;
+  popts.max_batch = cfg.max_batch;
   popts.prefill_only = true;
   popts.defer_first_token = true;  // first token reaches the user decode-side
   prefill_ = std::make_unique<engine::PipelineInstance>(exec_, plan_.prefill, metrics_, popts, 0);
@@ -177,11 +180,13 @@ SplitwiseEngine::SplitwiseEngine(const hw::Cluster& cluster, const model::ModelS
       [this](sim::Simulation& sim, const engine::LiveRequest& lr) { on_prefill_done(sim, lr); });
 
   engine::InstanceOptions dopts;
+  dopts.max_prefill_tokens = cfg.max_prefill_tokens;
+  dopts.max_batch = cfg.max_batch;
   dopts.decode_only = true;
   int id = 1;
-  for (const auto& cfg : plan_.decode) {
+  for (const auto& decode_cfg : plan_.decode) {
     decode_.push_back(
-        std::make_unique<engine::PipelineInstance>(exec_, cfg, metrics_, dopts, id++));
+        std::make_unique<engine::PipelineInstance>(exec_, decode_cfg, metrics_, dopts, id++));
   }
 }
 
@@ -261,3 +266,13 @@ Bytes SplitwiseEngine::usable_kv_capacity() const {
 }
 
 }  // namespace hetis::baselines
+
+#include "engine/registry.h"
+
+HETIS_REGISTER_ENGINE(splitwise, [](const hetis::hw::Cluster& cluster,
+                                    const hetis::model::ModelSpec& model,
+                                    const hetis::engine::EngineOptions& opts)
+                                     -> std::unique_ptr<hetis::engine::Engine> {
+  auto cfg = opts.get_or_default<hetis::engine::SplitwiseConfig>("splitwise");
+  return std::make_unique<hetis::baselines::SplitwiseEngine>(cluster, model, cfg);
+});

@@ -15,6 +15,7 @@
 #include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
+#include "engine/options.h"
 #include "hauler/hauler.h"
 #include "parallel/plan.h"
 
@@ -32,8 +33,10 @@ SplitwisePlan splitwise_default_plan(const hw::Cluster& cluster, const model::Mo
 
 class SplitwiseEngine : public engine::Engine {
  public:
-  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model);
-  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model, SplitwisePlan plan);
+  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
+                  const engine::SplitwiseConfig& cfg = {});
+  SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model, SplitwisePlan plan,
+                  const engine::SplitwiseConfig& cfg = {});
 
   std::string name() const override { return "Splitwise"; }
   void submit(sim::Simulation& sim, const workload::Request& r) override;

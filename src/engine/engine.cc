@@ -1,43 +1,234 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.h"
 
 namespace hetis::engine {
 
+namespace {
+
+// Stable CSV column order.  Append-only: scripts key on these names.
+constexpr const char* kCsvColumns =
+    "engine,arrived,finished,measured,norm_latency_mean,norm_latency_p95,ttft_p95,tpot_p95,"
+    "mlp_module_p95,attn_module_p95,throughput,preemptions,usable_kv_bytes,makespan,"
+    "drain_timeout_hit,slo_set,slo_ttft,slo_tpot,ttft_attainment,tpot_attainment,"
+    "slo_attainment,goodput";
+
+// %.17g round-trips every finite double exactly.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::size_t csv_column_count() {
+  const std::string header = kCsvColumns;
+  return static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) + 1;
+}
+
+// The engine display name lands in the row unquoted; neutralize the two
+// characters that would break row framing.
+std::string csv_field(std::string s) {
+  for (char& c : s) {
+    if (c == ',' || c == '\n') c = ' ';
+  }
+  return s;
+}
+
+std::vector<std::string> split_csv(const std::string& row) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream iss(row);
+  while (std::getline(iss, cell, ',')) out.push_back(cell);
+  if (!row.empty() && row.back() == ',') out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RunReport::warning() const {
+  if (!drain_timeout_hit) return "";
+  std::ostringstream oss;
+  oss << engine << ": drain timeout hit with " << (arrived - finished) << "/" << arrived
+      << " requests unfinished; latency percentiles under-count the tail";
+  return oss.str();
+}
+
+std::string RunReport::csv_header() { return kCsvColumns; }
+
+std::string RunReport::to_csv_row() const {
+  std::ostringstream oss;
+  oss << csv_field(engine) << ',' << arrived << ',' << finished << ',' << measured << ','
+      << fmt(norm_latency_mean) << ',' << fmt(norm_latency_p95) << ',' << fmt(ttft_p95) << ','
+      << fmt(tpot_p95) << ',' << fmt(mlp_module_p95) << ',' << fmt(attn_module_p95) << ','
+      << fmt(throughput) << ',' << preemptions << ',' << usable_kv << ',' << fmt(makespan) << ','
+      << (drain_timeout_hit ? 1 : 0) << ',' << (slo_set ? 1 : 0) << ',' << fmt(slo_ttft) << ','
+      << fmt(slo_tpot) << ',' << fmt(ttft_attainment) << ',' << fmt(tpot_attainment) << ','
+      << fmt(slo_attainment) << ',' << fmt(goodput);
+  return oss.str();
+}
+
+RunReport RunReport::from_csv_row(const std::string& row) {
+  std::vector<std::string> cells = split_csv(row);
+  // Accept extra trailing cells so today's reader still loads rows written
+  // after columns are appended (the column order is append-only).
+  if (cells.size() < csv_column_count()) {
+    throw std::invalid_argument("RunReport::from_csv_row: expected at least " +
+                                std::to_string(csv_column_count()) + " cells, got " +
+                                std::to_string(cells.size()));
+  }
+  RunReport r;
+  std::size_t i = 0;
+  r.engine = cells[i++];
+  r.arrived = static_cast<std::size_t>(std::stoull(cells[i++]));
+  r.finished = static_cast<std::size_t>(std::stoull(cells[i++]));
+  r.measured = static_cast<std::size_t>(std::stoull(cells[i++]));
+  r.norm_latency_mean = std::stod(cells[i++]);
+  r.norm_latency_p95 = std::stod(cells[i++]);
+  r.ttft_p95 = std::stod(cells[i++]);
+  r.tpot_p95 = std::stod(cells[i++]);
+  r.mlp_module_p95 = std::stod(cells[i++]);
+  r.attn_module_p95 = std::stod(cells[i++]);
+  r.throughput = std::stod(cells[i++]);
+  r.preemptions = std::stoi(cells[i++]);
+  r.usable_kv = static_cast<Bytes>(std::stoll(cells[i++]));
+  r.makespan = std::stod(cells[i++]);
+  r.drain_timeout_hit = cells[i++] == "1";
+  r.slo_set = cells[i++] == "1";
+  r.slo_ttft = std::stod(cells[i++]);
+  r.slo_tpot = std::stod(cells[i++]);
+  r.ttft_attainment = std::stod(cells[i++]);
+  r.tpot_attainment = std::stod(cells[i++]);
+  r.slo_attainment = std::stod(cells[i++]);
+  r.goodput = std::stod(cells[i++]);
+  return r;
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"engine\":\"" << json_escape(engine) << "\",\"arrived\":" << arrived
+      << ",\"finished\":" << finished << ",\"measured\":" << measured
+      << ",\"norm_latency_mean\":" << fmt(norm_latency_mean)
+      << ",\"norm_latency_p95\":" << fmt(norm_latency_p95) << ",\"ttft_p95\":" << fmt(ttft_p95)
+      << ",\"tpot_p95\":" << fmt(tpot_p95) << ",\"mlp_module_p95\":" << fmt(mlp_module_p95)
+      << ",\"attn_module_p95\":" << fmt(attn_module_p95) << ",\"throughput\":" << fmt(throughput)
+      << ",\"preemptions\":" << preemptions << ",\"usable_kv_bytes\":" << usable_kv
+      << ",\"makespan\":" << fmt(makespan)
+      << ",\"drain_timeout_hit\":" << (drain_timeout_hit ? "true" : "false")
+      << ",\"slo_set\":" << (slo_set ? "true" : "false") << ",\"slo_ttft\":" << fmt(slo_ttft)
+      << ",\"slo_tpot\":" << fmt(slo_tpot) << ",\"ttft_attainment\":" << fmt(ttft_attainment)
+      << ",\"tpot_attainment\":" << fmt(tpot_attainment)
+      << ",\"slo_attainment\":" << fmt(slo_attainment) << ",\"goodput\":" << fmt(goodput) << "}";
+  return oss.str();
+}
+
 RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
-                    Seconds drain_timeout) {
+                    const RunOptions& opts) {
   sim::Simulation sim;
+  // Detach on every exit path: if the run throws, the engine must not keep
+  // a pointer to a caller-owned observer that may die first.
+  struct ObserverGuard {
+    MetricsCollector& metrics;
+    ~ObserverGuard() { metrics.set_observer(nullptr); }
+  } guard{engine.metrics()};
+  engine.metrics().set_observer(opts.observer);
   engine.start(sim);
   for (const auto& r : trace) {
     sim.schedule_at(r.arrival, [&engine, &sim, r] { engine.submit(sim, r); });
   }
   Seconds last_arrival = trace.empty() ? 0.0 : trace.back().arrival;
-  sim.run_until(last_arrival + drain_timeout);
+  sim.run_until(last_arrival + opts.drain_timeout);
 
   RunReport rep;
   rep.engine = engine.name();
   const MetricsCollector& m = engine.metrics();
   rep.arrived = m.arrived();
   rep.finished = m.finished();
-  rep.norm_latency_mean = m.norm_latency().mean();
-  rep.norm_latency_p95 = m.norm_latency().p95();
-  rep.ttft_p95 = m.ttft().p95();
-  rep.tpot_p95 = m.tpot().p95();
   rep.mlp_module_p95 = m.mlp_module_time().p95();
   rep.attn_module_p95 = m.attn_module_time().p95();
   rep.preemptions = m.total_preemptions();
   rep.usable_kv = engine.usable_kv_capacity();
+  // Keyed on unfinished requests, not on sim.idle(): engines may keep
+  // benign periodic events (e.g. usage sampling) queued past the deadline.
+  rep.drain_timeout_hit = rep.finished < rep.arrived;
+
+  const SloSpec* slo = opts.slo ? &*opts.slo : nullptr;
+  Summary norm, ttft, tpot;
+  // Attainment denominator: every post-warmup ARRIVAL.  A request that
+  // never finished cannot have met its SLO, so a truncated or saturated
+  // run reports honestly low attainment instead of grading only the
+  // survivors.
+  std::size_t slo_denom = 0, ttft_ok = 0, tpot_ok = 0, slo_ok = 0;
   // Serving span: first arrival to last completion (not the idle drain).
-  Seconds first = 0, last = 0;
-  bool any = false;
+  // The measured span covers only post-warmup requests so goodput uses the
+  // same population as the attainment fractions.
+  Seconds first = 0, last = 0, mfirst = 0, mlast = 0;
+  bool any = false, many = false;
   for (const auto& [id, rec] : m.records()) {
+    const bool in_window = rec.arrival >= opts.warmup;
+    if (in_window) ++slo_denom;
+    // TTFT is defined for any prefilled request, finished or not (it keeps
+    // the prefill tail visible even when decode is still in flight).
+    if (in_window && rec.first_token >= 0) ttft.add(rec.ttft());
     if (!rec.finished()) continue;
     if (!any || rec.arrival < first) first = rec.arrival;
     if (!any || rec.finish > last) last = rec.finish;
     any = true;
+    if (!in_window) continue;
+    if (!many || rec.arrival < mfirst) mfirst = rec.arrival;
+    if (!many || rec.finish > mlast) mlast = rec.finish;
+    many = true;
+    ++rep.measured;
+    norm.add(rec.norm_latency());
+    if (rec.output_len > 1) tpot.add(rec.tpot());
+    if (slo) {
+      const bool meets_ttft =
+          slo->ttft <= 0 || (rec.first_token >= 0 && rec.ttft() <= slo->ttft);
+      const bool meets_tpot = slo->tpot <= 0 || rec.output_len <= 1 || rec.tpot() <= slo->tpot;
+      if (meets_ttft) ++ttft_ok;
+      if (meets_tpot) ++tpot_ok;
+      if (meets_ttft && meets_tpot) ++slo_ok;
+    }
   }
+  rep.norm_latency_mean = norm.mean();
+  rep.norm_latency_p95 = norm.p95();
+  rep.ttft_p95 = ttft.p95();
+  rep.tpot_p95 = tpot.p95();
   rep.makespan = any ? last - first : 0.0;
   rep.throughput = any ? static_cast<double>(rep.finished) / std::max(1e-9, rep.makespan) : 0.0;
+  if (slo) {
+    rep.slo_set = true;
+    rep.slo_ttft = slo->ttft;
+    rep.slo_tpot = slo->tpot;
+    const double denom = std::max<std::size_t>(1, slo_denom);
+    rep.ttft_attainment = static_cast<double>(ttft_ok) / denom;
+    rep.tpot_attainment = static_cast<double>(tpot_ok) / denom;
+    rep.slo_attainment = static_cast<double>(slo_ok) / denom;
+    rep.goodput = many ? static_cast<double>(slo_ok) / std::max(1e-9, mlast - mfirst) : 0.0;
+  }
   return rep;
 }
 

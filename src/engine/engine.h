@@ -3,10 +3,12 @@
 // An Engine owns serving instances and self-schedules iteration events on
 // the simulation; the runner feeds it a request trace and collects the
 // final metrics.  Splitwise, HexGen and Hetis all implement this interface
-// so every experiment harness treats them uniformly.
+// so every experiment harness treats them uniformly.  Construct engines by
+// name through engine/registry.h; configure a run through RunOptions.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,10 +43,38 @@ class Engine {
   MetricsCollector metrics_;
 };
 
+/// Per-request latency targets (§7-style SLOs).  A target <= 0 disables
+/// that term.  When set on RunOptions, the report gains attainment
+/// fractions and goodput -- the headline metric of phase-split serving
+/// evaluations (Splitwise, Helix).
+struct SloSpec {
+  Seconds ttft = 0;  // time-to-first-token target, per request
+  Seconds tpot = 0;  // time-per-output-token target, per request
+};
+
+/// Configuration of one run_trace call.
+struct RunOptions {
+  RunOptions() = default;
+  explicit RunOptions(Seconds drain) : drain_timeout(drain) {}
+
+  /// Seconds to keep simulating after the last arrival.  When the engine
+  /// has not drained by then the report sets `drain_timeout_hit` instead
+  /// of silently truncating percentiles.
+  Seconds drain_timeout = 600.0;
+  /// Requests arriving before `warmup` seconds are served but excluded
+  /// from latency percentiles, SLO attainment and goodput.
+  Seconds warmup = 0.0;
+  /// When set, the report includes SLO attainment and goodput.
+  std::optional<SloSpec> slo;
+  /// Optional per-request lifecycle stream (not owned; may be nullptr).
+  RunObserver* observer = nullptr;
+};
+
 struct RunReport {
   std::string engine;
   std::size_t arrived = 0;
   std::size_t finished = 0;
+  std::size_t measured = 0;       // finished requests outside the warmup window
   double norm_latency_mean = 0;   // s/token
   double norm_latency_p95 = 0;
   double ttft_p95 = 0;
@@ -55,11 +85,46 @@ struct RunReport {
   int preemptions = 0;
   Bytes usable_kv = 0;
   Seconds makespan = 0;
+  /// True when the run was cut off by RunOptions::drain_timeout with
+  /// requests still in flight -- percentiles then under-count the tail.
+  bool drain_timeout_hit = false;
+
+  // SLO block -- populated only when RunOptions::slo was set.  Attainment
+  // fractions are over every post-warmup ARRIVAL: a request that never
+  // finished counts as a miss, so truncated runs cannot grade only the
+  // survivors.  Goodput divides by the measured span (first post-warmup
+  // arrival to last post-warmup completion), the same population.
+  bool slo_set = false;
+  Seconds slo_ttft = 0;           // echoed targets
+  Seconds slo_tpot = 0;
+  double ttft_attainment = 0;     // fraction of post-warmup arrivals meeting TTFT
+  double tpot_attainment = 0;
+  double slo_attainment = 0;      // fraction meeting BOTH targets
+  double goodput = 0;             // SLO-attaining requests / measured span
+
+  /// Human-readable warning ("" when clean); non-empty iff drain_timeout_hit.
+  std::string warning() const;
+
+  // Stable flat serialization, shared by the harness sweep runner.  The
+  // column order is fixed: appending columns is allowed, reordering is not.
+  static std::string csv_header();
+  std::string to_csv_row() const;
+  std::string to_json() const;
+  /// Inverse of to_csv_row (exact for doubles; used by the round-trip test
+  /// and by scripts that re-load sweep CSVs).
+  static RunReport from_csv_row(const std::string& row);
 };
 
 /// Feeds `trace` into the engine on a fresh simulation; runs until the
-/// engine drains or `drain_timeout` seconds pass after the last arrival.
+/// engine drains or `opts.drain_timeout` seconds pass after the last
+/// arrival.  Installs `opts.observer` on the engine's metrics for the
+/// duration of the run.
 RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
-                    Seconds drain_timeout = 600.0);
+                    const RunOptions& opts = RunOptions());
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).  Shared by RunReport::to_json and the
+/// harness row writers.
+std::string json_escape(const std::string& s);
 
 }  // namespace hetis::engine

@@ -220,6 +220,7 @@ void PipelineInstance::finish_decode_iteration(sim::Simulation& sim) {
   for (auto& lr : running_) {
     lr.generated += 1;
     reserve_tokens(1);
+    metrics_->on_token(lr.req.id, sim.now(), lr.generated);
   }
   // Retire finished requests.
   std::vector<LiveRequest> still_running;
@@ -239,7 +240,6 @@ void PipelineInstance::finish_decode_iteration(sim::Simulation& sim) {
 }
 
 void PipelineInstance::preempt_lifo(sim::Simulation& sim) {
-  (void)sim;
   if (running_.empty()) return;
   // Latest arrival leaves first (vLLM recompute preemption).  Ties break
   // toward the highest id (newest submission) so older requests keep their
@@ -256,7 +256,7 @@ void PipelineInstance::preempt_lifo(sim::Simulation& sim) {
   LiveRequest lr = running_[victim];
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(victim));
   release_tokens(lr.context());
-  metrics_->on_preemption(lr.req.id);
+  metrics_->on_preemption(lr.req.id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;  // recompute from scratch
   waiting_.push_front(lr);

@@ -13,25 +13,32 @@ void MetricsCollector::on_arrival(const workload::Request& r) {
   rec.output_len = r.output_len;
   auto [it, inserted] = records_.emplace(r.id, rec);
   if (!inserted) throw std::logic_error("MetricsCollector: duplicate arrival");
+  if (observer_) observer_->on_arrival(r);
 }
 
 void MetricsCollector::on_first_token(workload::RequestId id, Seconds t) {
   auto it = records_.find(id);
   if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
-  // A preempted-and-recomputed request keeps its original first-token time.
-  if (it->second.first_token < 0) it->second.first_token = t;
+  // A preempted-and-recomputed request keeps its original first-token time,
+  // and the observer sees exactly one prefill_done per request.
+  if (it->second.first_token < 0) {
+    it->second.first_token = t;
+    if (observer_) observer_->on_prefill_done(id, t);
+  }
 }
 
 void MetricsCollector::on_finish(workload::RequestId id, Seconds t) {
   auto it = records_.find(id);
   if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
   it->second.finish = t;
+  if (observer_) observer_->on_finish(id, t);
 }
 
-void MetricsCollector::on_preemption(workload::RequestId id) {
+void MetricsCollector::on_preemption(workload::RequestId id, Seconds t) {
   auto it = records_.find(id);
   if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
   ++it->second.preemptions;
+  if (observer_) observer_->on_preempt(id, t);
 }
 
 void MetricsCollector::add_decode_module_sample(Seconds mlp_time, Seconds attn_time) {

@@ -1,5 +1,5 @@
 // Serving metrics (paper §7: normalized latency, TTFT, TPOT, module-level
-// latency, cache usage time series).
+// latency, cache usage time series) and the per-request lifecycle observer.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +12,41 @@
 #include "workload/request.h"
 
 namespace hetis::engine {
+
+/// Streams per-request lifecycle events off the simulation clock while a
+/// run is in flight -- the hook point for live dashboards and online
+/// autoscaling.  Install one via RunOptions::observer; every engine routes
+/// its lifecycle through the MetricsCollector, which forwards here.
+///
+/// Per request the event order is:
+///   on_arrival <= on_prefill_done <= on_token* <= on_finish
+/// with on_preempt possible after prefill; a preempted request re-prefills,
+/// so on_token restarts but on_prefill_done fires only once (the TTFT
+/// reference).  The prefill-produced first token is signaled by
+/// on_prefill_done; on_token covers decode-produced tokens only.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  virtual void on_arrival(const workload::Request& r) { (void)r; }
+  virtual void on_prefill_done(workload::RequestId id, Seconds t) {
+    (void)id;
+    (void)t;
+  }
+  virtual void on_token(workload::RequestId id, Seconds t, std::int64_t generated) {
+    (void)id;
+    (void)t;
+    (void)generated;
+  }
+  virtual void on_finish(workload::RequestId id, Seconds t) {
+    (void)id;
+    (void)t;
+  }
+  virtual void on_preempt(workload::RequestId id, Seconds t) {
+    (void)id;
+    (void)t;
+  }
+};
 
 struct RequestRecord {
   workload::RequestId id = -1;
@@ -45,10 +80,19 @@ struct UsageSample {
 
 class MetricsCollector {
  public:
+  /// Installs (or clears, with nullptr) the lifecycle-event observer.
+  /// run_trace manages this automatically from RunOptions::observer.
+  void set_observer(RunObserver* observer) { observer_ = observer; }
+
   void on_arrival(const workload::Request& r);
   void on_first_token(workload::RequestId id, Seconds t);
+  /// One decode-produced token appended for `id`; `generated` is the
+  /// request's output-token count afterwards.  Feeds the observer only.
+  void on_token(workload::RequestId id, Seconds t, std::int64_t generated) {
+    if (observer_) observer_->on_token(id, t, generated);
+  }
   void on_finish(workload::RequestId id, Seconds t);
-  void on_preemption(workload::RequestId id);
+  void on_preemption(workload::RequestId id, Seconds t);
 
   /// Module-latency accounting (§7.3): per decode iteration, the max
   /// per-stage module time multiplied by the number of stages.
@@ -78,6 +122,7 @@ class MetricsCollector {
   Summary mlp_module_;
   Summary attn_module_;
   std::vector<UsageSample> usage_;
+  RunObserver* observer_ = nullptr;
 };
 
 }  // namespace hetis::engine

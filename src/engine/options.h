@@ -1,0 +1,96 @@
+// Engine configuration for the unified serving front-end.
+//
+// `EngineOptions` is the single configuration type accepted by every
+// registered engine factory (see engine/registry.h).  It is a tagged
+// union: the caller either passes defaults (`EngineOptions{}` works for
+// every engine) or the config struct of the system being constructed
+// (`EngineOptions(HetisConfig{...})`).  Passing a config tagged for a
+// different system is a hard error -- factories throw instead of silently
+// ignoring knobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "common/units.h"
+#include "parallel/parallelizer.h"
+#include "parallel/plan.h"
+
+namespace hetis::engine {
+
+/// Hetis-specific dials (paper §4-§6).  This is the struct previously
+/// known as `core::HetisOptions`; that name remains as an alias.
+struct HetisConfig {
+  double theta = 0.5;              // re-dispatch trigger (paper default)
+  bool enable_redispatch = true;   // Fig. 15a ablation: false = plain LIFO
+  bool use_lp = true;              // false = greedy dispatch (ablation)
+  int redispatch_period = 16;      // decode iterations between f* checks
+  std::int64_t max_prefill_tokens = 8192;
+  std::size_t max_batch = 256;
+
+  // Profiling controls (Fig. 16b).
+  std::uint64_t profile_seed = 2025;
+  double profile_error = 0.0;      // +-fraction applied to fitted coefficients
+  // Which coefficient family the error hits (the paper sweeps each of
+  // a, b, c, gamma, beta separately).
+  enum class ErrorTarget { kAll, kA, kB, kC, kGamma, kBeta };
+  ErrorTarget profile_error_target = ErrorTarget::kAll;
+
+  // Fig. 14 instrumentation: sample device usage every `sample_interval`
+  // seconds (0 disables).
+  Seconds sample_interval = 0.0;
+  Seconds sample_horizon = 0.0;
+
+  // Parallelizer inputs.
+  parallel::WorkloadProfile workload;
+  parallel::ParallelizerOptions search;
+
+  // When set, serve on this externally-fixed plan instead of running the
+  // Parallelizer (ablations, the cluster-planner example, tests).
+  std::optional<parallel::ParallelPlan> plan;
+};
+
+/// Splitwise baseline knobs: continuous-batching limits shared by both
+/// phase pools.  The phase split itself is the paper's fixed layout.
+struct SplitwiseConfig {
+  std::int64_t max_prefill_tokens = 8192;
+  std::size_t max_batch = 256;
+};
+
+/// HexGen baseline knobs: batching limits plus an optional fixed plan
+/// (the default is the paper's asymmetric per-type pipeline).
+struct HexgenConfig {
+  std::int64_t max_prefill_tokens = 8192;
+  std::size_t max_batch = 256;
+  std::optional<parallel::ParallelPlan> plan;
+};
+
+/// Tagged engine configuration.  `std::monostate` means "defaults for
+/// whichever engine is constructed"; a concrete alternative must match the
+/// engine it is passed to.
+struct EngineOptions {
+  EngineOptions() = default;
+  EngineOptions(HetisConfig c) : system(std::move(c)) {}          // NOLINT(google-explicit-constructor)
+  EngineOptions(SplitwiseConfig c) : system(std::move(c)) {}      // NOLINT(google-explicit-constructor)
+  EngineOptions(HexgenConfig c) : system(std::move(c)) {}         // NOLINT(google-explicit-constructor)
+
+  std::variant<std::monostate, HetisConfig, SplitwiseConfig, HexgenConfig> system;
+
+  bool is_default() const { return std::holds_alternative<std::monostate>(system); }
+
+  /// Factory helper: returns the config for `engine_name`, default-constructed
+  /// when no config was supplied, and throws std::invalid_argument when the
+  /// options are tagged for a different system.
+  template <typename Config>
+  Config get_or_default(const std::string& engine_name) const {
+    if (is_default()) return Config{};
+    if (const auto* cfg = std::get_if<Config>(&system)) return *cfg;
+    throw std::invalid_argument("EngineOptions tagged for a different system were passed to '" +
+                                engine_name + "'");
+  }
+};
+
+}  // namespace hetis::engine

@@ -1,0 +1,85 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetis::engine {
+
+namespace detail {
+// Link anchors defined next to each built-in engine's
+// HETIS_REGISTER_ENGINE.  Calling them from global() forces the archive
+// members holding the self-registering factories into any link that uses
+// the registry (a plain data-symbol read would be dead-code-eliminated; an
+// external call cannot be).
+void hetis_engine_link_anchor();
+void splitwise_engine_link_anchor();
+void hexgen_engine_link_anchor();
+}  // namespace detail
+
+std::string ascii_lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+Registry& Registry::global() {
+  detail::hetis_engine_link_anchor();
+  detail::splitwise_engine_link_anchor();
+  detail::hexgen_engine_link_anchor();
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const std::string& name, EngineFactory factory) {
+  // Names flow into CSV rows unquoted; keep them identifier-shaped.
+  const bool well_formed =
+      !name.empty() && std::all_of(name.begin(), name.end(), [](unsigned char c) {
+        return std::isalnum(c) || c == '_' || c == '-';
+      });
+  if (!well_formed) {
+    throw std::invalid_argument("engine::Registry: engine name '" + name +
+                                "' must be non-empty and use only [A-Za-z0-9_-]");
+  }
+  auto [it, inserted] = factories_.emplace(ascii_lower(name), std::move(factory));
+  if (!inserted) {
+    throw std::logic_error("engine::Registry: duplicate engine name '" + name + "'");
+  }
+}
+
+std::unique_ptr<Engine> Registry::make(const std::string& name, const hw::Cluster& cluster,
+                                       const model::ModelSpec& model,
+                                       const EngineOptions& opts) const {
+  auto it = factories_.find(ascii_lower(name));
+  if (it == factories_.end()) {
+    std::ostringstream oss;
+    oss << "engine::make: unknown engine '" << name << "'; known engines:";
+    for (const auto& [known, factory] : factories_) oss << " '" << known << "'";
+    throw std::invalid_argument(oss.str());
+  }
+  return it->second(cluster, model, opts);
+}
+
+bool Registry::contains(const std::string& name) const {
+  return factories_.count(ascii_lower(name)) > 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::unique_ptr<Engine> make(const std::string& name, const hw::Cluster& cluster,
+                             const model::ModelSpec& model, const EngineOptions& opts) {
+  return Registry::global().make(name, cluster, model, opts);
+}
+
+EngineRegistrar::EngineRegistrar(const char* name, EngineFactory factory) {
+  Registry::global().add(name, std::move(factory));
+}
+
+}  // namespace hetis::engine

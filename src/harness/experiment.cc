@@ -1,0 +1,106 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "engine/registry.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis::harness {
+
+namespace {
+
+/// Caller-supplied strings (spec name, cluster, model) land in CSV rows
+/// unquoted; neutralize the two characters that would break row framing.
+std::string csv_field(std::string s) {
+  for (char& c : s) {
+    if (c == ',' || c == '\n') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+void ExperimentSpec::add_rates(workload::Dataset dataset, const std::vector<double>& rates) {
+  for (double rate : rates) workloads.push_back(WorkloadPoint{dataset, rate});
+}
+
+std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& on_row) {
+  hw::Cluster cluster = cluster_by_name(spec.cluster);
+  std::vector<SweepRow> rows;
+  rows.reserve(spec.models.size() * spec.workloads.size() * spec.engines.size());
+  for (const std::string& model_name : spec.models) {
+    const model::ModelSpec& model = model::model_by_name(model_name);
+    for (const WorkloadPoint& point : spec.workloads) {
+      workload::TraceOptions topts;
+      topts.dataset = point.dataset;
+      topts.rate = point.rate;
+      topts.horizon = spec.horizon;
+      topts.seed = spec.seed;
+      const auto trace = workload::build_trace(topts);
+      for (const std::string& engine_name : spec.engines) {
+        // Engine names are case-insensitive in the registry; match the
+        // options map the same way so a "Hetis"/"hetis" mismatch cannot
+        // silently drop the configured options.
+        engine::EngineOptions opts;
+        for (const auto& [key, value] : spec.engine_options) {
+          if (engine::ascii_lower(key) == engine::ascii_lower(engine_name)) {
+            opts = value;
+            break;
+          }
+        }
+        auto eng = engine::make(engine_name, cluster, model, opts);
+
+        SweepRow row;
+        row.experiment = spec.name;
+        row.cluster = spec.cluster;
+        row.model = model_name;
+        row.dataset = point.dataset;
+        row.rate = point.rate;
+        row.trace_requests = trace.size();
+        row.report = engine::run_trace(*eng, trace, spec.run);
+        if (on_row) on_row(row);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return rows;
+}
+
+std::string sweep_csv_header() {
+  return "experiment,cluster,model,dataset,rate,trace_requests," +
+         engine::RunReport::csv_header();
+}
+
+std::string to_csv_row(const SweepRow& row) {
+  std::ostringstream oss;
+  oss << csv_field(row.experiment) << ',' << csv_field(row.cluster) << ','
+      << csv_field(row.model) << ',' << workload::to_string(row.dataset) << ',' << row.rate
+      << ',' << row.trace_requests << ',' << row.report.to_csv_row();
+  return oss.str();
+}
+
+void write_csv(std::ostream& os, const std::vector<SweepRow>& rows) {
+  os << sweep_csv_header() << '\n';
+  for (const auto& row : rows) os << to_csv_row(row) << '\n';
+}
+
+void write_json(std::ostream& os, const std::vector<SweepRow>& rows) {
+  os << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    os << (i ? ",\n " : "\n ") << "{\"experiment\":\"" << engine::json_escape(row.experiment)
+       << "\",\"cluster\":\"" << engine::json_escape(row.cluster) << "\",\"model\":\""
+       << engine::json_escape(row.model) << "\",\"dataset\":\""
+       << workload::to_string(row.dataset) << "\",\"rate\":" << row.rate
+       << ",\"trace_requests\":" << row.trace_requests << ",\"report\":" << row.report.to_json()
+       << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace hetis::harness

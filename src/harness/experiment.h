@@ -1,0 +1,83 @@
+// Declarative experiment harness (paper §7-style sweeps).
+//
+// An ExperimentSpec names WHAT to run -- engines x models x (dataset,
+// rate) points on a cluster preset -- and run_sweep executes the cross
+// product through the engine registry, emitting one aligned SweepRow per
+// (engine, model, workload point).  The same trace is served to every
+// engine at a given point, matching the paper's methodology.
+//
+//   harness::ExperimentSpec spec;
+//   spec.name = "fig8";
+//   spec.models = {"Llama-13B"};
+//   spec.add_rates(workload::Dataset::kShareGPT, {3, 6, 9, 12, 15});
+//   auto rows = harness::run_sweep(spec);
+//   harness::write_csv(std::cout, rows);
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/options.h"
+#include "workload/datasets.h"
+
+namespace hetis::harness {
+
+/// One (dataset, rate) workload point of a sweep.
+struct WorkloadPoint {
+  workload::Dataset dataset = workload::Dataset::kShareGPT;
+  double rate = 1.0;  // req/s over the spec's horizon
+};
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+
+  // What to run.
+  std::vector<std::string> engines{"splitwise", "hexgen", "hetis"};  // registry names
+  std::vector<std::string> models{"Llama-13B"};                      // model::model_by_name
+  std::vector<WorkloadPoint> workloads;
+
+  // Where and how.
+  std::string cluster = "paper";  // harness::cluster_by_name preset
+  Seconds horizon = 40.0;         // arrival window per point
+  std::uint64_t seed = 20251116;
+  engine::RunOptions run;         // drain timeout, warmup, SLO, observer
+
+  /// Per-engine configuration, keyed by registry name (matched
+  /// case-insensitively, like the registry itself); engines without an
+  /// entry get defaults.
+  std::map<std::string, engine::EngineOptions> engine_options;
+
+  /// Appends one WorkloadPoint per rate for `dataset`.
+  void add_rates(workload::Dataset dataset, const std::vector<double>& rates);
+};
+
+/// One executed (engine, model, workload point) cell.
+struct SweepRow {
+  std::string experiment;
+  std::string cluster;
+  std::string model;
+  workload::Dataset dataset = workload::Dataset::kShareGPT;
+  double rate = 0;
+  std::size_t trace_requests = 0;  // size of the generated trace
+  engine::RunReport report;
+};
+
+/// Called after each cell completes -- live progress for long sweeps.
+using RowCallback = std::function<void(const SweepRow&)>;
+
+/// Executes the spec's cross product.  Row order: models outer, workload
+/// points middle, engines inner (so one (model, point) group holds every
+/// engine on the identical trace, adjacent in the output).
+std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& on_row = nullptr);
+
+/// Aligned serialization, sharing RunReport's stable column order.
+std::string sweep_csv_header();
+std::string to_csv_row(const SweepRow& row);
+void write_csv(std::ostream& os, const std::vector<SweepRow>& rows);
+void write_json(std::ostream& os, const std::vector<SweepRow>& rows);
+
+}  // namespace hetis::harness

@@ -1,0 +1,19 @@
+#include "harness/presets.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetis::harness {
+
+hw::Cluster cluster_by_name(const std::string& name) {
+  if (name == "paper") return hw::Cluster::paper_cluster();
+  if (name == "ablation") return hw::Cluster::ablation_cluster();
+  std::ostringstream oss;
+  oss << "cluster_by_name: unknown cluster preset '" << name << "'; known presets:";
+  for (const auto& known : cluster_preset_names()) oss << " '" << known << "'";
+  throw std::invalid_argument(oss.str());
+}
+
+std::vector<std::string> cluster_preset_names() { return {"ablation", "paper"}; }
+
+}  // namespace hetis::harness

@@ -1,0 +1,21 @@
+// Named presets used by declarative experiment specs: clusters by name
+// (models already have model::model_by_name).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace hetis::harness {
+
+/// Builds a cluster preset by name.  Known presets:
+///   "paper"    -- the paper's testbed (4xA100 + 4x3090 + 4xP100, §7.1)
+///   "ablation" -- one A100 + two 3090s (Fig. 14 / Fig. 15a ablations)
+/// Throws std::invalid_argument listing the known names otherwise.
+hw::Cluster cluster_by_name(const std::string& name);
+
+/// Names accepted by cluster_by_name, sorted.
+std::vector<std::string> cluster_preset_names();
+
+}  // namespace hetis::harness

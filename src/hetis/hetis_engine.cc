@@ -39,8 +39,12 @@ costmodel::ProfileResult inject_error(costmodel::ProfileResult profile, double e
 HetisEngine::HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
                          HetisOptions opts)
     : opts_(opts), exec_(cluster, model), hauler_(cluster) {
-  parallel::Parallelizer parallelizer(cluster, model, opts_.search);
-  plan_ = parallelizer.plan(opts_.workload);
+  if (opts_.plan) {
+    plan_ = *opts_.plan;
+  } else {
+    parallel::Parallelizer parallelizer(cluster, model, opts_.search);
+    plan_ = parallelizer.plan(opts_.workload);
+  }
   costmodel::ProfilerOptions popts;
   popts.seed = opts_.profile_seed;
   costmodel::Profiler profiler(cluster, model, popts);
@@ -367,6 +371,7 @@ void HetisInstance::finish_decode(sim::Simulation& sim,
     auto it = running_.find(id);
     if (it == running_.end()) continue;  // preempted mid-flight
     it->second.generated += 1;
+    metrics_->on_token(id, sim.now(), it->second.generated);
     if (it->second.done()) {
       dispatcher_.remove(id);
       metrics_->on_finish(id, sim.now());
@@ -433,17 +438,28 @@ void HetisInstance::execute_rebalance(sim::Simulation& sim, const dispatch::Reba
 }
 
 void HetisInstance::preempt(sim::Simulation& sim, workload::RequestId id) {
-  (void)sim;
   auto it = running_.find(id);
   if (it == running_.end() || id < 0) return;
   engine::LiveRequest lr = it->second;
   running_.erase(it);
   suspended_until_.erase(id);
   dispatcher_.remove(id);
-  metrics_->on_preemption(id);
+  metrics_->on_preemption(id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;
   waiting_.push_front(lr);
 }
 
 }  // namespace hetis::core
+
+// Self-registration with the engine registry (engine/registry.h): callers
+// construct Hetis by name and configure it through EngineOptions.
+#include "engine/registry.h"
+
+HETIS_REGISTER_ENGINE(hetis, [](const hetis::hw::Cluster& cluster,
+                                const hetis::model::ModelSpec& model,
+                                const hetis::engine::EngineOptions& opts)
+                                 -> std::unique_ptr<hetis::engine::Engine> {
+  auto cfg = opts.get_or_default<hetis::engine::HetisConfig>("hetis");
+  return std::make_unique<hetis::core::HetisEngine>(cluster, model, cfg);
+});

@@ -18,36 +18,15 @@
 #include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
+#include "engine/options.h"
 #include "hauler/hauler.h"
 #include "parallel/parallelizer.h"
 
 namespace hetis::core {
 
-struct HetisOptions {
-  double theta = 0.5;              // re-dispatch trigger (paper default)
-  bool enable_redispatch = true;   // Fig. 15a ablation: false = plain LIFO
-  bool use_lp = true;              // false = greedy dispatch (ablation)
-  int redispatch_period = 16;      // decode iterations between f* checks
-  std::int64_t max_prefill_tokens = 8192;
-  std::size_t max_batch = 256;
-
-  // Profiling controls (Fig. 16b).
-  std::uint64_t profile_seed = 2025;
-  double profile_error = 0.0;      // +-fraction applied to fitted coefficients
-  // Which coefficient family the error hits (the paper sweeps each of
-  // a, b, c, gamma, beta separately).
-  enum class ErrorTarget { kAll, kA, kB, kC, kGamma, kBeta };
-  ErrorTarget profile_error_target = ErrorTarget::kAll;
-
-  // Fig. 14 instrumentation: sample device usage every `sample_interval`
-  // seconds (0 disables).
-  Seconds sample_interval = 0.0;
-  Seconds sample_horizon = 0.0;
-
-  // Parallelizer inputs.
-  parallel::WorkloadProfile workload;
-  parallel::ParallelizerOptions search;
-};
+/// Hetis's knobs live in engine/options.h so the registry front-end can
+/// carry them without including this header; the historical name remains.
+using HetisOptions = engine::HetisConfig;
 
 class HetisInstance;
 

@@ -204,7 +204,7 @@ TEST(SplitwiseEngine, LongBenchStressWithBackpressure) {
   hw::Cluster cluster = hw::Cluster::paper_cluster();
   SplitwiseEngine eng(cluster, model::llama_13b());
   auto trace = small_trace(1.0, 10.0, workload::Dataset::kLongBench);
-  engine::RunReport rep = engine::run_trace(eng, trace, 1200.0);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(1200.0));
   EXPECT_EQ(rep.finished, trace.size());
 }
 

@@ -45,14 +45,14 @@ TEST(Metrics, UnknownRequestThrows) {
   MetricsCollector m;
   EXPECT_THROW(m.on_first_token(9, 1.0), std::out_of_range);
   EXPECT_THROW(m.on_finish(9, 1.0), std::out_of_range);
-  EXPECT_THROW(m.on_preemption(9), std::out_of_range);
+  EXPECT_THROW(m.on_preemption(9, 1.0), std::out_of_range);
 }
 
 TEST(Metrics, PreemptionKeepsOriginalFirstToken) {
   MetricsCollector m;
   m.on_arrival(make_req(1, 0.0, 10, 5));
   m.on_first_token(1, 1.0);
-  m.on_preemption(1);
+  m.on_preemption(1, 2.0);
   m.on_first_token(1, 3.0);  // re-prefill after preemption
   EXPECT_DOUBLE_EQ(m.records().at(1).ttft(), 1.0);
   EXPECT_EQ(m.total_preemptions(), 1);
@@ -283,7 +283,7 @@ TEST(RunTrace, ReportAggregation) {
   EchoEngine eng;
   std::vector<workload::Request> trace;
   for (int i = 0; i < 10; ++i) trace.push_back(make_req(i, 0.5 * i, 10, 100));
-  RunReport rep = run_trace(eng, trace, 60.0);
+  RunReport rep = run_trace(eng, trace, RunOptions(60.0));
   EXPECT_EQ(rep.engine, "echo");
   EXPECT_EQ(rep.arrived, 10u);
   EXPECT_EQ(rep.finished, 10u);

@@ -1,0 +1,230 @@
+// Experiment harness: RunReport CSV/JSON serialization (round trip, stable
+// column order) and the declarative sweep runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "harness/experiment.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+std::size_t count_cells(const std::string& line) {
+  return static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) + 1;
+}
+
+engine::RunReport distinctive_report() {
+  engine::RunReport r;
+  r.engine = "Hetis";
+  r.arrived = 101;
+  r.finished = 97;
+  r.measured = 89;
+  r.norm_latency_mean = 0.012345678901234567;
+  r.norm_latency_p95 = 0.08765432109876543;
+  r.ttft_p95 = 1.25;
+  r.tpot_p95 = 0.0625;
+  r.mlp_module_p95 = 0.001953125;
+  r.attn_module_p95 = 0.0009765625;
+  r.throughput = 12.75;
+  r.preemptions = 7;
+  r.usable_kv = 123456789012345;
+  r.makespan = 47.125;
+  r.drain_timeout_hit = true;
+  r.slo_set = true;
+  r.slo_ttft = 2.0;
+  r.slo_tpot = 0.15;
+  r.ttft_attainment = 0.9175257731958762;
+  r.tpot_attainment = 0.8888888888888888;
+  r.slo_attainment = 0.8762886597938144;
+  r.goodput = 1.803278688524590;
+  return r;
+}
+
+TEST(RunReportSerialization, CsvRoundTripsExactly) {
+  engine::RunReport r = distinctive_report();
+  engine::RunReport back = engine::RunReport::from_csv_row(r.to_csv_row());
+  EXPECT_EQ(back.engine, r.engine);
+  EXPECT_EQ(back.arrived, r.arrived);
+  EXPECT_EQ(back.finished, r.finished);
+  EXPECT_EQ(back.measured, r.measured);
+  EXPECT_DOUBLE_EQ(back.norm_latency_mean, r.norm_latency_mean);
+  EXPECT_DOUBLE_EQ(back.norm_latency_p95, r.norm_latency_p95);
+  EXPECT_DOUBLE_EQ(back.ttft_p95, r.ttft_p95);
+  EXPECT_DOUBLE_EQ(back.tpot_p95, r.tpot_p95);
+  EXPECT_DOUBLE_EQ(back.mlp_module_p95, r.mlp_module_p95);
+  EXPECT_DOUBLE_EQ(back.attn_module_p95, r.attn_module_p95);
+  EXPECT_DOUBLE_EQ(back.throughput, r.throughput);
+  EXPECT_EQ(back.preemptions, r.preemptions);
+  EXPECT_EQ(back.usable_kv, r.usable_kv);
+  EXPECT_DOUBLE_EQ(back.makespan, r.makespan);
+  EXPECT_EQ(back.drain_timeout_hit, r.drain_timeout_hit);
+  EXPECT_EQ(back.slo_set, r.slo_set);
+  EXPECT_DOUBLE_EQ(back.slo_ttft, r.slo_ttft);
+  EXPECT_DOUBLE_EQ(back.slo_tpot, r.slo_tpot);
+  EXPECT_DOUBLE_EQ(back.ttft_attainment, r.ttft_attainment);
+  EXPECT_DOUBLE_EQ(back.tpot_attainment, r.tpot_attainment);
+  EXPECT_DOUBLE_EQ(back.slo_attainment, r.slo_attainment);
+  EXPECT_DOUBLE_EQ(back.goodput, r.goodput);
+  // And a default report round-trips too (all-zero edge case).
+  engine::RunReport d;
+  d.engine = "Fake";
+  EXPECT_EQ(engine::RunReport::from_csv_row(d.to_csv_row()).to_csv_row(), d.to_csv_row());
+}
+
+TEST(RunReportSerialization, HeaderMatchesRowArity) {
+  engine::RunReport r = distinctive_report();
+  EXPECT_EQ(count_cells(engine::RunReport::csv_header()), count_cells(r.to_csv_row()));
+  EXPECT_THROW(engine::RunReport::from_csv_row("Hetis,1,2"), std::invalid_argument);
+}
+
+TEST(RunReportSerialization, JsonCarriesEveryCsvColumn) {
+  engine::RunReport r = distinctive_report();
+  std::string json = r.to_json();
+  std::istringstream header(engine::RunReport::csv_header());
+  std::string column;
+  while (std::getline(header, column, ',')) {
+    EXPECT_NE(json.find("\"" + column + "\":"), std::string::npos) << column;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RunReportSerialization, JsonEscapesSpecialCharacters) {
+  engine::RunReport r;
+  r.engine = "He\"tis\\v2";
+  std::string json = r.to_json();
+  EXPECT_NE(json.find("\"engine\":\"He\\\"tis\\\\v2\""), std::string::npos) << json;
+}
+
+TEST(Sweep, RunsTheCrossProductInDeclaredOrder) {
+  harness::ExperimentSpec spec;
+  spec.name = "unit";
+  spec.engines = {"hexgen", "splitwise"};
+  spec.models = {"Llama-13B"};
+  spec.workloads = {{workload::Dataset::kShareGPT, 2.0}};
+  spec.horizon = 5.0;
+  spec.seed = 17;
+  spec.run = engine::RunOptions(900.0);
+
+  int called = 0;
+  auto rows = harness::run_sweep(spec, [&called](const harness::SweepRow&) { ++called; });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(called, 2);
+  EXPECT_EQ(rows[0].report.engine, "Hexgen");
+  EXPECT_EQ(rows[1].report.engine, "Splitwise");
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.experiment, "unit");
+    EXPECT_EQ(row.cluster, "paper");
+    EXPECT_EQ(row.model, "Llama-13B");
+    EXPECT_EQ(row.dataset, workload::Dataset::kShareGPT);
+    EXPECT_DOUBLE_EQ(row.rate, 2.0);
+    EXPECT_GT(row.trace_requests, 0u);
+    EXPECT_GT(row.report.finished, 0u);
+    EXPECT_FALSE(row.report.drain_timeout_hit);
+  }
+  // Both engines served the identical trace.
+  EXPECT_EQ(rows[0].trace_requests, rows[1].trace_requests);
+}
+
+TEST(Sweep, ReproducesADirectRegistryRun) {
+  // The harness must add nothing on top of engine::make + run_trace: the
+  // same (seed, horizon, rate, options) yields bit-identical reports.
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen"};
+  spec.models = {"Llama-13B"};
+  spec.workloads = {{workload::Dataset::kHumanEval, 5.0}};
+  spec.horizon = 6.0;
+  spec.seed = 23;
+  spec.run = engine::RunOptions(900.0);
+  auto rows = harness::run_sweep(spec);
+  ASSERT_EQ(rows.size(), 1u);
+
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kHumanEval;
+  topts.rate = 5.0;
+  topts.horizon = 6.0;
+  topts.seed = 23;
+  auto trace = workload::build_trace(topts);
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  auto eng = engine::make("hexgen", cluster, model::model_by_name("Llama-13B"));
+  auto direct = engine::run_trace(*eng, trace, engine::RunOptions(900.0));
+
+  EXPECT_EQ(rows[0].report.to_csv_row(), direct.to_csv_row());
+}
+
+TEST(Sweep, PerEngineOptionsAreRouted) {
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen"};
+  spec.models = {"Llama-13B"};
+  spec.workloads = {{workload::Dataset::kShareGPT, 1.0}};
+  spec.horizon = 4.0;
+  spec.run = engine::RunOptions(900.0);
+  engine::HexgenConfig cfg;
+  cfg.max_batch = 4;
+  spec.engine_options["hexgen"] = engine::EngineOptions(cfg);
+  EXPECT_EQ(harness::run_sweep(spec).size(), 1u);
+
+  // Mis-tagged options must fail loudly, not silently fall back to defaults.
+  spec.engine_options["hexgen"] = engine::EngineOptions(engine::HetisConfig{});
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+
+  // Option routing matches engine names case-insensitively, like the
+  // registry: the mis-tagged options must still reach "Hexgen".
+  spec.engines = {"Hexgen"};
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Sweep, CsvAndJsonRowsAreAligned) {
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen"};
+  spec.models = {"Llama-13B"};
+  spec.workloads = {{workload::Dataset::kShareGPT, 1.0}};
+  spec.horizon = 4.0;
+  spec.run = engine::RunOptions(900.0);
+  auto rows = harness::run_sweep(spec);
+
+  std::ostringstream csv;
+  harness::write_csv(csv, rows);
+  std::istringstream lines(csv.str());
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_EQ(header, harness::sweep_csv_header());
+  EXPECT_EQ(count_cells(row), count_cells(header));
+  // The report section of the row is the engine's own serialization.
+  EXPECT_NE(row.find(rows[0].report.to_csv_row()), std::string::npos);
+
+  std::ostringstream json;
+  harness::write_json(json, rows);
+  const std::string j = json.str();
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_NE(j.find("\"experiment\":"), std::string::npos);
+  EXPECT_NE(j.find("\"report\":{"), std::string::npos);
+  EXPECT_NE(j.find(rows[0].report.to_json()), std::string::npos);
+}
+
+TEST(Sweep, UnknownClusterModelOrEngineFailLoudly) {
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen"};
+  spec.workloads = {{workload::Dataset::kShareGPT, 1.0}};
+  spec.horizon = 2.0;
+  spec.cluster = "warehouse";
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+  spec.cluster = "paper";
+  spec.models = {"GPT-5"};
+  EXPECT_THROW(harness::run_sweep(spec), std::out_of_range);
+  spec.models = {"Llama-13B"};
+  spec.engines = {"vllm"};
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetis

@@ -156,7 +156,7 @@ TEST(HetisEngine, MemoryPressureTriggersRescueOrPreemption) {
   opts.workload.decode_batch = 16;
   HetisEngine eng(cluster, model::llama_13b(), opts);
   auto trace = small_trace(1.2, 25.0, 5, workload::Dataset::kLongBench);
-  engine::RunReport rep = engine::run_trace(eng, trace, 2400.0);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(2400.0));
   EXPECT_EQ(rep.finished, trace.size());
 }
 

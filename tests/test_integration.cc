@@ -30,17 +30,17 @@ TriReport run_all(const model::ModelSpec& m, const std::vector<workload::Request
   TriReport out;
   {
     baselines::SplitwiseEngine eng(cluster, m);
-    out.splitwise = engine::run_trace(eng, trace, drain);
+    out.splitwise = engine::run_trace(eng, trace, engine::RunOptions(drain));
   }
   {
     baselines::HexgenEngine eng(cluster, m);
-    out.hexgen = engine::run_trace(eng, trace, drain);
+    out.hexgen = engine::run_trace(eng, trace, engine::RunOptions(drain));
   }
   {
     core::HetisOptions opts;
     opts.workload.decode_batch = 64;
     core::HetisEngine eng(cluster, m, opts);
-    out.hetis = engine::run_trace(eng, trace, drain);
+    out.hetis = engine::run_trace(eng, trace, engine::RunOptions(drain));
   }
   return out;
 }

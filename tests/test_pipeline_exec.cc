@@ -175,7 +175,7 @@ TEST(SplitwiseProtocol, MigrationsCountedUnderBorrowedStage) {
   topts.horizon = 10.0;
   topts.seed = 9;
   auto trace = workload::build_trace(topts);
-  engine::RunReport rep = engine::run_trace(eng, trace, 900.0);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(900.0));
   EXPECT_EQ(rep.finished, trace.size());
   EXPECT_GT(eng.migrated_bytes(), 0);
 }
@@ -246,7 +246,7 @@ TEST(HetisSuspension, OffloadedRequestsResumeAfterTransfer) {
   topts.horizon = 15.0;
   topts.seed = 4;
   auto trace = workload::build_trace(topts);
-  engine::RunReport rep = engine::run_trace(eng, trace, 1800.0);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(1800.0));
   EXPECT_EQ(rep.finished, trace.size());
 }
 

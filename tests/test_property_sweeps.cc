@@ -88,7 +88,7 @@ TEST_P(RandomClusterSweep, HetisDrainsRandomWorkload) {
   topts.horizon = 10.0;
   topts.seed = static_cast<std::uint64_t>(GetParam());
   auto trace = workload::build_trace(topts);
-  engine::RunReport rep = engine::run_trace(eng, trace, 1800.0);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(1800.0));
   EXPECT_EQ(rep.finished, trace.size());
   // Latency sanity: positive, and bounded by something absurd.
   if (rep.finished > 0) {
@@ -109,9 +109,9 @@ TEST_P(RandomClusterSweep, BaselinesDrainRandomWorkload) {
   auto trace = workload::build_trace(topts);
 
   baselines::HexgenEngine hex(cluster, m);
-  EXPECT_EQ(engine::run_trace(hex, trace, 1800.0).finished, trace.size());
+  EXPECT_EQ(engine::run_trace(hex, trace, engine::RunOptions(1800.0)).finished, trace.size());
   baselines::SplitwiseEngine sw(cluster, m);
-  EXPECT_EQ(engine::run_trace(sw, trace, 1800.0).finished, trace.size());
+  EXPECT_EQ(engine::run_trace(sw, trace, engine::RunOptions(1800.0)).finished, trace.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomClusterSweep, ::testing::Range(1, 13));
@@ -132,7 +132,7 @@ TEST_P(DeterminismSweep, IdenticalRunsBitEqual) {
     core::HetisOptions opts;
     opts.workload.decode_batch = 32;
     core::HetisEngine eng(cluster, model::llama2_7b(), opts);
-    return engine::run_trace(eng, trace, 1800.0);
+    return engine::run_trace(eng, trace, engine::RunOptions(1800.0));
   };
   engine::RunReport a = run_once();
   engine::RunReport b = run_once();

@@ -1,0 +1,333 @@
+// RunOptions semantics: warmup-window exclusion, SLO attainment/goodput
+// math (on a deterministic synthetic engine), drain-timeout surfacing, and
+// RunObserver event ordering on real engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+// A deterministic engine: per request, first token at arrival + ttft(r)
+// and one decode token every tpot(r) seconds until output_len is reached.
+class FakeEngine : public engine::Engine {
+ public:
+  std::function<Seconds(const workload::Request&)> ttft = [](const workload::Request&) {
+    return 0.1;
+  };
+  std::function<Seconds(const workload::Request&)> tpot = [](const workload::Request&) {
+    return 0.01;
+  };
+  std::function<bool(const workload::Request&)> completes = [](const workload::Request&) {
+    return true;
+  };
+
+  std::string name() const override { return "Fake"; }
+  Bytes usable_kv_capacity() const override { return GiB; }
+
+  void submit(sim::Simulation& sim, const workload::Request& r) override {
+    metrics_.on_arrival(r);
+    if (!completes(r)) return;
+    Seconds first = r.arrival + ttft(r);
+    sim.schedule_at(first, [this, id = r.id, first] { metrics_.on_first_token(id, first); });
+    Seconds step = tpot(r);
+    Seconds fin = first + static_cast<double>(r.output_len - 1) * step;
+    sim.schedule_at(fin, [this, id = r.id, fin] { metrics_.on_finish(id, fin); });
+  }
+};
+
+std::vector<workload::Request> synthetic_trace(std::size_t n, Seconds spacing,
+                                               std::int64_t output_len) {
+  std::vector<workload::Request> trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::Request r;
+    r.id = static_cast<workload::RequestId>(i);
+    r.arrival = spacing * static_cast<double>(i);
+    r.prompt_len = 64;
+    r.output_len = output_len;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+TEST(RunOptionsWarmup, ExcludesEarlyRequestsFromPercentiles) {
+  FakeEngine eng;
+  // Requests arriving before t=5 are 100x slower -- a classic cold start.
+  eng.ttft = [](const workload::Request& r) { return r.arrival < 5.0 ? 10.0 : 0.1; };
+  auto trace = synthetic_trace(10, 1.0, /*output_len=*/2);
+
+  engine::RunOptions cold(600.0);
+  auto rep_all = engine::run_trace(eng, trace, cold);
+  EXPECT_EQ(rep_all.measured, 10u);
+  EXPECT_GT(rep_all.ttft_p95, 5.0);  // dominated by the cold start
+
+  FakeEngine eng2;
+  eng2.ttft = eng.ttft;
+  engine::RunOptions warm(600.0);
+  warm.warmup = 5.0;
+  auto rep = engine::run_trace(eng2, trace, warm);
+  EXPECT_EQ(rep.arrived, 10u);
+  EXPECT_EQ(rep.finished, 10u);   // warmup requests still served...
+  EXPECT_EQ(rep.measured, 5u);    // ...but not measured
+  EXPECT_LE(rep.ttft_p95, 0.1 + 1e-12);
+  EXPECT_FALSE(rep.drain_timeout_hit);
+}
+
+TEST(RunOptionsSlo, AttainmentAndGoodputMath) {
+  FakeEngine eng;
+  // ids 0-3 meet TTFT (<= 0.5); ids 0-5 meet TPOT (<= 0.1); both: ids 0-3.
+  eng.ttft = [](const workload::Request& r) { return r.id < 4 ? 0.05 : 1.0; };
+  eng.tpot = [](const workload::Request& r) { return r.id < 6 ? 0.01 : 0.5; };
+  auto trace = synthetic_trace(10, 1.0, /*output_len=*/2);
+
+  engine::RunOptions opts(600.0);
+  engine::SloSpec slo;
+  slo.ttft = 0.5;
+  slo.tpot = 0.1;
+  opts.slo = slo;
+  auto rep = engine::run_trace(eng, trace, opts);
+
+  EXPECT_TRUE(rep.slo_set);
+  EXPECT_DOUBLE_EQ(rep.slo_ttft, 0.5);
+  EXPECT_DOUBLE_EQ(rep.slo_tpot, 0.1);
+  EXPECT_DOUBLE_EQ(rep.ttft_attainment, 0.4);
+  EXPECT_DOUBLE_EQ(rep.tpot_attainment, 0.6);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 0.4);
+  // Makespan: first arrival t=0 to the last finish (id 9: 9 + 1.0 + 0.5).
+  EXPECT_NEAR(rep.makespan, 10.5, 1e-9);
+  EXPECT_NEAR(rep.goodput, 4.0 / 10.5, 1e-9);
+  EXPECT_NEAR(rep.throughput, 10.0 / 10.5, 1e-9);
+}
+
+TEST(RunOptionsSlo, GoodputUsesTheMeasuredSpanUnderWarmup) {
+  FakeEngine eng;
+  eng.ttft = [](const workload::Request&) { return 0.05; };
+  eng.tpot = [](const workload::Request&) { return 0.01; };
+  auto trace = synthetic_trace(10, 1.0, /*output_len=*/2);
+
+  engine::RunOptions opts(600.0);
+  opts.warmup = 5.0;
+  engine::SloSpec slo;
+  slo.ttft = 0.5;
+  slo.tpot = 0.1;
+  opts.slo = slo;
+  auto rep = engine::run_trace(eng, trace, opts);
+
+  EXPECT_EQ(rep.measured, 5u);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 1.0);
+  // Denominator is the measured span (first measured arrival t=5 to the
+  // last measured finish t=9.06), not the warmup-inclusive makespan.
+  EXPECT_NEAR(rep.goodput, 5.0 / 4.06, 1e-9);
+  EXPECT_NEAR(rep.makespan, 9.06, 1e-9);
+}
+
+TEST(RunOptionsSlo, UnfinishedRequestsCountAsMisses) {
+  FakeEngine eng;
+  // Half the requests never finish (overload); the surviving half all meet
+  // the targets.  Attainment must grade the whole arrived population.
+  eng.completes = [](const workload::Request& r) { return r.id < 5; };
+  auto trace = synthetic_trace(10, 1.0, /*output_len=*/2);
+
+  engine::RunOptions opts(600.0);
+  engine::SloSpec slo;
+  slo.ttft = 0.5;
+  slo.tpot = 0.1;
+  opts.slo = slo;
+  auto rep = engine::run_trace(eng, trace, opts);
+
+  EXPECT_EQ(rep.finished, 5u);
+  EXPECT_TRUE(rep.drain_timeout_hit);
+  EXPECT_DOUBLE_EQ(rep.ttft_attainment, 0.5);
+  EXPECT_DOUBLE_EQ(rep.tpot_attainment, 0.5);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 0.5);
+}
+
+TEST(RunOptionsSlo, UnsetLeavesSloBlockEmpty) {
+  FakeEngine eng;
+  auto rep = engine::run_trace(eng, synthetic_trace(3, 1.0, 2), engine::RunOptions(600.0));
+  EXPECT_FALSE(rep.slo_set);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 0.0);
+  EXPECT_DOUBLE_EQ(rep.goodput, 0.0);
+}
+
+TEST(RunOptionsDrain, TimeoutHitIsSurfacedNotSilent) {
+  FakeEngine eng;
+  eng.completes = [](const workload::Request&) { return false; };  // nothing ever completes
+  auto rep = engine::run_trace(eng, synthetic_trace(4, 1.0, 2), engine::RunOptions(5.0));
+  EXPECT_EQ(rep.finished, 0u);
+  EXPECT_TRUE(rep.drain_timeout_hit);
+  std::string warning = rep.warning();
+  EXPECT_NE(warning.find("drain timeout"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("Fake"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("4/4"), std::string::npos) << warning;
+}
+
+TEST(RunOptionsDrain, CleanDrainHasNoWarning) {
+  FakeEngine eng;
+  auto rep = engine::run_trace(eng, synthetic_trace(4, 1.0, 2), engine::RunOptions(600.0));
+  EXPECT_FALSE(rep.drain_timeout_hit);
+  EXPECT_EQ(rep.warning(), "");
+}
+
+TEST(RunOptionsDrain, PeriodicEngineEventsAreNotMistakenForTruncation) {
+  // An unbounded usage-sampling chain keeps the event queue non-empty
+  // forever; a fully-drained run must still report a clean drain.
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& m = model::model_by_name("Llama-13B");
+  engine::EngineOptions opts = [] {
+    engine::HetisConfig cfg;
+    cfg.sample_interval = 1.0;
+    cfg.sample_horizon = 0.0;  // unbounded
+    return cfg;
+  }();
+  auto eng = engine::make("hetis", cluster, m, opts);
+  workload::TraceOptions topts;
+  topts.dataset = workload::Dataset::kShareGPT;
+  topts.rate = 2.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto rep = engine::run_trace(*eng, workload::build_trace(topts), engine::RunOptions(900.0));
+  EXPECT_EQ(rep.finished, rep.arrived);
+  EXPECT_FALSE(rep.drain_timeout_hit);
+  EXPECT_EQ(rep.warning(), "");
+}
+
+// --- RunObserver ---
+
+struct Events {
+  Seconds arrival = -1;
+  Seconds prefill_done = -1;
+  Seconds finish = -1;
+  std::vector<Seconds> token_times;
+  std::vector<std::int64_t> token_counts;
+  int preempts = 0;
+};
+
+class RecordingObserver : public engine::RunObserver {
+ public:
+  void on_arrival(const workload::Request& r) override { events_[r.id].arrival = r.arrival; }
+  void on_prefill_done(workload::RequestId id, Seconds t) override {
+    events_[id].prefill_done = t;
+  }
+  void on_token(workload::RequestId id, Seconds t, std::int64_t generated) override {
+    events_[id].token_times.push_back(t);
+    events_[id].token_counts.push_back(generated);
+  }
+  void on_finish(workload::RequestId id, Seconds t) override { events_[id].finish = t; }
+  void on_preempt(workload::RequestId id, Seconds t) override {
+    (void)t;
+    ++events_[id].preempts;
+  }
+
+  const std::map<workload::RequestId, Events>& events() const { return events_; }
+
+ private:
+  std::map<workload::RequestId, Events> events_;
+};
+
+std::vector<workload::Request> observer_trace() {
+  workload::TraceOptions opts;
+  opts.dataset = workload::Dataset::kShareGPT;
+  opts.rate = 2.0;
+  opts.horizon = 8.0;
+  opts.seed = 31;
+  return workload::build_trace(opts);
+}
+
+void check_event_ordering(const std::string& engine_name) {
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& m = model::model_by_name("Llama-13B");
+  auto eng = engine::make(engine_name, cluster, m);
+  RecordingObserver obs;
+  engine::RunOptions opts(900.0);
+  opts.observer = &obs;
+  auto trace = observer_trace();
+  auto rep = engine::run_trace(*eng, trace, opts);
+
+  ASSERT_EQ(rep.finished, trace.size()) << engine_name;
+  ASSERT_EQ(obs.events().size(), trace.size()) << engine_name;
+  for (const auto& [id, ev] : obs.events()) {
+    SCOPED_TRACE(engine_name + " request " + std::to_string(id));
+    // Every lifecycle stage was observed, in causal order.
+    ASSERT_GE(ev.arrival, 0.0);
+    ASSERT_GE(ev.prefill_done, 0.0);
+    ASSERT_GE(ev.finish, 0.0);
+    EXPECT_LE(ev.arrival, ev.prefill_done);
+    EXPECT_LE(ev.prefill_done, ev.finish);
+    for (std::size_t i = 0; i < ev.token_times.size(); ++i) {
+      EXPECT_GE(ev.token_times[i], ev.prefill_done);
+      EXPECT_LE(ev.token_times[i], ev.finish);
+      if (i > 0) {
+        EXPECT_GE(ev.token_times[i], ev.token_times[i - 1]);
+        // Monotone progress -- except across a preemption, which recomputes.
+        if (ev.preempts == 0) {
+          EXPECT_GT(ev.token_counts[i], ev.token_counts[i - 1]);
+        }
+      }
+    }
+    if (ev.preempts == 0) {
+      // The prefill-produced first token is signaled by prefill_done;
+      // on_token covers the remaining output_len - 1 decode tokens.
+      auto it = std::find_if(trace.begin(), trace.end(),
+                             [id = id](const workload::Request& r) { return r.id == id; });
+      ASSERT_NE(it, trace.end());
+      EXPECT_EQ(static_cast<std::int64_t>(ev.token_times.size()), it->output_len - 1);
+    }
+  }
+}
+
+TEST(RunObserver, EventOrderingHetis) { check_event_ordering("hetis"); }
+TEST(RunObserver, EventOrderingHexgen) { check_event_ordering("hexgen"); }
+TEST(RunObserver, EventOrderingSplitwise) { check_event_ordering("splitwise"); }
+
+TEST(RunObserver, ObserverIsDetachedAfterTheRun) {
+  FakeEngine eng;
+  RecordingObserver obs;
+  engine::RunOptions opts(600.0);
+  opts.observer = &obs;
+  engine::run_trace(eng, synthetic_trace(2, 1.0, 2), opts);
+  std::size_t seen = obs.events().size();
+  EXPECT_EQ(seen, 2u);
+  // Post-run events on the SAME engine's metrics must no longer reach the
+  // observer -- run_trace detaches it on exit.
+  workload::Request late;
+  late.id = 99;
+  late.arrival = 100.0;
+  late.prompt_len = 8;
+  late.output_len = 2;
+  eng.metrics().on_arrival(late);
+  EXPECT_EQ(obs.events().size(), seen);
+  EXPECT_EQ(obs.events().count(99), 0u);
+}
+
+TEST(RunObserver, ObserverIsDetachedWhenTheRunThrows) {
+  FakeEngine eng;
+  RecordingObserver obs;
+  engine::RunOptions opts(600.0);
+  opts.observer = &obs;
+  // Duplicate ids make MetricsCollector throw mid-run; the observer must
+  // still be detached so the engine holds no dangling pointer.
+  auto trace = synthetic_trace(2, 1.0, 2);
+  trace[1].id = trace[0].id;
+  EXPECT_THROW(engine::run_trace(eng, trace, opts), std::logic_error);
+  workload::Request late;
+  late.id = 98;
+  late.arrival = 100.0;
+  late.prompt_len = 8;
+  late.output_len = 2;
+  eng.metrics().on_arrival(late);
+  EXPECT_EQ(obs.events().count(98), 0u);
+}
+
+}  // namespace
+}  // namespace hetis
