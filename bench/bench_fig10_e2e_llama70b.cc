@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
                         {{workload::Dataset::kShareGPT, {1, 2, 3}},
                          {workload::Dataset::kHumanEval, {3, 6, 9, 12}},
                          {workload::Dataset::kLongBench, {0.4, 0.8, 1.2, 1.6}}},
-                        bench::csv_requested(argc, argv));
+                        bench::csv_requested(argc, argv), bench::jobs_requested(argc, argv),
+                        bench::flag_requested(argc, argv, "--progress"));
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   slo.ttft = 5.0;    // interactive-serving targets; reporting-only
   slo.tpot = 0.15;
   spec.run.slo = slo;
+  spec.jobs = bench::jobs_requested(argc, argv);
 
   const auto rows = harness::run_sweep(spec);
   bench::warn_truncated(rows);

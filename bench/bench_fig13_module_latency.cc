@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   spec.workloads = {{workload::Dataset::kShareGPT, 1.5},
                     {workload::Dataset::kHumanEval, 6.0},
                     {workload::Dataset::kLongBench, 0.8}};
+  spec.jobs = bench::jobs_requested(argc, argv);
 
   const auto rows = harness::run_sweep(spec);
   bench::warn_truncated(rows);

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
                         {{workload::Dataset::kShareGPT, {3, 6, 9, 12, 15}},
                          {workload::Dataset::kHumanEval, {15, 30, 45, 60, 75}},
                          {workload::Dataset::kLongBench, {3, 5, 7, 9}}},
-                        bench::csv_requested(argc, argv));
+                        bench::csv_requested(argc, argv), bench::jobs_requested(argc, argv),
+                        bench::flag_requested(argc, argv, "--progress"));
   return 0;
 }

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
                         {{workload::Dataset::kShareGPT, {3, 6, 9, 12}},
                          {workload::Dataset::kHumanEval, {15, 30, 45}},
                          {workload::Dataset::kLongBench, {2, 4, 6}}},
-                        bench::csv_requested(argc, argv));
+                        bench::csv_requested(argc, argv), bench::jobs_requested(argc, argv),
+                        bench::flag_requested(argc, argv, "--progress"));
   return 0;
 }

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -67,12 +69,60 @@ inline harness::ExperimentSpec paper_spec(const std::string& name, const std::st
   return spec;
 }
 
-/// True when the bench was invoked with --csv (dump aligned sweep rows).
-inline bool csv_requested(int argc, char** argv) {
+/// True when the bench was invoked with `flag` (e.g. "--csv", "--progress").
+inline bool flag_requested(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") return true;
+    if (argv[i] == flag) return true;
   }
   return false;
+}
+
+/// True when the bench was invoked with --csv (dump aligned sweep rows).
+inline bool csv_requested(int argc, char** argv) { return flag_requested(argc, argv, "--csv"); }
+
+/// Value of `--key V` style flags; `fallback` when absent.
+inline std::string arg_value(int argc, char** argv, const std::string& key,
+                             const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == key) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Parses `--jobs N` (0 = hardware concurrency); returns `fallback` when
+/// absent.  Sweep rows are byte-identical for every value, so figures can
+/// default to serial while CI and interactive runs go wide.  A malformed
+/// or negative value exits with a usage message (benches have no
+/// exception handler around main).
+inline int jobs_requested(int argc, char** argv, int fallback = 1) {
+  const std::string value = arg_value(argc, argv, "--jobs", "");
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  long jobs = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || jobs < 0) {
+    std::fprintf(stderr, "--jobs expects a non-negative integer, got '%s'\n", value.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(jobs);
+}
+
+/// RowCallback printing one completion line per cell to stderr (stderr so
+/// --csv stdout stays machine-readable).  Under --jobs > 1 lines arrive in
+/// completion order; the [k/total] counter still reaches total.
+inline harness::RowCallback progress_printer(std::size_t total) {
+  auto count = std::make_shared<std::size_t>(0);  // run_sweep serializes on_row
+  return [count, total](const harness::SweepRow& row) {
+    ++*count;
+    std::fprintf(stderr, "[%zu/%zu] %s %s %s %s rate=%g finished=%zu/%zu\n", *count, total,
+                 row.report.engine.c_str(), row.model.c_str(), row.scenario.c_str(),
+                 workload::to_string(row.dataset), row.rate, row.report.finished,
+                 row.trace_requests);
+  };
+}
+
+/// The spec's cell count (for progress_printer totals).
+inline std::size_t cell_count(const harness::ExperimentSpec& spec) {
+  return spec.engines.size() * spec.models.size() * spec.workloads.size();
 }
 
 /// Report of `engine_name` within workload point `point` of a sweep whose
@@ -104,10 +154,12 @@ inline void warn_truncated(const std::vector<harness::SweepRow>& rows) {
 inline void run_e2e_figure(const char* figure, const std::string& model_name,
                            const std::vector<std::pair<workload::Dataset, std::vector<double>>>&
                                dataset_rates,
-                           bool csv = false) {
+                           bool csv = false, int jobs = 1, bool progress = false) {
   harness::ExperimentSpec spec = paper_spec(figure, model_name);
   for (const auto& [ds, rates] : dataset_rates) spec.add_rates(ds, rates);
-  const auto rows = harness::run_sweep(spec);
+  spec.jobs = jobs;
+  const auto rows =
+      harness::run_sweep(spec, progress ? progress_printer(cell_count(spec)) : nullptr);
   warn_truncated(rows);
   if (csv) {
     harness::write_csv(std::cout, rows);

@@ -89,6 +89,31 @@ void ThreadPool::parallel_for_chunked(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::run_tasks(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futs.push_back(submit([&fn, i] { fn(i); }));
+  }
+  // Every future is drained before rethrowing (tasks reference fn), and
+  // iterating in index order makes the surviving exception the lowest
+  // index's, independent of which task failed first on the wall clock.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

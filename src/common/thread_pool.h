@@ -43,6 +43,14 @@ class ThreadPool {
   void parallel_for_chunked(std::size_t begin, std::size_t end,
                             const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Runs fn(i) for i in [0, n) as n independently-scheduled tasks and
+  /// blocks until all complete.  Unlike parallel_for's static chunking,
+  /// tasks are pulled dynamically, so wildly uneven task costs (the
+  /// experiment harness: later rate points take far longer) still balance.
+  /// When bodies throw, the exception of the LOWEST index is rethrown --
+  /// deterministic regardless of completion order.
+  void run_tasks(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
 

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -70,6 +71,9 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string RunReport::warning() const {
+  // Built lazily, and only on truncation: a clean drain must not pay for
+  // (or ever observe) the assembled message -- see the invariant check at
+  // the end of run_trace.
   if (!drain_timeout_hit) return "";
   std::ostringstream oss;
   oss << engine << ": drain timeout hit with " << (arrived - finished) << "/" << arrived
@@ -229,6 +233,9 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
     rep.slo_attainment = static_cast<double>(slo_ok) / denom;
     rep.goodput = many ? static_cast<double>(slo_ok) / std::max(1e-9, mlast - mfirst) : 0.0;
   }
+  // Invariant: the drain-timeout warning exists iff truncation occurred; a
+  // clean drain reports an empty warning (the sweep tests rely on this).
+  assert(rep.drain_timeout_hit ? !rep.warning().empty() : rep.warning().empty());
   return rep;
 }
 

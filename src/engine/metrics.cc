@@ -11,6 +11,7 @@ void MetricsCollector::on_arrival(const workload::Request& r) {
   rec.arrival = r.arrival;
   rec.prompt_len = r.prompt_len;
   rec.output_len = r.output_len;
+  rec.tenant = r.tenant;
   auto [it, inserted] = records_.emplace(r.id, rec);
   if (!inserted) throw std::logic_error("MetricsCollector: duplicate arrival");
   if (observer_) observer_->on_arrival(r);

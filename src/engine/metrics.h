@@ -24,6 +24,8 @@ namespace hetis::engine {
 /// so on_token restarts but on_prefill_done fires only once (the TTFT
 /// reference).  The prefill-produced first token is signaled by
 /// on_prefill_done; on_token covers decode-produced tokens only.
+/// on_arrival's Request carries the workload tenant index, so observers can
+/// attribute the whole lifecycle per tenant (see harness::tenant_summaries).
 class RunObserver {
  public:
   virtual ~RunObserver() = default;
@@ -55,6 +57,8 @@ struct RequestRecord {
   Seconds finish = -1;
   std::int64_t prompt_len = 0;
   std::int64_t output_len = 0;
+  int tenant = 0;  // copied from the request; indexes the generating
+                   // scenario's tenant list for per-tenant attribution
   int preemptions = 0;
 
   bool finished() const { return finish >= 0; }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "common/stats.h"
+#include "common/thread_pool.h"
 #include "engine/registry.h"
 #include "harness/presets.h"
 #include "model/llm.h"
@@ -23,64 +27,166 @@ std::string csv_field(std::string s) {
   return s;
 }
 
+/// Builds the trace of one workload point; a pure function of (spec, point)
+/// so every execution order -- and thread count -- yields identical bytes.
+std::vector<workload::Request> build_point_trace(const ExperimentSpec& spec,
+                                                 const WorkloadPoint& point) {
+  if (point.scenario) return workload::generate_scenario(*point.scenario);
+  workload::TraceOptions topts;
+  topts.dataset = point.dataset;
+  topts.rate = point.rate;
+  topts.horizon = spec.horizon;
+  topts.seed = spec.seed;
+  return workload::build_trace(topts);
+}
+
+engine::EngineOptions options_for(const ExperimentSpec& spec, const std::string& engine_name) {
+  // Engine names are case-insensitive in the registry; match the options
+  // map the same way so a "Hetis"/"hetis" mismatch cannot silently drop the
+  // configured options.
+  for (const auto& [key, value] : spec.engine_options) {
+    if (engine::ascii_lower(key) == engine::ascii_lower(engine_name)) return value;
+  }
+  return engine::EngineOptions();
+}
+
 }  // namespace
 
 void ExperimentSpec::add_rates(workload::Dataset dataset, const std::vector<double>& rates) {
-  for (double rate : rates) workloads.push_back(WorkloadPoint{dataset, rate});
+  for (double rate : rates) workloads.push_back(WorkloadPoint(dataset, rate));
+}
+
+void ExperimentSpec::add_scenario(workload::ScenarioSpec scenario) {
+  scenario.seed = seed;
+  scenario.horizon = horizon;
+  workloads.push_back(WorkloadPoint(std::move(scenario)));
+}
+
+std::vector<TenantSummary> tenant_summaries(const engine::MetricsCollector& metrics,
+                                            const workload::ScenarioSpec& scenario,
+                                            Seconds warmup) {
+  const std::vector<workload::TenantSpec> tenants = workload::effective_tenants(scenario);
+  if (tenants.empty()) return {};
+  std::vector<TenantSummary> out(tenants.size());
+  std::vector<Summary> ttft(tenants.size()), tpot(tenants.size());
+  std::vector<std::size_t> slo_ok(tenants.size(), 0);
+  std::vector<Seconds> first(tenants.size(), 0), last(tenants.size(), 0);
+  std::vector<bool> any(tenants.size(), false);
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) out[ti].tenant = tenants[ti].name;
+
+  for (const auto& [id, rec] : metrics.records()) {
+    if (rec.tenant < 0 || static_cast<std::size_t>(rec.tenant) >= tenants.size()) continue;
+    if (rec.arrival < warmup) continue;
+    const std::size_t ti = static_cast<std::size_t>(rec.tenant);
+    const workload::TenantSpec& t = tenants[ti];
+    ++out[ti].arrived;
+    if (rec.first_token >= 0) ttft[ti].add(rec.ttft());
+    if (!rec.finished()) continue;
+    ++out[ti].finished;
+    if (rec.output_len > 1) tpot[ti].add(rec.tpot());
+    if (!any[ti] || rec.arrival < first[ti]) first[ti] = rec.arrival;
+    if (!any[ti] || rec.finish > last[ti]) last[ti] = rec.finish;
+    any[ti] = true;
+    const bool meets_ttft =
+        t.ttft_slo <= 0 || (rec.first_token >= 0 && rec.ttft() <= t.ttft_slo);
+    const bool meets_tpot = t.tpot_slo <= 0 || rec.output_len <= 1 || rec.tpot() <= t.tpot_slo;
+    if (meets_ttft && meets_tpot) ++slo_ok[ti];
+  }
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    out[ti].ttft_p95 = ttft[ti].p95();
+    out[ti].tpot_p95 = tpot[ti].p95();
+    out[ti].slo_attainment =
+        static_cast<double>(slo_ok[ti]) / std::max<std::size_t>(1, out[ti].arrived);
+    out[ti].goodput = any[ti] ? static_cast<double>(slo_ok[ti]) /
+                                    std::max(1e-9, last[ti] - first[ti])
+                              : 0.0;
+  }
+  return out;
 }
 
 std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& on_row) {
-  hw::Cluster cluster = cluster_by_name(spec.cluster);
-  std::vector<SweepRow> rows;
-  rows.reserve(spec.models.size() * spec.workloads.size() * spec.engines.size());
-  for (const std::string& model_name : spec.models) {
-    const model::ModelSpec& model = model::model_by_name(model_name);
-    for (const WorkloadPoint& point : spec.workloads) {
-      workload::TraceOptions topts;
-      topts.dataset = point.dataset;
-      topts.rate = point.rate;
-      topts.horizon = spec.horizon;
-      topts.seed = spec.seed;
-      const auto trace = workload::build_trace(topts);
-      for (const std::string& engine_name : spec.engines) {
-        // Engine names are case-insensitive in the registry; match the
-        // options map the same way so a "Hetis"/"hetis" mismatch cannot
-        // silently drop the configured options.
-        engine::EngineOptions opts;
-        for (const auto& [key, value] : spec.engine_options) {
-          if (engine::ascii_lower(key) == engine::ascii_lower(engine_name)) {
-            opts = value;
-            break;
-          }
-        }
-        auto eng = engine::make(engine_name, cluster, model, opts);
-
-        SweepRow row;
-        row.experiment = spec.name;
-        row.cluster = spec.cluster;
-        row.model = model_name;
-        row.dataset = point.dataset;
-        row.rate = point.rate;
-        row.trace_requests = trace.size();
-        row.report = engine::run_trace(*eng, trace, spec.run);
-        if (on_row) on_row(row);
-        rows.push_back(std::move(row));
-      }
-    }
+  if (spec.jobs < 0) throw std::invalid_argument("run_sweep: jobs must be >= 0");
+  if (spec.run.observer != nullptr && spec.jobs != 1) {
+    throw std::invalid_argument(
+        "run_sweep: RunOptions::observer requires jobs == 1 -- a shared lifecycle stream "
+        "would interleave events of unrelated cells");
   }
+  hw::Cluster cluster = cluster_by_name(spec.cluster);
+
+  // Traces depend only on (spec, point): build each once, shared read-only
+  // by every (model, engine) cell of that point.
+  std::vector<std::vector<workload::Request>> traces;
+  traces.reserve(spec.workloads.size());
+  for (const WorkloadPoint& point : spec.workloads) {
+    traces.push_back(build_point_trace(spec, point));
+  }
+
+  const std::size_t ne = spec.engines.size();
+  const std::size_t np = spec.workloads.size();
+  const std::size_t ncells = spec.models.size() * np * ne;
+  std::vector<SweepRow> rows(ncells);
+
+  // Row order contract: models outer, points middle, engines inner.
+  auto run_cell = [&](std::size_t ci) {
+    const std::size_t mi = ci / (np * ne);
+    const std::size_t pi = (ci / ne) % np;
+    const std::size_t ei = ci % ne;
+    const std::string& model_name = spec.models[mi];
+    const model::ModelSpec& model = model::model_by_name(model_name);
+    const WorkloadPoint& point = spec.workloads[pi];
+    const std::string& engine_name = spec.engines[ei];
+    auto eng = engine::make(engine_name, cluster, model, options_for(spec, engine_name));
+
+    SweepRow row;
+    row.experiment = spec.name;
+    row.cluster = spec.cluster;
+    row.model = model_name;
+    row.dataset = point.dataset;
+    row.scenario = point.scenario ? workload::to_string(point.scenario->kind) : "poisson";
+    row.rate = point.rate;
+    row.trace_requests = traces[pi].size();
+    row.report = engine::run_trace(*eng, traces[pi], spec.run);
+    if (point.scenario) {
+      row.tenants = tenant_summaries(eng->metrics(), *point.scenario, spec.run.warmup);
+    }
+    rows[ci] = std::move(row);
+  };
+
+  if (spec.jobs == 1 || ncells <= 1) {
+    for (std::size_t ci = 0; ci < ncells; ++ci) {
+      run_cell(ci);
+      if (on_row) on_row(rows[ci]);
+    }
+    return rows;
+  }
+
+  // jobs == 0 passes 0 through to ThreadPool, which resolves it to hardware
+  // concurrency; explicit job counts are capped at the cell count.
+  const std::size_t nthreads =
+      spec.jobs == 0 ? 0 : std::min(ncells, static_cast<std::size_t>(spec.jobs));
+  ThreadPool pool(nthreads);
+  std::mutex on_row_mu;
+  pool.run_tasks(ncells, [&](std::size_t ci) {
+    run_cell(ci);
+    if (on_row) {
+      std::lock_guard<std::mutex> lock(on_row_mu);
+      on_row(rows[ci]);
+    }
+  });
   return rows;
 }
 
 std::string sweep_csv_header() {
-  return "experiment,cluster,model,dataset,rate,trace_requests," +
+  return "experiment,cluster,model,dataset,scenario,rate,trace_requests," +
          engine::RunReport::csv_header();
 }
 
 std::string to_csv_row(const SweepRow& row) {
   std::ostringstream oss;
   oss << csv_field(row.experiment) << ',' << csv_field(row.cluster) << ','
-      << csv_field(row.model) << ',' << workload::to_string(row.dataset) << ',' << row.rate
-      << ',' << row.trace_requests << ',' << row.report.to_csv_row();
+      << csv_field(row.model) << ',' << workload::to_string(row.dataset) << ','
+      << csv_field(row.scenario) << ',' << row.rate << ',' << row.trace_requests << ','
+      << row.report.to_csv_row();
   return oss.str();
 }
 
@@ -89,6 +195,22 @@ void write_csv(std::ostream& os, const std::vector<SweepRow>& rows) {
   for (const auto& row : rows) os << to_csv_row(row) << '\n';
 }
 
+namespace {
+
+void write_tenants_json(std::ostream& os, const std::vector<TenantSummary>& tenants) {
+  os << ",\"tenants\":[";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantSummary& ts = tenants[t];
+    os << (t ? "," : "") << "{\"tenant\":\"" << engine::json_escape(ts.tenant)
+       << "\",\"arrived\":" << ts.arrived << ",\"finished\":" << ts.finished
+       << ",\"ttft_p95\":" << ts.ttft_p95 << ",\"tpot_p95\":" << ts.tpot_p95
+       << ",\"slo_attainment\":" << ts.slo_attainment << ",\"goodput\":" << ts.goodput << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
 void write_json(std::ostream& os, const std::vector<SweepRow>& rows) {
   os << "[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -96,9 +218,11 @@ void write_json(std::ostream& os, const std::vector<SweepRow>& rows) {
     os << (i ? ",\n " : "\n ") << "{\"experiment\":\"" << engine::json_escape(row.experiment)
        << "\",\"cluster\":\"" << engine::json_escape(row.cluster) << "\",\"model\":\""
        << engine::json_escape(row.model) << "\",\"dataset\":\""
-       << workload::to_string(row.dataset) << "\",\"rate\":" << row.rate
-       << ",\"trace_requests\":" << row.trace_requests << ",\"report\":" << row.report.to_json()
-       << "}";
+       << workload::to_string(row.dataset) << "\",\"scenario\":\""
+       << engine::json_escape(row.scenario) << "\",\"rate\":" << row.rate
+       << ",\"trace_requests\":" << row.trace_requests << ",\"report\":" << row.report.to_json();
+    if (!row.tenants.empty()) write_tenants_json(os, row.tenants);
+    os << "}";
   }
   os << "\n]\n";
 }

@@ -1,35 +1,56 @@
 // Declarative experiment harness (paper §7-style sweeps).
 //
-// An ExperimentSpec names WHAT to run -- engines x models x (dataset,
-// rate) points on a cluster preset -- and run_sweep executes the cross
-// product through the engine registry, emitting one aligned SweepRow per
-// (engine, model, workload point).  The same trace is served to every
-// engine at a given point, matching the paper's methodology.
+// An ExperimentSpec names WHAT to run -- engines x models x workload points
+// (fixed (dataset, rate) traces or scenario generators) on a cluster preset
+// -- and run_sweep executes the cross product through the engine registry,
+// emitting one aligned SweepRow per (engine, model, workload point).  The
+// same trace is served to every engine at a given point, matching the
+// paper's methodology.
 //
 //   harness::ExperimentSpec spec;
 //   spec.name = "fig8";
 //   spec.models = {"Llama-13B"};
 //   spec.add_rates(workload::Dataset::kShareGPT, {3, 6, 9, 12, 15});
+//   spec.add_scenario(workload::scenario_preset(workload::Scenario::kBursty,
+//                                               4.0, spec.horizon, spec.seed));
+//   spec.jobs = 8;  // parallel execution; rows stay byte-identical to serial
 //   auto rows = harness::run_sweep(spec);
 //   harness::write_csv(std::cout, rows);
+//
+// Parallelism is deterministic by construction: every cell builds its trace
+// from (spec, point) alone, owns a private engine + simulation, and writes
+// a pre-assigned row slot, so `jobs` changes wall-clock only -- the
+// returned rows (and their CSV/JSON serialization) are byte-identical for
+// any thread count.
 #pragma once
 
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/metrics.h"
 #include "engine/options.h"
 #include "workload/datasets.h"
+#include "workload/scenarios.h"
 
 namespace hetis::harness {
 
-/// One (dataset, rate) workload point of a sweep.
+/// One workload point of a sweep: either a fixed (dataset, rate) Poisson
+/// trace, or -- when `scenario` is set -- a scenario generator (dataset and
+/// rate then mirror the scenario's base values for the CSV columns).
 struct WorkloadPoint {
+  WorkloadPoint() = default;
+  WorkloadPoint(workload::Dataset d, double r) : dataset(d), rate(r) {}
+  explicit WorkloadPoint(workload::ScenarioSpec s)
+      : dataset(s.dataset), rate(s.rate), scenario(std::move(s)) {}
+
   workload::Dataset dataset = workload::Dataset::kShareGPT;
   double rate = 1.0;  // req/s over the spec's horizon
+  std::optional<workload::ScenarioSpec> scenario;
 };
 
 struct ExperimentSpec {
@@ -46,6 +67,13 @@ struct ExperimentSpec {
   std::uint64_t seed = 20251116;
   engine::RunOptions run;         // drain timeout, warmup, SLO, observer
 
+  /// Worker threads for the sweep: 1 runs strictly serially (default),
+  /// 0 uses hardware concurrency, n > 1 uses that many.  Rows are
+  /// byte-identical across every value; only wall-clock changes.
+  /// RunOptions::observer requires jobs == 1 (a shared lifecycle stream
+  /// would interleave events of unrelated cells).
+  int jobs = 1;
+
   /// Per-engine configuration, keyed by registry name (matched
   /// case-insensitively, like the registry itself); engines without an
   /// entry get defaults.
@@ -53,7 +81,34 @@ struct ExperimentSpec {
 
   /// Appends one WorkloadPoint per rate for `dataset`.
   void add_rates(workload::Dataset dataset, const std::vector<double>& rates);
+
+  /// Appends one scenario workload point.  The scenario inherits the
+  /// spec's seed and horizon (one top-level seed reproduces the whole
+  /// experiment); push a WorkloadPoint directly to keep per-scenario
+  /// values.
+  void add_scenario(workload::ScenarioSpec scenario);
 };
+
+/// Per-tenant slice of one executed cell (multi-tenant scenarios only).
+/// Attainment follows engine::run_trace's convention: the denominator is
+/// every post-warmup arrival of the tenant, targets <= 0 are vacuously met,
+/// and goodput divides SLO-attaining requests by the tenant's measured span.
+struct TenantSummary {
+  std::string tenant;
+  std::size_t arrived = 0;   // post-warmup arrivals
+  std::size_t finished = 0;  // of those, finished
+  double ttft_p95 = 0;
+  double tpot_p95 = 0;
+  double slo_attainment = 0;
+  double goodput = 0;  // SLO-attaining req/s over the tenant's span
+};
+
+/// Computes the per-tenant breakdown of a finished run from the engine's
+/// request records (records carry the tenant index the workload generator
+/// assigned).  Empty for non-multi-tenant scenarios.
+std::vector<TenantSummary> tenant_summaries(const engine::MetricsCollector& metrics,
+                                            const workload::ScenarioSpec& scenario,
+                                            Seconds warmup);
 
 /// One executed (engine, model, workload point) cell.
 struct SweepRow {
@@ -61,17 +116,26 @@ struct SweepRow {
   std::string cluster;
   std::string model;
   workload::Dataset dataset = workload::Dataset::kShareGPT;
+  std::string scenario = "poisson";  // generator name ("poisson" for fixed points)
   double rate = 0;
   std::size_t trace_requests = 0;  // size of the generated trace
   engine::RunReport report;
+  /// Per-tenant breakdown; non-empty only for multi-tenant scenario points.
+  /// Serialized by write_json; the flat CSV carries the aggregate row only.
+  std::vector<TenantSummary> tenants;
 };
 
 /// Called after each cell completes -- live progress for long sweeps.
+/// Under jobs != 1 invocations are serialized (one at a time) but arrive in
+/// completion order, not row order; the returned rows are always in
+/// deterministic row order regardless.
 using RowCallback = std::function<void(const SweepRow&)>;
 
-/// Executes the spec's cross product.  Row order: models outer, workload
-/// points middle, engines inner (so one (model, point) group holds every
-/// engine on the identical trace, adjacent in the output).
+/// Executes the spec's cross product, on `spec.jobs` threads.  Row order:
+/// models outer, workload points middle, engines inner (so one (model,
+/// point) group holds every engine on the identical trace, adjacent in the
+/// output).  When a cell throws, the exception of the earliest row is
+/// rethrown after in-flight cells finish.
 std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& on_row = nullptr);
 
 /// Aligned serialization, sharing RunReport's stable column order.

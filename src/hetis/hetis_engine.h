@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -59,6 +60,10 @@ class HetisEngine : public engine::Engine {
   costmodel::ProfileResult profile_;
   hauler::Hauler hauler_;
   std::vector<std::unique_ptr<HetisInstance>> instances_;
+  // Owner of the self-chaining usage-sampling event (see start()); the
+  // scheduled copies hold only weak_ptrs, so no reference cycle survives
+  // the engine.
+  std::shared_ptr<std::function<void()>> usage_chain_;
 };
 
 /// One Hetis serving instance (primary pipeline + attention-worker pool).

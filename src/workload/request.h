@@ -18,6 +18,10 @@ struct Request {
                                  // the engine treats this as the point where
                                  // EOS fires -- unknown to the scheduler a
                                  // priori, exactly like real serving.
+  int tenant = 0;                // index into the generating scenario's tenant
+                                 // list (0 for single-tenant workloads); flows
+                                 // through the metrics observer so per-tenant
+                                 // SLO attainment can be attributed.
 
   std::int64_t total_len() const { return prompt_len + output_len; }
   std::string to_string() const;

@@ -1,0 +1,303 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "workload/arrivals.h"
+
+namespace hetis::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("generate_scenario: ") + what);
+}
+
+void validate(const ScenarioSpec& s) {
+  require(s.horizon > 0, "horizon must be > 0");
+  require(s.rate >= 0, "rate must be >= 0");
+  switch (s.kind) {
+    case Scenario::kBursty:
+      require(s.burst_multiplier >= 0 && s.idle_multiplier >= 0,
+              "bursty multipliers must be >= 0");
+      require(s.mean_on > 0 && s.mean_off > 0, "bursty dwell times must be > 0");
+      // One RateSegment is materialized per dwell; bound the expected
+      // segment count so a tiny dwell time cannot exhaust memory.
+      require(s.horizon / std::min(s.mean_on, s.mean_off) <= 1e6,
+              "bursty dwell times too small for the horizon (would generate > ~1e6 segments)");
+      break;
+    case Scenario::kDiurnal:
+      require(s.diurnal_amplitude >= 0 && s.diurnal_amplitude <= 1,
+              "diurnal_amplitude must be in [0, 1]");
+      require(s.diurnal_segment > 0, "diurnal_segment must be > 0");
+      require(s.horizon / s.diurnal_segment <= 1e6,
+              "diurnal_segment too small for the horizon (would generate > 1e6 segments)");
+      require(s.diurnal_period >= 0, "diurnal_period must be >= 0");
+      break;
+    case Scenario::kRamp:
+      require(s.ramp_start_fraction >= 0 && s.ramp_start_fraction <= 1,
+              "ramp_start_fraction must be in [0, 1]");
+      require(s.diurnal_segment > 0, "diurnal_segment must be > 0");
+      require(s.horizon / s.diurnal_segment <= 1e6,
+              "diurnal_segment too small for the horizon (would generate > 1e6 segments)");
+      break;
+    case Scenario::kMultiTenant:
+      for (const TenantSpec& t : s.tenants) require(t.rate >= 0, "tenant rate must be >= 0");
+      break;
+    case Scenario::kLongContext:
+      require(s.long_context_fraction >= 0 && s.long_context_fraction <= 1,
+              "long_context_fraction must be in [0, 1]");
+      break;
+    case Scenario::kPoisson:
+      break;
+  }
+}
+
+/// Discretizes a continuous rate curve into segment-long constant-rate
+/// pieces covering [0, horizon), sampling the curve at each segment's
+/// midpoint.  The final segment is truncated so no arrival lands past the
+/// horizon.
+template <typename RateFn>
+std::vector<RateSegment> discretize(Seconds horizon, Seconds segment, RateFn&& rate_at) {
+  std::vector<RateSegment> segments;
+  for (Seconds t = 0; t < horizon; t += segment) {
+    Seconds dur = std::min(segment, horizon - t);
+    segments.push_back(RateSegment{dur, std::max(0.0, rate_at(t + dur / 2))});
+  }
+  return segments;
+}
+
+std::vector<Request> generate_bursty(const ScenarioSpec& s) {
+  Rng rng(s.seed);
+  Rng arrival_rng = rng.fork(1);
+  Rng length_rng = rng.fork(2);
+  Rng mod_rng = rng.fork(3);
+  // Two-state Markov modulation: alternate exponential dwell times starting
+  // in the on-state; the final dwell is truncated at the horizon.
+  std::vector<RateSegment> segments;
+  bool on = true;
+  for (Seconds t = 0; t < s.horizon; on = !on) {
+    Seconds dwell = mod_rng.exponential(1.0 / (on ? s.mean_on : s.mean_off));
+    Seconds dur = std::min(dwell, s.horizon - t);
+    segments.push_back(
+        RateSegment{dur, s.rate * (on ? s.burst_multiplier : s.idle_multiplier)});
+    t += dur;
+  }
+  auto times = generate_arrivals(segments, arrival_rng);
+  return assemble_trace(times, s.dataset, length_rng);
+}
+
+std::vector<Request> generate_diurnal(const ScenarioSpec& s) {
+  Rng rng(s.seed);
+  Rng arrival_rng = rng.fork(1);
+  Rng length_rng = rng.fork(2);
+  const Seconds period = s.diurnal_period > 0 ? s.diurnal_period : s.horizon;
+  auto segments = discretize(s.horizon, s.diurnal_segment, [&](Seconds t) {
+    return s.rate * (1.0 + s.diurnal_amplitude * std::sin(2.0 * kPi * t / period));
+  });
+  auto times = generate_arrivals(segments, arrival_rng);
+  return assemble_trace(times, s.dataset, length_rng);
+}
+
+std::vector<Request> generate_ramp(const ScenarioSpec& s) {
+  Rng rng(s.seed);
+  Rng arrival_rng = rng.fork(1);
+  Rng length_rng = rng.fork(2);
+  const double start = s.rate * s.ramp_start_fraction;
+  auto segments = discretize(s.horizon, s.diurnal_segment, [&](Seconds t) {
+    return start + (s.rate - start) * (t / s.horizon);
+  });
+  auto times = generate_arrivals(segments, arrival_rng);
+  return assemble_trace(times, s.dataset, length_rng);
+}
+
+std::vector<Request> generate_multi_tenant(const ScenarioSpec& s) {
+  const std::vector<TenantSpec> tenants = effective_tenants(s);
+  Rng rng(s.seed);
+  // Per-tenant independent streams with per-tenant forks, so adding a
+  // tenant to the mix leaves every other tenant's sub-trace unchanged.
+  std::vector<Request> all;
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    Rng arrival_rng = rng.fork(100 + 2 * ti);
+    Rng length_rng = rng.fork(101 + 2 * ti);
+    auto times = generate_poisson(tenants[ti].rate, s.horizon, arrival_rng);
+    auto reqs = assemble_trace(times, tenants[ti].dataset, length_rng);
+    for (Request& r : reqs) {
+      r.tenant = static_cast<int>(ti);
+      all.push_back(r);
+    }
+  }
+  // Stable sort keeps tenant order on (measure-zero) arrival ties, so the
+  // merge is deterministic; ids are reassigned in global arrival order.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+  for (std::size_t i = 0; i < all.size(); ++i) all[i].id = static_cast<RequestId>(i);
+  return all;
+}
+
+std::vector<Request> generate_long_context(const ScenarioSpec& s) {
+  Rng rng(s.seed);
+  Rng arrival_rng = rng.fork(1);
+  Rng length_rng = rng.fork(2);
+  Rng mix_rng = rng.fork(3);
+  auto times = generate_poisson(s.rate, s.horizon, arrival_rng);
+  std::vector<Request> trace;
+  trace.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const Dataset d =
+        mix_rng.bernoulli(s.long_context_fraction) ? Dataset::kLongBench : s.dataset;
+    LengthSample len = sample_lengths(d, length_rng);
+    Request r;
+    r.id = static_cast<RequestId>(i);
+    r.arrival = times[i];
+    r.prompt_len = len.prompt_len;
+    r.output_len = len.output_len;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kPoisson: return "poisson";
+    case Scenario::kBursty: return "bursty";
+    case Scenario::kDiurnal: return "diurnal";
+    case Scenario::kRamp: return "ramp";
+    case Scenario::kMultiTenant: return "multi_tenant";
+    case Scenario::kLongContext: return "long_context";
+  }
+  return "?";
+}
+
+Scenario scenario_by_name(const std::string& name) {
+  if (name == "poisson") return Scenario::kPoisson;
+  if (name == "bursty") return Scenario::kBursty;
+  if (name == "diurnal") return Scenario::kDiurnal;
+  if (name == "ramp") return Scenario::kRamp;
+  if (name == "multi_tenant" || name == "multi-tenant") return Scenario::kMultiTenant;
+  if (name == "long_context" || name == "long-context") return Scenario::kLongContext;
+  throw std::out_of_range("scenario_by_name: unknown scenario '" + name +
+                          "' (known: " + [] {
+                            std::string all;
+                            for (const auto& n : scenario_names()) {
+                              if (!all.empty()) all += ", ";
+                              all += n;
+                            }
+                            return all;
+                          }() + ")");
+}
+
+std::vector<std::string> scenario_names() {
+  return {"bursty", "diurnal", "long_context", "multi_tenant", "poisson", "ramp"};
+}
+
+std::vector<TenantSpec> default_tenant_mix(double total_rate) {
+  return {
+      TenantSpec{"chat", 0.6 * total_rate, Dataset::kShareGPT, 2.0, 0.2},
+      TenantSpec{"code", 0.3 * total_rate, Dataset::kHumanEval, 1.0, 0.1},
+      TenantSpec{"batch", 0.1 * total_rate, Dataset::kLongBench, 0, 0},
+  };
+}
+
+std::vector<TenantSpec> effective_tenants(const ScenarioSpec& spec) {
+  if (spec.kind != Scenario::kMultiTenant) return {};
+  return spec.tenants.empty() ? default_tenant_mix(spec.rate) : spec.tenants;
+}
+
+std::vector<Request> generate_scenario(const ScenarioSpec& spec) {
+  validate(spec);
+  switch (spec.kind) {
+    case Scenario::kPoisson: {
+      // Byte-identical to build_trace: a fixed (dataset, rate) point IS the
+      // poisson scenario, so classic sweeps and scenario sweeps agree.
+      TraceOptions opts;
+      opts.dataset = spec.dataset;
+      opts.seed = spec.seed;
+      opts.rate = spec.rate;
+      opts.horizon = spec.horizon;
+      return build_trace(opts);
+    }
+    case Scenario::kBursty: return generate_bursty(spec);
+    case Scenario::kDiurnal: return generate_diurnal(spec);
+    case Scenario::kRamp: return generate_ramp(spec);
+    case Scenario::kMultiTenant: return generate_multi_tenant(spec);
+    case Scenario::kLongContext: return generate_long_context(spec);
+  }
+  throw std::logic_error("generate_scenario: bad scenario kind");
+}
+
+ScenarioSpec scenario_preset(Scenario kind, double rate, Seconds horizon, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.kind = kind;
+  s.rate = rate;
+  s.horizon = horizon;
+  s.seed = seed;
+  switch (kind) {
+    case Scenario::kPoisson:
+    case Scenario::kBursty:
+    case Scenario::kDiurnal:
+    case Scenario::kRamp:
+      break;  // struct defaults are the tuned preset
+    case Scenario::kMultiTenant:
+      s.tenants = default_tenant_mix(rate);
+      break;
+    case Scenario::kLongContext:
+      s.long_context_fraction = 0.5;
+      break;
+  }
+  return s;
+}
+
+std::string describe(const ScenarioSpec& spec) {
+  char buf[192];
+  switch (spec.kind) {
+    case Scenario::kPoisson:
+      std::snprintf(buf, sizeof(buf), "poisson: %.2f req/s, %s", spec.rate,
+                    to_string(spec.dataset));
+      break;
+    case Scenario::kBursty:
+      std::snprintf(buf, sizeof(buf), "bursty: %.2f/%.2f req/s on/off, dwell %.1fs/%.1fs, %s",
+                    spec.rate * spec.burst_multiplier, spec.rate * spec.idle_multiplier,
+                    spec.mean_on, spec.mean_off, to_string(spec.dataset));
+      break;
+    case Scenario::kDiurnal:
+      std::snprintf(buf, sizeof(buf), "diurnal: %.2f req/s +/- %.0f%%, period %.0fs, %s",
+                    spec.rate, 100 * spec.diurnal_amplitude,
+                    spec.diurnal_period > 0 ? spec.diurnal_period : spec.horizon,
+                    to_string(spec.dataset));
+      break;
+    case Scenario::kRamp:
+      std::snprintf(buf, sizeof(buf), "ramp: %.2f -> %.2f req/s over %.0fs, %s",
+                    spec.rate * spec.ramp_start_fraction, spec.rate, spec.horizon,
+                    to_string(spec.dataset));
+      break;
+    case Scenario::kMultiTenant: {
+      const auto tenants = effective_tenants(spec);
+      std::string mix;
+      for (const TenantSpec& t : tenants) {
+        char one[64];
+        std::snprintf(one, sizeof(one), "%s%s %.2f req/s %s", mix.empty() ? "" : ", ",
+                      t.name.c_str(), t.rate, to_string(t.dataset));
+        mix += one;
+      }
+      std::snprintf(buf, sizeof(buf), "multi_tenant: %s", mix.c_str());
+      break;
+    }
+    case Scenario::kLongContext:
+      std::snprintf(buf, sizeof(buf), "long_context: %.2f req/s, %.0f%% LongBench / %.0f%% %s",
+                    spec.rate, 100 * spec.long_context_fraction,
+                    100 * (1 - spec.long_context_fraction), to_string(spec.dataset));
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "scenario");
+  }
+  return buf;
+}
+
+}  // namespace hetis::workload

@@ -1,0 +1,123 @@
+// Scenario workload generators: parameterized request mixes beyond the
+// paper's fixed (dataset, rate) traces.
+//
+// Heterogeneous-cluster conclusions only hold across varied request mixes
+// (Helix, Tangram), so every scenario stresses a different axis of the
+// serving stack while emitting the plain workload::Request trace type --
+// every registered engine (hetis / splitwise / hexgen) serves scenarios
+// through the registry unchanged:
+//
+//   poisson       stationary baseline, identical to build_trace
+//   bursty        Markov-modulated on/off Poisson (burst absorption,
+//                 preemption churn)
+//   diurnal       sinusoidal rate curve (slow load swings; autoscaling and
+//                 re-dispatch behavior)
+//   ramp          linear rate ramp to a peak (capacity-knee discovery)
+//   multi_tenant  independent per-tenant Poisson streams, each with its own
+//                 dataset and SLO targets; requests carry the tenant index
+//                 for attribution
+//   long_context  prefill-heavy blend: each request is LongBench-length with
+//                 probability `long_context_fraction`, else the base dataset
+//
+// Generation is deterministic in ScenarioSpec::seed alone -- the same spec
+// reproduces the identical trace on any machine or thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+#include "workload/trace.h"
+
+namespace hetis::workload {
+
+enum class Scenario : std::uint8_t {
+  kPoisson,
+  kBursty,
+  kDiurnal,
+  kRamp,
+  kMultiTenant,
+  kLongContext,
+};
+
+const char* to_string(Scenario s);
+/// Accepts the canonical snake_case names ("multi_tenant") and their
+/// dash-separated spellings; throws std::out_of_range otherwise.
+Scenario scenario_by_name(const std::string& name);
+/// Canonical names accepted by scenario_by_name, sorted.
+std::vector<std::string> scenario_names();
+
+/// One tenant of a kMultiTenant mix.  SLO targets <= 0 disable that term
+/// (same convention as engine::SloSpec; kept as plain Seconds so the
+/// workload layer stays engine-independent).
+struct TenantSpec {
+  std::string name = "tenant";
+  double rate = 1.0;  // req/s of this tenant's independent Poisson stream
+  Dataset dataset = Dataset::kShareGPT;
+  Seconds ttft_slo = 0;
+  Seconds tpot_slo = 0;
+};
+
+struct ScenarioSpec {
+  Scenario kind = Scenario::kPoisson;
+  std::uint64_t seed = 42;
+  Seconds horizon = 60.0;  // arrival window; no arrival lands at or past it
+  double rate = 1.0;       // base rate in req/s (see per-kind notes below)
+  Dataset dataset = Dataset::kShareGPT;
+
+  // kBursty: two-state Markov modulation.  The process alternates
+  // exponential dwell times (mean_on / mean_off) between an on-state at
+  // rate * burst_multiplier and an off-state at rate * idle_multiplier.
+  double burst_multiplier = 4.0;
+  double idle_multiplier = 0.1;
+  Seconds mean_on = 4.0;
+  Seconds mean_off = 8.0;
+
+  // kDiurnal: rate(t) = rate * (1 + diurnal_amplitude * sin(2*pi*t/period)),
+  // discretized into diurnal_segment-long constant-rate segments.  period 0
+  // defaults to the horizon (one full day per run).
+  double diurnal_amplitude = 0.8;  // in [0, 1]
+  Seconds diurnal_period = 0;
+  Seconds diurnal_segment = 1.0;
+
+  // kRamp: rate climbs linearly from rate * ramp_start_fraction to rate at
+  // the horizon (same segment discretization as diurnal).
+  double ramp_start_fraction = 0.1;
+
+  // kMultiTenant: the tenant mix.  Empty uses default_tenant_mix(rate).
+  std::vector<TenantSpec> tenants;
+
+  // kLongContext: probability a request draws LongBench lengths instead of
+  // `dataset` lengths.
+  double long_context_fraction = 0.5;
+};
+
+/// The default 3-tenant mix (chat / code / batch-summarization), scaled so
+/// the aggregate rate is `total_rate`:
+///   chat   60% ShareGPT,  interactive TTFT+TPOT targets
+///   code   30% HumanEval, tight TPOT target
+///   batch  10% LongBench, no SLO (best effort)
+std::vector<TenantSpec> default_tenant_mix(double total_rate);
+
+/// The tenant list a kMultiTenant spec actually generates with: its own
+/// `tenants`, or default_tenant_mix(rate) when empty.  Empty for every
+/// other kind.  Harness-side attribution must use this, not spec.tenants.
+std::vector<TenantSpec> effective_tenants(const ScenarioSpec& spec);
+
+/// Generates the scenario's request trace: sorted by arrival, ids 0..n-1 in
+/// arrival order, tenant indices per effective_tenants (0 outside
+/// kMultiTenant).  Deterministic in the spec; throws std::invalid_argument
+/// on out-of-range parameters.
+std::vector<Request> generate_scenario(const ScenarioSpec& spec);
+
+/// A ready-to-run spec for `kind` with tuned parameters at aggregate rate
+/// `rate` (req/s) over `horizon` seconds.  The presets back the README's
+/// scenario table and bench_scenarios.
+ScenarioSpec scenario_preset(Scenario kind, double rate, Seconds horizon, std::uint64_t seed);
+
+/// One-line human description of a spec ("bursty: 8.0/0.2 req/s, dwell
+/// 4s/8s, ShareGPT"), used by the benches and examples.
+std::string describe(const ScenarioSpec& spec);
+
+}  // namespace hetis::workload

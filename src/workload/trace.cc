@@ -7,8 +7,26 @@ namespace hetis::workload {
 std::string Request::to_string() const {
   std::ostringstream oss;
   oss << "Request{" << id << " @" << arrival << "s, prompt=" << prompt_len
-      << ", output=" << output_len << "}";
+      << ", output=" << output_len;
+  if (tenant != 0) oss << ", tenant=" << tenant;
+  oss << "}";
   return oss.str();
+}
+
+std::vector<Request> assemble_trace(const std::vector<Seconds>& times, Dataset dataset,
+                                    Rng& length_rng) {
+  std::vector<Request> trace;
+  trace.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    LengthSample len = sample_lengths(dataset, length_rng);
+    Request r;
+    r.id = static_cast<RequestId>(i);
+    r.arrival = times[i];
+    r.prompt_len = len.prompt_len;
+    r.output_len = len.output_len;
+    trace.push_back(r);
+  }
+  return trace;
 }
 
 std::vector<Request> build_trace(const TraceOptions& opts) {
@@ -19,19 +37,7 @@ std::vector<Request> build_trace(const TraceOptions& opts) {
   std::vector<Seconds> times =
       opts.segments.empty() ? generate_poisson(opts.rate, opts.horizon, arrival_rng)
                             : generate_arrivals(opts.segments, arrival_rng);
-
-  std::vector<Request> trace;
-  trace.reserve(times.size());
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    LengthSample len = sample_lengths(opts.dataset, length_rng);
-    Request r;
-    r.id = static_cast<RequestId>(i);
-    r.arrival = times[i];
-    r.prompt_len = len.prompt_len;
-    r.output_len = len.output_len;
-    trace.push_back(r);
-  }
-  return trace;
+  return assemble_trace(times, opts.dataset, length_rng);
 }
 
 TraceStats trace_stats(const std::vector<Request>& trace) {

@@ -23,6 +23,13 @@ struct TraceOptions {
 /// order.
 std::vector<Request> build_trace(const TraceOptions& opts);
 
+/// Assembles a trace from precomputed arrival times: ids 0..n-1 in arrival
+/// order, one (prompt, output) length pair drawn from `dataset` per request
+/// in that same order.  Shared by build_trace and the scenario generators so
+/// both consume the length RNG with the identical discipline.
+std::vector<Request> assemble_trace(const std::vector<Seconds>& times, Dataset dataset,
+                                    Rng& length_rng);
+
 /// Summary statistics of a trace for logging.
 struct TraceStats {
   std::size_t count = 0;

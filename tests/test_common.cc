@@ -286,5 +286,39 @@ TEST(ThreadPool, SingleThreadStillWorks) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
+TEST(ThreadPool, RunTasksCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(137);
+  pool.run_tasks(137, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  int calls = 0;
+  pool.run_tasks(0, [&](std::size_t) { ++calls; });  // empty is a no-op
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RunTasksRethrowsTheLowestIndexException) {
+  // Deterministic regardless of completion order: index 2's exception wins
+  // over index 9's even though 9 may finish first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      pool.run_tasks(10, [](std::size_t i) {
+        if (i == 2) throw std::runtime_error("low");
+        if (i == 9) throw std::runtime_error("high");
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low");
+    }
+  }
+}
+
+TEST(ThreadPool, RunTasksWorksOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.run_tasks(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 }  // namespace
 }  // namespace hetis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "harness/experiment.h"
 #include "harness/presets.h"
 #include "model/llm.h"
+#include "workload/scenarios.h"
 #include "workload/trace.h"
 
 namespace hetis {
@@ -209,6 +211,92 @@ TEST(Sweep, CsvAndJsonRowsAreAligned) {
   EXPECT_NE(j.find("\"experiment\":"), std::string::npos);
   EXPECT_NE(j.find("\"report\":{"), std::string::npos);
   EXPECT_NE(j.find(rows[0].report.to_json()), std::string::npos);
+}
+
+/// Mixed spec used by the invariance tests: classic rate points plus a
+/// scenario point, two engines, small horizons.
+harness::ExperimentSpec invariance_spec() {
+  harness::ExperimentSpec spec;
+  spec.name = "invariance";
+  spec.engines = {"hexgen", "splitwise"};
+  spec.models = {"Llama-13B"};
+  spec.horizon = 4.0;
+  spec.seed = 29;
+  spec.run = engine::RunOptions(900.0);
+  spec.add_rates(workload::Dataset::kShareGPT, {2.0, 4.0});
+  spec.add_rates(workload::Dataset::kHumanEval, {6.0});
+  spec.add_scenario(
+      workload::scenario_preset(workload::Scenario::kBursty, 2.0, spec.horizon, spec.seed));
+  return spec;
+}
+
+std::string sweep_csv_with_jobs(int jobs) {
+  harness::ExperimentSpec spec = invariance_spec();
+  spec.jobs = jobs;
+  std::ostringstream csv;
+  harness::write_csv(csv, harness::run_sweep(spec));
+  return csv.str();
+}
+
+TEST(ParallelSweep, ThreadCountInvariantByteIdenticalCsv) {
+  // Acceptance: the same spec with 1, 2 and 8 jobs (and hardware
+  // concurrency) produces byte-identical CSV output.
+  const std::string serial = sweep_csv_with_jobs(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(sweep_csv_with_jobs(2), serial);
+  EXPECT_EQ(sweep_csv_with_jobs(8), serial);
+  EXPECT_EQ(sweep_csv_with_jobs(0), serial);  // 0 = hardware concurrency
+}
+
+TEST(ParallelSweep, RowCallbackFiresOncePerCellAndDrainsAreClean) {
+  harness::ExperimentSpec spec = invariance_spec();
+  spec.jobs = 4;
+  std::atomic<int> called{0};
+  auto rows = harness::run_sweep(spec, [&called](const harness::SweepRow&) { ++called; });
+  ASSERT_EQ(rows.size(), 8u);  // 4 points x 2 engines
+  EXPECT_EQ(called.load(), 8);
+  for (const auto& row : rows) {
+    // Clean drains must report an empty warning -- the message may only be
+    // assembled when truncation actually occurred.
+    EXPECT_FALSE(row.report.drain_timeout_hit);
+    EXPECT_EQ(row.report.warning(), "");
+  }
+}
+
+TEST(ParallelSweep, RowOrderContractHoldsUnderParallelism) {
+  harness::ExperimentSpec spec = invariance_spec();
+  spec.jobs = 8;
+  auto rows = harness::run_sweep(spec);
+  ASSERT_EQ(rows.size(), 8u);
+  for (std::size_t pi = 0; pi < 4; ++pi) {
+    EXPECT_EQ(rows[2 * pi].report.engine, "Hexgen");
+    EXPECT_EQ(rows[2 * pi + 1].report.engine, "Splitwise");
+    // Both engines of a point saw the identical trace.
+    EXPECT_EQ(rows[2 * pi].trace_requests, rows[2 * pi + 1].trace_requests);
+  }
+  EXPECT_EQ(rows[6].scenario, "bursty");
+  EXPECT_EQ(rows[0].scenario, "poisson");
+}
+
+TEST(ParallelSweep, ObserverRequiresSerialExecution) {
+  class NullObserver : public engine::RunObserver {};
+  NullObserver obs;
+  harness::ExperimentSpec spec = invariance_spec();
+  spec.run.observer = &obs;
+  spec.jobs = 2;
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+  spec.jobs = 1;  // serial observer runs stay supported
+  EXPECT_EQ(harness::run_sweep(spec).size(), 8u);
+}
+
+TEST(ParallelSweep, CellExceptionsPropagateFromWorkers) {
+  harness::ExperimentSpec spec = invariance_spec();
+  spec.models = {"GPT-5"};  // unknown model throws inside the cells
+  spec.jobs = 4;
+  EXPECT_THROW(harness::run_sweep(spec), std::out_of_range);
+  spec.models = {"Llama-13B"};
+  spec.jobs = -1;
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
 }
 
 TEST(Sweep, UnknownClusterModelOrEngineFailLoudly) {

@@ -1,0 +1,311 @@
+// Scenario workload generators: determinism, per-scenario shape, tenant
+// attribution, and every generator served by every registered engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "engine/registry.h"
+#include "harness/experiment.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/scenarios.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+using workload::Scenario;
+using workload::ScenarioSpec;
+
+ScenarioSpec small_spec(Scenario kind, double rate = 4.0, Seconds horizon = 20.0,
+                        std::uint64_t seed = 7) {
+  return workload::scenario_preset(kind, rate, horizon, seed);
+}
+
+std::vector<Scenario> all_kinds() {
+  std::vector<Scenario> kinds;
+  for (const auto& name : workload::scenario_names()) {
+    kinds.push_back(workload::scenario_by_name(name));
+  }
+  return kinds;
+}
+
+TEST(ScenarioNames, RoundTripAndCount) {
+  const auto names = workload::scenario_names();
+  EXPECT_GE(names.size(), 5u);  // acceptance: at least 5 distinct generators
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& name : names) {
+    EXPECT_EQ(workload::to_string(workload::scenario_by_name(name)), name);
+  }
+  EXPECT_EQ(workload::scenario_by_name("multi-tenant"), Scenario::kMultiTenant);
+  EXPECT_EQ(workload::scenario_by_name("long-context"), Scenario::kLongContext);
+  EXPECT_THROW(workload::scenario_by_name("flashcrowd"), std::out_of_range);
+}
+
+TEST(ScenarioGenerate, WellFormedSortedSequentialWithinHorizon) {
+  for (Scenario kind : all_kinds()) {
+    const auto trace = workload::generate_scenario(small_spec(kind));
+    ASSERT_FALSE(trace.empty()) << workload::to_string(kind);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i].id, static_cast<workload::RequestId>(i));
+      EXPECT_GE(trace[i].arrival, 0.0);
+      EXPECT_LT(trace[i].arrival, 20.0) << workload::to_string(kind);
+      EXPECT_GT(trace[i].prompt_len, 0);
+      EXPECT_GT(trace[i].output_len, 0);
+      if (i > 0) {
+        EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenerate, DeterministicBySeedAndSeedSensitive) {
+  for (Scenario kind : all_kinds()) {
+    const auto a = workload::generate_scenario(small_spec(kind));
+    const auto b = workload::generate_scenario(small_spec(kind));
+    ASSERT_EQ(a.size(), b.size()) << workload::to_string(kind);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].arrival, b[i].arrival);
+      EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+      EXPECT_EQ(a[i].output_len, b[i].output_len);
+      EXPECT_EQ(a[i].tenant, b[i].tenant);
+    }
+    const auto c = workload::generate_scenario(small_spec(kind, 4.0, 20.0, /*seed=*/8));
+    bool differ = a.size() != c.size();
+    for (std::size_t i = 0; !differ && i < a.size(); ++i) {
+      differ = a[i].arrival != c[i].arrival || a[i].prompt_len != c[i].prompt_len;
+    }
+    EXPECT_TRUE(differ) << workload::to_string(kind) << " insensitive to seed";
+  }
+}
+
+TEST(ScenarioGenerate, PoissonMatchesBuildTraceExactly) {
+  ScenarioSpec spec = small_spec(Scenario::kPoisson, 3.0, 15.0, 42);
+  const auto scenario = workload::generate_scenario(spec);
+  workload::TraceOptions topts;
+  topts.dataset = spec.dataset;
+  topts.rate = spec.rate;
+  topts.horizon = spec.horizon;
+  topts.seed = spec.seed;
+  const auto classic = workload::build_trace(topts);
+  ASSERT_EQ(scenario.size(), classic.size());
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    EXPECT_EQ(scenario[i].arrival, classic[i].arrival);
+    EXPECT_EQ(scenario[i].prompt_len, classic[i].prompt_len);
+    EXPECT_EQ(scenario[i].output_len, classic[i].output_len);
+  }
+}
+
+TEST(ScenarioGenerate, BurstyIsBurstierThanPoisson) {
+  // Coefficient of variation of inter-arrival gaps: ~1 for Poisson, > 1 for
+  // the on/off-modulated process.  Deterministic given the fixed seed.
+  auto cv = [](const std::vector<workload::Request>& trace) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      gaps.push_back(trace[i].arrival - trace[i - 1].arrival);
+    }
+    double mean = 0, var = 0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size());
+    return std::sqrt(var) / mean;
+  };
+  ScenarioSpec bursty = small_spec(Scenario::kBursty, 4.0, 200.0, 11);
+  ScenarioSpec poisson = small_spec(Scenario::kPoisson, 4.0, 200.0, 11);
+  EXPECT_GT(cv(workload::generate_scenario(bursty)),
+            1.15 * cv(workload::generate_scenario(poisson)));
+}
+
+TEST(ScenarioGenerate, DiurnalPeaksAndTroughs) {
+  // amplitude 1, period = horizon: peak near t = H/4, trough near t = 3H/4.
+  ScenarioSpec spec = small_spec(Scenario::kDiurnal, 8.0, 400.0, 13);
+  spec.diurnal_amplitude = 1.0;
+  const auto trace = workload::generate_scenario(spec);
+  std::size_t peak = 0, trough = 0;
+  for (const auto& r : trace) {
+    if (r.arrival >= 50 && r.arrival < 150) ++peak;      // around H/4
+    if (r.arrival >= 250 && r.arrival < 350) ++trough;   // around 3H/4
+  }
+  EXPECT_GT(peak, 3 * std::max<std::size_t>(1, trough));
+}
+
+TEST(ScenarioGenerate, RampLoadsTheSecondHalf) {
+  ScenarioSpec spec = small_spec(Scenario::kRamp, 8.0, 200.0, 17);
+  const auto trace = workload::generate_scenario(spec);
+  std::size_t first_half = 0, second_half = 0;
+  for (const auto& r : trace) {
+    (r.arrival < 100.0 ? first_half : second_half)++;
+  }
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(ScenarioGenerate, MultiTenantTagsAndMergesAllTenants) {
+  ScenarioSpec spec = small_spec(Scenario::kMultiTenant, 6.0, 60.0, 19);
+  const auto tenants = workload::effective_tenants(spec);
+  ASSERT_EQ(tenants.size(), 3u);
+  const auto trace = workload::generate_scenario(spec);
+  std::set<int> seen;
+  for (const auto& r : trace) seen.insert(r.tenant);
+  EXPECT_EQ(seen.size(), tenants.size());
+  for (int t : seen) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, static_cast<int>(tenants.size()));
+  }
+  // The chat tenant carries 60% of the rate; it must dominate the batch
+  // tenant (10%) by a wide margin at this seed.
+  std::size_t chat = 0, batch = 0;
+  for (const auto& r : trace) {
+    if (r.tenant == 0) ++chat;
+    if (r.tenant == 2) ++batch;
+  }
+  EXPECT_GT(chat, 2 * batch);
+  // Non-multi-tenant scenarios have no tenant list and tag nothing.
+  EXPECT_TRUE(workload::effective_tenants(small_spec(Scenario::kBursty)).empty());
+}
+
+TEST(ScenarioGenerate, LongContextFractionControlsPromptMass) {
+  ScenarioSpec heavy = small_spec(Scenario::kLongContext, 4.0, 100.0, 23);
+  heavy.long_context_fraction = 0.9;
+  ScenarioSpec light = heavy;
+  light.long_context_fraction = 0.1;
+  auto mean_prompt = [](const std::vector<workload::Request>& t) {
+    double sum = 0;
+    for (const auto& r : t) sum += static_cast<double>(r.prompt_len);
+    return sum / static_cast<double>(t.size());
+  };
+  EXPECT_GT(mean_prompt(workload::generate_scenario(heavy)),
+            2.0 * mean_prompt(workload::generate_scenario(light)));
+}
+
+TEST(ScenarioGenerate, InvalidParametersThrow) {
+  ScenarioSpec spec = small_spec(Scenario::kBursty);
+  spec.mean_on = 0;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  // Positive-but-tiny dwells would materialize billions of rate segments;
+  // the validator must refuse rather than exhaust memory.
+  spec = small_spec(Scenario::kBursty);
+  spec.mean_on = spec.mean_off = 1e-9;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  spec = small_spec(Scenario::kDiurnal);
+  spec.diurnal_amplitude = 1.5;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  spec = small_spec(Scenario::kDiurnal);
+  spec.diurnal_segment = 1e-9;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  spec = small_spec(Scenario::kRamp);
+  spec.diurnal_segment = 1e-9;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  spec = small_spec(Scenario::kLongContext);
+  spec.long_context_fraction = -0.1;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+  spec = small_spec(Scenario::kPoisson);
+  spec.horizon = 0;
+  EXPECT_THROW(workload::generate_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioServing, EveryEngineServesEveryScenario) {
+  // Acceptance: all scenario generators are served by all three registered
+  // engines, through the registry, with clean drains (empty warning).
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  for (Scenario kind : all_kinds()) {
+    const auto trace = workload::generate_scenario(small_spec(kind, 2.0, 5.0, 31));
+    ASSERT_FALSE(trace.empty());
+    for (const char* name : {"splitwise", "hexgen", "hetis"}) {
+      auto eng = engine::make(name, cluster, model);
+      auto rep = engine::run_trace(*eng, trace, engine::RunOptions(900.0));
+      EXPECT_EQ(rep.arrived, trace.size()) << name << " " << workload::to_string(kind);
+      EXPECT_GT(rep.finished, 0u) << name << " " << workload::to_string(kind);
+      EXPECT_FALSE(rep.drain_timeout_hit) << name << " " << workload::to_string(kind);
+      EXPECT_EQ(rep.warning(), "") << name << " " << workload::to_string(kind);
+    }
+  }
+}
+
+/// Observer counting arrivals per tenant -- the attribution hook.
+class TenantCounter : public engine::RunObserver {
+ public:
+  void on_arrival(const workload::Request& r) override { counts_[r.tenant]++; }
+  const std::map<int, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<int, std::size_t> counts_;
+};
+
+TEST(ScenarioServing, TenantsFlowThroughObserverAndRecords) {
+  ScenarioSpec spec = small_spec(Scenario::kMultiTenant, 4.0, 20.0, 37);
+  const auto trace = workload::generate_scenario(spec);
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  auto eng = engine::make("hetis", cluster, model::model_by_name("Llama-13B"));
+  TenantCounter counter;
+  engine::RunOptions opts(900.0);
+  opts.observer = &counter;
+  engine::run_trace(*eng, trace, opts);
+
+  // Observer sees every arrival with its tenant tag...
+  std::map<int, std::size_t> expected;
+  for (const auto& r : trace) expected[r.tenant]++;
+  EXPECT_EQ(counter.counts(), expected);
+  // ...and the records keep the tag for post-hoc attribution.
+  std::map<int, std::size_t> recorded;
+  for (const auto& [id, rec] : eng->metrics().records()) recorded[rec.tenant]++;
+  EXPECT_EQ(recorded, expected);
+
+  const auto summaries = harness::tenant_summaries(eng->metrics(), spec, /*warmup=*/0.0);
+  ASSERT_EQ(summaries.size(), 3u);
+  std::size_t total_arrived = 0;
+  for (const auto& s : summaries) {
+    total_arrived += s.arrived;
+    EXPECT_GE(s.slo_attainment, 0.0);
+    EXPECT_LE(s.slo_attainment, 1.0);
+  }
+  EXPECT_EQ(total_arrived, trace.size());
+  EXPECT_EQ(summaries[0].tenant, "chat");
+  EXPECT_EQ(summaries[2].tenant, "batch");
+}
+
+TEST(ScenarioSweep, ScenarioPointsRideTheHarness) {
+  harness::ExperimentSpec spec;
+  spec.name = "scenario-unit";
+  spec.engines = {"splitwise", "hexgen", "hetis"};
+  spec.horizon = 5.0;
+  spec.seed = 41;
+  spec.run = engine::RunOptions(900.0);
+  spec.add_scenario(workload::scenario_preset(Scenario::kBursty, 2.0, 99.0, 99));
+  spec.add_scenario(workload::scenario_preset(Scenario::kMultiTenant, 2.0, 99.0, 99));
+
+  // add_scenario stamps the spec's seed and horizon.
+  ASSERT_EQ(spec.workloads.size(), 2u);
+  EXPECT_EQ(spec.workloads[0].scenario->seed, 41u);
+  EXPECT_DOUBLE_EQ(spec.workloads[0].scenario->horizon, 5.0);
+
+  const auto rows = harness::run_sweep(spec);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.report.finished, 0u);
+    EXPECT_EQ(row.report.warning(), "");
+  }
+  EXPECT_EQ(rows[0].scenario, "bursty");
+  EXPECT_EQ(rows[3].scenario, "multi_tenant");
+  EXPECT_TRUE(rows[0].tenants.empty());
+  ASSERT_EQ(rows[3].tenants.size(), 3u);  // every engine gets a tenant breakdown
+  ASSERT_EQ(rows[5].tenants.size(), 3u);
+
+  // The scenario column lands in CSV and JSON.
+  std::ostringstream csv;
+  harness::write_csv(csv, rows);
+  EXPECT_NE(csv.str().find(",bursty,"), std::string::npos);
+  EXPECT_NE(csv.str().find(",multi_tenant,"), std::string::npos);
+  std::ostringstream json;
+  harness::write_json(json, rows);
+  EXPECT_NE(json.str().find("\"scenario\":\"multi_tenant\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"tenants\":[{\"tenant\":\"chat\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetis
