@@ -1,0 +1,170 @@
+// Elastic serving under cluster churn and autoscaling policies.
+//
+// Two experiments, both on the paper cluster with an interactive SLO:
+//
+//  A. CHURN  -- all three engines serve the same bursty trace while a
+//     gpu_leave + gpu_join script (dip: the lowest-power devices vanish
+//     mid-run and return later) forces online re-deploys.  HetisEngine
+//     replans and live-migrates KV through the Hauler (§5.3 dynamic
+//     parallelism); Splitwise/HexGen checkpoint-and-restart.  The SLO
+//     attainment gap is the cost of static parallelism under churn.
+//
+//  B. POLICY -- HetisEngine starts on a deliberately small deployment
+//     (initial_devices) and each ScalePolicy (static / threshold / slo)
+//     decides how to use the idle reserve as bursts arrive.  Reactive
+//     scaling must beat the static posture on SLO attainment.
+//
+// Writes BENCH_elastic.json (both row sets + wall clock) as the canonical
+// artifact for the perf trajectory; committed at the repo root.
+//
+// Flags:
+//   --csv         dump aligned sweep rows (A then B) instead of the tables
+//   --csv-header  print the sweep CSV header and exit (CI diffs this
+//                 against the emitted CSV)
+//   --jobs N      sweep worker threads (0 = hardware concurrency; rows are
+//                 byte-identical for every value).  Default: 0.
+//   --progress    per-cell completion lines on stderr
+//   --out PATH    JSON artifact path (default BENCH_elastic.json; "-" off)
+//   --rate R      base aggregate rate in req/s (default 18)
+//   --horizon S   arrival window in seconds (default 24)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "control/controller.h"
+#include "harness.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace hetis;
+
+harness::ExperimentSpec base_spec(const char* name, double rate, Seconds horizon) {
+  harness::ExperimentSpec spec = bench::paper_spec(name, "Llama-13B");
+  spec.horizon = horizon;
+  engine::SloSpec slo;
+  slo.ttft = 2.0;
+  slo.tpot = 0.15;
+  spec.run.slo = slo;
+  spec.add_scenario(workload::scenario_preset(workload::Scenario::kBursty, rate, spec.horizon,
+                                              spec.seed));
+  return spec;
+}
+
+control::ControlSpec control_for(const std::string& policy, engine::SloSpec slo) {
+  control::ControlSpec cs;
+  cs.policy = policy;
+  cs.slo = slo;
+  cs.min_devices = 4;
+  return cs;
+}
+
+std::vector<harness::SweepRow> run_part(harness::ExperimentSpec& spec, int jobs, bool progress) {
+  spec.jobs = jobs;
+  return harness::run_sweep(spec, progress ? bench::progress_printer(bench::cell_count(spec))
+                                           : harness::RowCallback());
+}
+
+void print_rows(const std::vector<harness::SweepRow>& rows) {
+  std::printf("%-10s %-10s %9s %9s %8s %8s %7s %6s %6s\n", "engine", "policy", "finished",
+              "ttft_p95", "slo_att", "goodput", "reconf", "migr", "restart");
+  for (const auto& row : rows) {
+    std::printf("%-10s %-10s %6zu/%-2zu %9.3f %8.2f %8.2f %7d %6d %6d\n",
+                row.report.engine.c_str(), row.policy.c_str(), row.report.finished,
+                row.trace_requests, row.report.ttft_p95, row.report.slo_attainment,
+                row.report.goodput, row.reconfigurations, row.migrated_requests,
+                row.restarted_requests);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (bench::flag_requested(argc, argv, "--csv-header")) {
+    std::printf("%s\n", harness::sweep_csv_header().c_str());
+    return 0;
+  }
+  const double rate = std::atof(bench::arg_value(argc, argv, "--rate", "18").c_str());
+  const Seconds horizon = std::atof(bench::arg_value(argc, argv, "--horizon", "24").c_str());
+  const std::string out_path = bench::arg_value(argc, argv, "--out", "BENCH_elastic.json");
+  const bool csv = bench::csv_requested(argc, argv);
+  const bool progress = bench::flag_requested(argc, argv, "--progress");
+  const int jobs = bench::jobs_requested(argc, argv, /*fallback=*/0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // --- Part A: churn resilience, all engines, static policy -------------
+  harness::ExperimentSpec churn_spec = base_spec("elastic_churn", rate, horizon);
+  {
+    control::ControlSpec cs = control_for("static", *churn_spec.run.slo);
+    cs.churn = control::churn_preset(control::Churn::kDip, horizon, churn_spec.seed);
+    cs.churn.leave_count = 4;  // the whole P100 tier vanishes mid-run
+    cs.churn.leave_frac = 0.3;
+    cs.churn.rejoin_frac = 0.7;
+    churn_spec.set_control(cs);
+  }
+  const auto churn_rows = run_part(churn_spec, jobs, progress);
+  bench::warn_truncated(churn_rows);
+
+  // --- Part B: scale policies on Hetis from a small initial deployment --
+  std::vector<harness::SweepRow> policy_rows;
+  for (const std::string policy : {"static", "threshold", "slo"}) {
+    harness::ExperimentSpec spec = base_spec("elastic_policy", rate, horizon);
+    spec.engines = {"hetis"};
+    control::ControlSpec cs = control_for(policy, *spec.run.slo);
+    cs.initial_devices = 2;  // one A100-TP2 instance; ten devices in reserve
+    cs.min_devices = 2;
+    // Burst-friendly reactive tuning: scale out fast on a short queue, and
+    // never shed capacity mid-run -- the off-phase between bursts is
+    // shorter than a shrink-regrow cycle is worth (each re-deploy migrates
+    // the whole running set).
+    cs.cooldown = 4.0;
+    cs.threshold.up_queue = 4;
+    cs.threshold.down_queue = 0;  // queue_depth < 0 never holds: no scale-in
+    cs.threshold.step = 3;
+    cs.slo_policy.step = 3;
+    spec.set_control(cs);
+    for (auto& row : run_part(spec, jobs, progress)) policy_rows.push_back(std::move(row));
+  }
+  bench::warn_truncated(policy_rows);
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (out_path != "-") {
+    std::ostringstream churn_json, policy_json;
+    harness::write_json(churn_json, churn_rows);
+    harness::write_json(policy_json, policy_rows);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"elastic\",\"model\":\"Llama-13B\",\"cluster\":\"paper\""
+        << ",\"seed\":" << churn_spec.seed << ",\"rate\":" << rate
+        << ",\"horizon\":" << horizon << ",\"jobs\":" << jobs
+        << ",\"wall_seconds\":" << wall << ",\"churn_rows\":" << churn_json.str()
+        << ",\"policy_rows\":" << policy_json.str() << "}\n";
+  }
+
+  if (csv) {
+    std::printf("%s\n", harness::sweep_csv_header().c_str());
+    for (const auto& row : churn_rows) std::printf("%s\n", harness::to_csv_row(row).c_str());
+    for (const auto& row : policy_rows) std::printf("%s\n", harness::to_csv_row(row).c_str());
+    return 0;
+  }
+
+  std::printf("=== Elastic control plane: Llama-13B, paper cluster, bursty %.1f req/s, %.0fs "
+              "(seed %llu, jobs %d, %.2fs wall) ===\n\n",
+              rate, horizon, static_cast<unsigned long long>(churn_spec.seed), jobs, wall);
+  std::printf("--- A. churn: %s; static policy ---\n",
+              control::describe(churn_spec.control->churn).c_str());
+  print_rows(churn_rows);
+  std::printf("--- B. policies on Hetis: start on 2/12 devices, %s ---\n",
+              workload::describe(*churn_spec.workloads[0].scenario).c_str());
+  print_rows(policy_rows);
+  if (out_path != "-") std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Elastic serving example: watch the control plane react to cluster churn.
+//
+// Serves one bursty trace on a chosen engine while a churn script replays
+// (devices leave and rejoin) and a scale policy decides how much of the
+// cluster to use.  A live observer prints every control-plane decision the
+// engines make visible: reconfigurations, migrations, restarts.
+//
+//   elastic_serving                      # hetis, dip churn, threshold policy
+//   elastic_serving splitwise            # watch checkpoint-and-restart pay
+//   elastic_serving hetis spot slo       # spot churn under the SLO policy
+//
+// Usage: elastic_serving [engine] [churn] [policy] [--rate R] [--horizon S]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "control/controller.h"
+#include "engine/registry.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/scenarios.h"
+
+int main(int argc, char** argv) {
+  using namespace hetis;
+  std::string engine_name = "hetis";
+  std::string churn_name = "dip";
+  std::string policy = "threshold";
+  double rate = 12.0;
+  Seconds horizon = 20.0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rate" && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (arg == "--horizon" && i + 1 < argc) {
+      horizon = std::atof(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: elastic_serving [engine] [churn] [policy] [--rate R] [--horizon S]\n");
+      return 2;
+    } else {
+      (positional == 0 ? engine_name : positional == 1 ? churn_name : policy) = arg;
+      ++positional;
+    }
+  }
+
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::ScenarioSpec scenario =
+      workload::scenario_preset(workload::Scenario::kBursty, rate, horizon, 20251116);
+  auto trace = workload::generate_scenario(scenario);
+
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::churn_by_name(churn_name), horizon, 20251116);
+  cs.policy = policy;
+  cs.min_devices = 4;
+  cs.horizon = horizon + 30.0;
+  cs.slo.ttft = 2.0;
+  cs.slo.tpot = 0.15;
+  control::Controller controller(cs, cluster);
+
+  std::printf("cluster : %s\n", cluster.to_string().c_str());
+  std::printf("workload: %s (%zu requests)\n", workload::describe(scenario).c_str(),
+              trace.size());
+  std::printf("churn   : %s\n", control::describe(cs.churn).c_str());
+  for (const auto& ev : controller.events()) {
+    std::printf("          t=%6.2fs %-10s device=%d\n", ev.time,
+                control::to_string(ev.kind), ev.device);
+  }
+  std::printf("policy  : %s\n\n", policy.c_str());
+
+  auto eng = engine::make(engine_name, cluster, model);
+  engine::RunOptions run(900.0);
+  run.slo = cs.slo;
+  run.on_start = controller.starter();
+  engine::RunReport report = engine::run_trace(*eng, trace, run);
+
+  std::printf("%s\n", report.to_json().c_str());
+  const auto& cst = controller.stats();
+  std::printf("\ncontroller: %d forced + %d elective re-deploys over %d ticks "
+              "(active %d..%d devices)\n",
+              cst.forced_reconfigs, cst.elective_reconfigs, cst.ticks, cst.min_active,
+              cst.peak_active);
+  if (const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get())) {
+    const engine::ReconfigStats& rs = rc->reconfig_stats();
+    std::printf("engine    : %d reconfigurations, %d live-migrated (%.2f GB KV), %d restarted, "
+                "%.2fs dead time\n",
+                rs.reconfigurations, rs.migrated_requests, to_gb(rs.migrated_kv_bytes),
+                rs.restarted_requests, rs.restart_dead_time);
+  }
+  std::printf("result    : slo attainment %.2f, goodput %.2f req/s, ttft p95 %.3fs\n",
+              report.slo_attainment, report.goodput, report.ttft_p95);
+  if (!report.warning().empty()) std::printf("WARNING: %s\n", report.warning().c_str());
+  return 0;
+}

@@ -88,19 +88,36 @@ HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& m
 
 HexgenEngine::HexgenEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
                            parallel::ParallelPlan plan, const engine::HexgenConfig& cfg)
-    : exec_(cluster, model), plan_(std::move(plan)) {
+    : exec_(cluster, model), cfg_(cfg), plan_(std::move(plan)) {
+  build_instances();
+}
+
+void HexgenEngine::build_instances() {
   engine::InstanceOptions opts;
-  opts.max_prefill_tokens = cfg.max_prefill_tokens;
-  opts.max_batch = cfg.max_batch;
-  int id = 0;
+  opts.max_prefill_tokens = cfg_.max_prefill_tokens;
+  opts.max_batch = cfg_.max_batch;
+  int id = static_cast<int>(retired_.size());
   for (const auto& inst : plan_.instances) {
     instances_.push_back(
         std::make_unique<engine::PipelineInstance>(exec_, inst, metrics_, opts, id++));
+    instances_.back()->set_tenant_priorities(tenant_priorities_);
   }
+}
+
+void HexgenEngine::set_tenant_priorities(std::vector<int> priorities) {
+  tenant_priorities_ = std::move(priorities);
+  for (auto& inst : instances_) inst->set_tenant_priorities(tenant_priorities_);
 }
 
 void HexgenEngine::submit(sim::Simulation& sim, const workload::Request& r) {
   metrics_.on_arrival(r);
+  // Mid-restart arrivals park with the carried-over requests (the flush
+  // callback drains both).
+  if (restart_.park_arrival(sim, r)) return;
+  route(sim, r);
+}
+
+void HexgenEngine::route(sim::Simulation& sim, const workload::Request& r) {
   // Route to the least-filled instance (standard DP load balancing).
   engine::PipelineInstance* best = instances_.front().get();
   for (auto& inst : instances_) {
@@ -109,10 +126,50 @@ void HexgenEngine::submit(sim::Simulation& sim, const workload::Request& r) {
   best->submit(sim, r);
 }
 
+std::vector<int> HexgenEngine::active_devices() const {
+  std::vector<int> devs;
+  for (const auto& inst : plan_.instances) {
+    for (int d : inst.primary_devices()) devs.push_back(d);
+  }
+  std::sort(devs.begin(), devs.end());
+  return devs;
+}
+
+void HexgenEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devices) {
+  restart_.invalidate();
+  // Checkpoint: drain every instance; prefilled requests lose their decode
+  // progress (surfaced as a preemption), waiting requests just re-queue.
+  for (auto& inst : instances_) {
+    engine::DrainedRequests d = inst->retire();
+    for (auto& lr : d.fresh) restart_.park(sim, metrics_, std::move(lr));
+    for (auto& lr : d.live) restart_.park(sim, metrics_, std::move(lr));
+    retired_.push_back(std::move(inst));
+  }
+  instances_.clear();
+
+  // Restart: recompute the static layout on the surviving sub-cluster and
+  // deploy it back onto the parent cluster's device ids.
+  std::vector<int> original_ids;
+  hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
+  parallel::ParallelPlan plan = hexgen_plan(sub, exec_.model_spec());
+  parallel::remap_device_ids(plan, original_ids);
+  plan_ = std::move(plan);
+  build_instances();
+
+  restart_.begin_restart(sim, restart_dead_time(exec_.cluster(), exec_.model_spec()),
+                         [this](sim::Simulation& s, const workload::Request& r) { route(s, r); });
+}
+
 Bytes HexgenEngine::usable_kv_capacity() const {
   Bytes total = 0;
   for (const auto& inst : instances_) total += inst->usable_kv_capacity();
   return total;
+}
+
+double HexgenEngine::kv_fill_fraction() const {
+  double worst = 0;
+  for (const auto& inst : instances_) worst = std::max(worst, inst->fill_fraction());
+  return worst;
 }
 
 }  // namespace hetis::baselines
@@ -124,5 +181,7 @@ HETIS_REGISTER_ENGINE(hexgen, [](const hetis::hw::Cluster& cluster,
                                  const hetis::engine::EngineOptions& opts)
                                   -> std::unique_ptr<hetis::engine::Engine> {
   auto cfg = opts.get_or_default<hetis::engine::HexgenConfig>("hexgen");
-  return std::make_unique<hetis::baselines::HexgenEngine>(cluster, model, cfg);
+  auto eng = std::make_unique<hetis::baselines::HexgenEngine>(cluster, model, cfg);
+  if (!opts.tenant_priorities.empty()) eng->set_tenant_priorities(opts.tenant_priorities);
+  return eng;
 });

@@ -11,10 +11,12 @@
 
 #include <memory>
 
+#include "baselines/restart.h"
 #include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
 #include "engine/options.h"
+#include "engine/reconfigurable.h"
 #include "parallel/plan.h"
 
 namespace hetis::baselines {
@@ -24,7 +26,7 @@ namespace hetis::baselines {
 /// counts balancing per-stage decode+prefill cost.
 parallel::ParallelPlan hexgen_plan(const hw::Cluster& cluster, const model::ModelSpec& model);
 
-class HexgenEngine : public engine::Engine {
+class HexgenEngine : public engine::Engine, public engine::Reconfigurable {
  public:
   /// `cfg.plan` (when set) overrides the default asymmetric layout, like
   /// the plan overload below.
@@ -37,13 +39,35 @@ class HexgenEngine : public engine::Engine {
   std::string name() const override { return "Hexgen"; }
   void submit(sim::Simulation& sim, const workload::Request& r) override;
   Bytes usable_kv_capacity() const override;
+  double kv_fill_fraction() const override;
+
+  /// Per-tenant admission priorities (engine/options.h); call before the
+  /// first submit.  Survives reconfiguration.
+  void set_tenant_priorities(std::vector<int> priorities);
+
+  // Reconfigurable: HexGen's parallelization is decided offline, so a
+  // device-set change is checkpoint-and-restart -- the layout is recomputed
+  // from scratch, every in-flight request loses its progress, and serving
+  // pauses for the model reload window (restart_dead_time).
+  std::vector<int> active_devices() const override;
+  void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
+  const engine::ReconfigStats& reconfig_stats() const override { return restart_.stats(); }
 
   const parallel::ParallelPlan& plan() const { return plan_; }
 
  private:
+  void build_instances();
+  void route(sim::Simulation& sim, const workload::Request& r);
+
   engine::ExecModel exec_;
+  engine::HexgenConfig cfg_;
   parallel::ParallelPlan plan_;
+  std::vector<int> tenant_priorities_;
   std::vector<std::unique_ptr<engine::PipelineInstance>> instances_;
+  // Instances retired by reconfigure stay alive until the engine dies so
+  // their still-scheduled simulation events remain safe no-ops.
+  std::vector<std::unique_ptr<engine::PipelineInstance>> retired_;
+  CheckpointRestart restart_;  // shared checkpoint-and-restart mechanics
 };
 
 }  // namespace hetis::baselines

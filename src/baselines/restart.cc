@@ -1,0 +1,49 @@
+#include "baselines/restart.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hetis::baselines {
+
+Seconds restart_dead_time(const hw::Cluster& cluster, const model::ModelSpec& model) {
+  // One full model copy over the inter-host fabric: the dominant cost of
+  // re-deploying a static layout (weights stream from the checkpoint /
+  // neighbor hosts).  ~2 s for Llama-13B on the paper's 100 Gbps LAN.
+  const hw::Link& lan = cluster.inter_host_link();
+  return lan.transfer_time(model.param_bytes());
+}
+
+void CheckpointRestart::park(sim::Simulation& sim, engine::MetricsCollector& metrics,
+                             engine::LiveRequest lr) {
+  if (lr.prefilled || lr.generated > 0) {
+    metrics.on_preemption(lr.req.id, sim.now());
+    ++stats_.restarted_requests;
+    lr.prefilled = false;
+    lr.generated = 0;
+  }
+  pending_.emplace(lr.req.id, std::move(lr));
+}
+
+bool CheckpointRestart::park_arrival(const sim::Simulation& sim, const workload::Request& r) {
+  if (sim.now() >= ready_at_) return false;
+  engine::LiveRequest lr;
+  lr.req = r;
+  pending_.emplace(r.id, std::move(lr));
+  return true;
+}
+
+void CheckpointRestart::begin_restart(sim::Simulation& sim, Seconds dead, Resubmit resubmit) {
+  const Seconds new_ready = sim.now() + dead;
+  stats_.restart_dead_time += new_ready - std::max(ready_at_, sim.now());
+  ready_at_ = new_ready;
+  ++stats_.reconfigurations;
+  const int epoch = epoch_;
+  sim.schedule_at(ready_at_, [this, &sim, epoch, resubmit = std::move(resubmit)] {
+    if (stale(epoch)) return;  // superseded by a newer restart
+    auto pending = std::move(pending_);
+    pending_.clear();
+    for (auto& [id, lr] : pending) resubmit(sim, lr.req);
+  });
+}
+
+}  // namespace hetis::baselines

@@ -169,29 +169,46 @@ SplitwiseEngine::SplitwiseEngine(const hw::Cluster& cluster, const model::ModelS
     : cluster_(&cluster),
       exec_(cluster, model),
       plan_(std::move(plan)),
-      hauler_(cluster, hauler::HaulerOptions{/*bandwidth_share=*/1.0}) {
+      hauler_(cluster, hauler::HaulerOptions{/*bandwidth_share=*/1.0}),
+      cfg_(cfg) {
+  build_instances();
+}
+
+void SplitwiseEngine::build_instances() {
   engine::InstanceOptions popts;
-  popts.max_prefill_tokens = cfg.max_prefill_tokens;
-  popts.max_batch = cfg.max_batch;
+  popts.max_prefill_tokens = cfg_.max_prefill_tokens;
+  popts.max_batch = cfg_.max_batch;
   popts.prefill_only = true;
   popts.defer_first_token = true;  // first token reaches the user decode-side
-  prefill_ = std::make_unique<engine::PipelineInstance>(exec_, plan_.prefill, metrics_, popts, 0);
+  const int base = static_cast<int>(retired_.size()) * 8;  // distinct ids per epoch
+  prefill_ =
+      std::make_unique<engine::PipelineInstance>(exec_, plan_.prefill, metrics_, popts, base);
   prefill_->set_prefill_handoff(
       [this](sim::Simulation& sim, const engine::LiveRequest& lr) { on_prefill_done(sim, lr); });
+  prefill_->set_tenant_priorities(tenant_priorities_);
 
   engine::InstanceOptions dopts;
-  dopts.max_prefill_tokens = cfg.max_prefill_tokens;
-  dopts.max_batch = cfg.max_batch;
+  dopts.max_prefill_tokens = cfg_.max_prefill_tokens;
+  dopts.max_batch = cfg_.max_batch;
   dopts.decode_only = true;
-  int id = 1;
+  int id = base + 1;
   for (const auto& decode_cfg : plan_.decode) {
     decode_.push_back(
         std::make_unique<engine::PipelineInstance>(exec_, decode_cfg, metrics_, dopts, id++));
+    decode_.back()->set_tenant_priorities(tenant_priorities_);
   }
+}
+
+void SplitwiseEngine::set_tenant_priorities(std::vector<int> priorities) {
+  tenant_priorities_ = std::move(priorities);
+  prefill_->set_tenant_priorities(tenant_priorities_);
+  for (auto& d : decode_) d->set_tenant_priorities(tenant_priorities_);
 }
 
 void SplitwiseEngine::submit(sim::Simulation& sim, const workload::Request& r) {
   metrics_.on_arrival(r);
+  // Mid-restart arrivals park with the carried-over requests.
+  if (restart_.park_arrival(sim, r)) return;
   prefill_->submit(sim, r);
 }
 
@@ -226,6 +243,7 @@ void SplitwiseEngine::pump_migrations(sim::Simulation& sim) {
     if (best == decode_.size()) break;  // no room anywhere: backpressure
     if (!decode_[best]->reserve_incoming(lr.context())) break;
     parked_.pop_front();
+    migrating_.emplace(lr.req.id, lr);
 
     // Ship each decode stage its layer share of the KV (a borrowed stage on
     // the prefill devices keeps its share in place at zero cost).
@@ -237,7 +255,12 @@ void SplitwiseEngine::pump_migrations(sim::Simulation& sim) {
       done = std::max(done,
                       hauler_.migrate(src, stage.devices.front(), kv_bytes, sim.now()));
     }
-    sim.schedule_at(done, [this, &sim, lr, best] {
+    const int epoch = restart_.epoch();
+    sim.schedule_at(done, [this, &sim, lr, best, epoch] {
+      // A reconfigure retired this migration's endpoints; the request was
+      // already carried into the restarted deployment via migrating_.
+      if (restart_.stale(epoch)) return;
+      migrating_.erase(lr.req.id);
       prefill_->release_prefilled(lr);
       // The migrated first token is what the user sees (phase-split TTFT
       // includes the KV transfer).
@@ -265,6 +288,64 @@ Bytes SplitwiseEngine::usable_kv_capacity() const {
   return total;
 }
 
+double SplitwiseEngine::kv_fill_fraction() const {
+  double worst = 0;
+  for (const auto& d : decode_) worst = std::max(worst, d->fill_fraction());
+  return worst;
+}
+
+std::vector<int> SplitwiseEngine::active_devices() const {
+  std::vector<int> devs;
+  for (const auto& s : plan_.prefill.stages) {
+    devs.insert(devs.end(), s.devices.begin(), s.devices.end());
+  }
+  for (const auto& inst : plan_.decode) {
+    for (const auto& s : inst.stages) {
+      for (int d : s.devices) {
+        // Borrowed decode stages reuse prefill devices; report each once.
+        if (std::find(devs.begin(), devs.end(), d) == devs.end()) devs.push_back(d);
+      }
+    }
+  }
+  std::sort(devs.begin(), devs.end());
+  return devs;
+}
+
+void SplitwiseEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devices) {
+  restart_.invalidate();
+  // Checkpoint: drain both phase pools plus every request in limbo between
+  // them (parked for decode room, or mid-KV-migration).
+  engine::DrainedRequests pre = prefill_->retire();
+  for (auto& lr : pre.fresh) restart_.park(sim, metrics_, std::move(lr));
+  for (auto& lr : pre.live) restart_.park(sim, metrics_, std::move(lr));
+  retired_.push_back(std::move(prefill_));
+  for (auto& d : decode_) {
+    engine::DrainedRequests dr = d->retire();
+    for (auto& lr : dr.fresh) restart_.park(sim, metrics_, std::move(lr));
+    for (auto& lr : dr.live) restart_.park(sim, metrics_, std::move(lr));
+    retired_.push_back(std::move(d));
+  }
+  decode_.clear();
+  for (auto& lr : parked_) restart_.park(sim, metrics_, std::move(lr));
+  parked_.clear();
+  for (auto& [id, lr] : migrating_) restart_.park(sim, metrics_, lr);
+  migrating_.clear();
+
+  // Restart: recompute the phase split on the surviving sub-cluster and
+  // deploy it back onto the parent cluster's device ids.
+  std::vector<int> original_ids;
+  hw::Cluster sub = cluster_->subcluster(devices, &original_ids);
+  SplitwisePlan plan = splitwise_default_plan(sub, exec_.model_spec());
+  for (auto& s : plan.prefill.stages) parallel::remap_device_ids(s, original_ids);
+  for (auto& inst : plan.decode) parallel::remap_device_ids(inst, original_ids);
+  plan_ = std::move(plan);
+  build_instances();
+
+  restart_.begin_restart(
+      sim, restart_dead_time(*cluster_, exec_.model_spec()),
+      [this](sim::Simulation& s, const workload::Request& r) { prefill_->submit(s, r); });
+}
+
 }  // namespace hetis::baselines
 
 #include "engine/registry.h"
@@ -274,5 +355,7 @@ HETIS_REGISTER_ENGINE(splitwise, [](const hetis::hw::Cluster& cluster,
                                     const hetis::engine::EngineOptions& opts)
                                      -> std::unique_ptr<hetis::engine::Engine> {
   auto cfg = opts.get_or_default<hetis::engine::SplitwiseConfig>("splitwise");
-  return std::make_unique<hetis::baselines::SplitwiseEngine>(cluster, model, cfg);
+  auto eng = std::make_unique<hetis::baselines::SplitwiseEngine>(cluster, model, cfg);
+  if (!opts.tenant_priorities.empty()) eng->set_tenant_priorities(opts.tenant_priorities);
+  return eng;
 });

@@ -10,12 +10,15 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 
+#include "baselines/restart.h"
 #include "engine/engine.h"
 #include "engine/exec.h"
 #include "engine/instance.h"
 #include "engine/options.h"
+#include "engine/reconfigurable.h"
 #include "hauler/hauler.h"
 #include "parallel/plan.h"
 
@@ -31,7 +34,7 @@ struct SplitwisePlan {
 /// halves each type's count (the paper's 2x [3090-TP2 -> P100-TP2]).
 SplitwisePlan splitwise_default_plan(const hw::Cluster& cluster, const model::ModelSpec& model);
 
-class SplitwiseEngine : public engine::Engine {
+class SplitwiseEngine : public engine::Engine, public engine::Reconfigurable {
  public:
   SplitwiseEngine(const hw::Cluster& cluster, const model::ModelSpec& model,
                   const engine::SplitwiseConfig& cfg = {});
@@ -41,11 +44,25 @@ class SplitwiseEngine : public engine::Engine {
   std::string name() const override { return "Splitwise"; }
   void submit(sim::Simulation& sim, const workload::Request& r) override;
   Bytes usable_kv_capacity() const override;
+  double kv_fill_fraction() const override;
+
+  /// Per-tenant admission priorities (engine/options.h); call before the
+  /// first submit.  Survives reconfiguration.
+  void set_tenant_priorities(std::vector<int> priorities);
+
+  // Reconfigurable: the phase split is static, so a device-set change is
+  // checkpoint-and-restart -- pools are rebuilt from scratch, in-flight
+  // requests (including mid-migration ones) re-prefill, and serving pauses
+  // for the model reload window (restart_dead_time).
+  std::vector<int> active_devices() const override;
+  void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
+  const engine::ReconfigStats& reconfig_stats() const override { return restart_.stats(); }
 
   const SplitwisePlan& plan() const { return plan_; }
   Bytes migrated_bytes() const { return hauler_.total_bytes(); }
 
  private:
+  void build_instances();
   /// Called when the prefill pool finishes a prompt: queue the KV migration
   /// to a decode pool (gated on decode-side memory).
   void on_prefill_done(sim::Simulation& sim, const engine::LiveRequest& lr);
@@ -56,11 +73,22 @@ class SplitwiseEngine : public engine::Engine {
   engine::ExecModel exec_;
   SplitwisePlan plan_;
   hauler::Hauler hauler_;  // share=1.0: Splitwise migrations are foreground
+  engine::SplitwiseConfig cfg_;
 
   std::unique_ptr<engine::PipelineInstance> prefill_;
   std::vector<std::unique_ptr<engine::PipelineInstance>> decode_;
+  // Pools retired by reconfigure stay alive until the engine dies so their
+  // still-scheduled simulation events remain safe no-ops.
+  std::vector<std::unique_ptr<engine::PipelineInstance>> retired_;
 
   std::deque<engine::LiveRequest> parked_;  // prefilled, waiting for decode room
+  // Requests whose prefill -> decode KV migration is in flight: the landing
+  // callback is the only other owner, so reconfigure needs this registry to
+  // carry them into the restarted deployment.
+  std::map<workload::RequestId, engine::LiveRequest> migrating_;
+  std::vector<int> tenant_priorities_;
+  CheckpointRestart restart_;  // shared checkpoint-and-restart mechanics
+                               // (its epoch also guards migration landings)
   bool pump_scheduled_ = false;
 };
 

@@ -1,0 +1,267 @@
+#include "control/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace hetis::control {
+
+Controller::Controller(ControlSpec spec, const hw::Cluster& cluster)
+    : spec_(std::move(spec)), cluster_(&cluster) {
+  policy_ = make_policy(spec_.policy, spec_.threshold, spec_.slo_policy);
+  policy_name_ = policy_->name();
+  events_ = generate_churn(spec_.churn, cluster);
+  for (const auto& d : cluster.devices()) available_.insert(d.id);
+  const int total = cluster.num_devices();
+  if (spec_.min_devices < 1 || spec_.min_devices > total) {
+    throw std::invalid_argument("Controller: min_devices must be in [1, cluster size]");
+  }
+  if (spec_.initial_devices < 0 || spec_.initial_devices > total) {
+    throw std::invalid_argument("Controller: initial_devices must be in [0, cluster size]");
+  }
+  target_count_ = spec_.initial_devices == 0 ? total : spec_.initial_devices;
+  target_count_ = clamp_target(target_count_);
+  signals_.min_devices = spec_.min_devices;
+}
+
+std::function<void(sim::Simulation&, engine::Engine&)> Controller::starter() {
+  return [this](sim::Simulation& sim, engine::Engine& engine) { attach(sim, engine); };
+}
+
+void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
+  engine_ = &engine;
+  reconfigurable_ = dynamic_cast<engine::Reconfigurable*>(&engine);
+  if (!reconfigurable_) {
+    // A pure observer attachment (no churn, no elective scaling) is fine;
+    // anything that could demand a re-deploy is not.
+    const bool needs_reconfig = !events_.empty() || spec_.policy != "static" ||
+                                (spec_.initial_devices != 0 &&
+                                 spec_.initial_devices != cluster_->num_devices());
+    if (needs_reconfig) {
+      throw std::invalid_argument("Controller: engine '" + engine.name() +
+                                  "' does not implement engine::Reconfigurable");
+    }
+  }
+
+  // Chain in front of whatever observer run_trace installed.
+  downstream_ = engine.metrics().observer();
+  engine.metrics().set_observer(this);
+
+  // The construction deployment was planned over the whole cluster, so the
+  // assigned set starts as every device; pick_active() shrinks it below.
+  active_.assign(available_.begin(), available_.end());
+  stats_.peak_active = static_cast<int>(active_.size());
+  stats_.min_active = static_cast<int>(active_.size());
+
+  // An initial_devices cap below the construction deployment applies
+  // before the first arrival (the engine pays its own transition cost --
+  // with nothing in flight this is cheap for every engine).
+  apply_target(sim, /*forced=*/true);
+
+  for (const ClusterEvent& ev : events_) {
+    sim.schedule_at(ev.time, [this, &sim, ev] { handle_event(sim, ev); });
+  }
+  if (spec_.tick > 0) {
+    sim.schedule_in(spec_.tick, [this, &sim] { tick(sim); });
+  }
+}
+
+int Controller::clamp_target(int target) const {
+  const int avail = static_cast<int>(available_.size());
+  return std::max(std::min(target, avail), std::min(spec_.min_devices, avail));
+}
+
+std::vector<int> Controller::pick_active() const {
+  // Rank available devices by compute power (desc, id asc on ties) and keep
+  // the strongest `target_count_`: churn takes whatever it takes, elective
+  // scaling always sheds the weakest devices first.
+  std::vector<int> ranked(available_.begin(), available_.end());
+  std::sort(ranked.begin(), ranked.end(), [this](int a, int b) {
+    const double pa = cluster_->device(a).spec().compute_power();
+    const double pb = cluster_->device(b).spec().compute_power();
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  const std::size_t n = static_cast<std::size_t>(clamp_target(target_count_));
+  ranked.resize(std::min(ranked.size(), n));
+  std::sort(ranked.begin(), ranked.end());
+  return ranked;
+}
+
+bool Controller::apply_target(sim::Simulation& sim, bool forced) {
+  if (!reconfigurable_) return false;
+  std::vector<int> want = pick_active();
+  if (want == active_) return false;
+  if (!forced) {
+    if (last_elective_ >= 0 && sim.now() - last_elective_ < spec_.cooldown) return false;
+    last_elective_ = sim.now();
+  }
+  reconfigurable_->reconfigure(sim, want);
+  active_ = std::move(want);
+  (forced ? stats_.forced_reconfigs : stats_.elective_reconfigs) += 1;
+  stats_.peak_active = std::max(stats_.peak_active, static_cast<int>(active_.size()));
+  stats_.min_active = std::min(stats_.min_active, static_cast<int>(active_.size()));
+  HETIS_INFO("Controller: " << (forced ? "forced" : "elective") << " re-deploy to "
+                            << active_.size() << " devices at t=" << sim.now());
+  return true;
+}
+
+void Controller::handle_event(sim::Simulation& sim, const ClusterEvent& ev) {
+  switch (ev.kind) {
+    case ClusterEventKind::kGpuLeave: {
+      if (available_.erase(ev.device) == 0) return;  // already gone
+      if (available_.empty()) {
+        throw std::invalid_argument("Controller: churn script removed every device");
+      }
+      // Ask the ENGINE whether it actually serves on the device: a pinned
+      // or pruned plan may leave an assigned device idle, and re-deploying
+      // over a spare that served nothing would charge a restart window (or
+      // a migration storm) for no reason.  Idle leaves are bookkeeping.
+      bool serving = false;
+      if (reconfigurable_) {
+        const std::vector<int> used = reconfigurable_->active_devices();
+        serving = std::find(used.begin(), used.end(), ev.device) != used.end();
+      }
+      if (serving) {
+        apply_target(sim, /*forced=*/true);
+      } else {
+        active_ = pick_active();
+      }
+      break;
+    }
+    case ClusterEventKind::kGpuJoin:
+      if (!available_.insert(ev.device).second) return;  // already here
+      // A join never invalidates the running deployment -- adopting the
+      // returned capacity is an optimization, so it is ELECTIVE (cooldown
+      // applies).  Simultaneous rejoins therefore coalesce: the first one
+      // re-deploys, the rest land on a later tick instead of charging one
+      // teardown per device.
+      apply_target(sim, /*forced=*/false);
+      break;
+    case ClusterEventKind::kLoadShift:
+      signals_.load_forecast = ev.factor;
+      break;
+  }
+}
+
+void Controller::tick(sim::Simulation& sim) {
+  ++stats_.ticks;
+  signals_.now = sim.now();
+  // Requests re-prefilling after a preemption/restart count as queued:
+  // on_prefill_done is deduped per request at the metrics layer, so the
+  // arrived-minus-prefilled difference alone would go blind to restart
+  // backlogs -- exactly when a reactive policy must see pressure.
+  signals_.queue_depth = arrived_ - prefilled_ + reprefilling_.size();
+  signals_.in_flight = arrived_ - finished_;
+  signals_.kv_pressure = engine_ ? engine_->kv_fill_fraction() : 0.0;
+  signals_.active_devices = static_cast<int>(active_.size());
+  signals_.available_devices = static_cast<int>(available_.size());
+  const double inst_rate =
+      static_cast<double>(arrived_ - arrived_at_last_tick_) / spec_.tick;
+  arrived_at_last_tick_ = arrived_;
+  if (!rate_seeded_) {
+    signals_.arrival_rate = inst_rate;
+    rate_seeded_ = true;
+  } else {
+    ewma(signals_.arrival_rate, inst_rate);
+  }
+
+  // The STANDING target is clamped to the cluster, not to current
+  // availability: a static 12-device target must survive a dip to 8
+  // available so the rejoin restores the full deployment.  pick_active()
+  // applies the availability clamp at selection time.
+  target_count_ = std::min(std::max(policy_->target_devices(signals_, target_count_),
+                                    spec_.min_devices),
+                           cluster_->num_devices());
+  apply_target(sim, /*forced=*/false);
+
+  if (sim.now() + spec_.tick <= spec_.horizon) {
+    sim.schedule_in(spec_.tick, [this, &sim] { tick(sim); });
+  }
+}
+
+void Controller::ewma(double& slot, double sample) {
+  slot = spec_.signal_alpha * sample + (1.0 - spec_.signal_alpha) * slot;
+}
+
+void Controller::on_arrival(const workload::Request& r) {
+  ++arrived_;
+  arrival_time_[r.id] = r.arrival;
+  if (downstream_) downstream_->on_arrival(r);
+}
+
+void Controller::on_prefill_done(workload::RequestId id, Seconds t) {
+  ++prefilled_;
+  reprefilling_.erase(id);
+  first_token_time_[id] = t;
+  last_token_time_[id] = t;
+  auto it = arrival_time_.find(id);
+  if (it != arrival_time_.end()) {
+    const double ttft = t - it->second;
+    if (!ttft_seeded_) {
+      signals_.ttft_ewma = ttft;
+      ttft_seeded_ = true;
+    } else {
+      ewma(signals_.ttft_ewma, ttft);
+    }
+  }
+  if (downstream_) downstream_->on_prefill_done(id, t);
+}
+
+void Controller::on_token(workload::RequestId id, Seconds t, std::int64_t generated) {
+  auto it = last_token_time_.find(id);
+  if (it != last_token_time_.end() && t > it->second) {
+    const double gap = t - it->second;
+    if (!tpot_seeded_) {
+      signals_.tpot_ewma = gap;
+      tpot_seeded_ = true;
+    } else {
+      ewma(signals_.tpot_ewma, gap);
+    }
+  }
+  last_token_time_[id] = t;
+  generated_[id] = generated;
+  reprefilling_.erase(id);  // decode resumed: the re-prefill completed
+  if (downstream_) downstream_->on_token(id, t, generated);
+}
+
+void Controller::on_finish(workload::RequestId id, Seconds t) {
+  ++finished_;
+  // Grade the finish against the spec's SLO with run_trace's conventions:
+  // targets <= 0 are vacuous, single-token outputs meet TPOT trivially.
+  bool ok = true;
+  const auto arr = arrival_time_.find(id);
+  const auto ft = first_token_time_.find(id);
+  if (spec_.slo.ttft > 0) {
+    ok = arr != arrival_time_.end() && ft != first_token_time_.end() &&
+         (ft->second - arr->second) <= spec_.slo.ttft;
+  }
+  if (ok && spec_.slo.tpot > 0) {
+    const auto gen = generated_.find(id);
+    if (gen != generated_.end() && gen->second > 1 && ft != first_token_time_.end()) {
+      const double tpot = (t - ft->second) / static_cast<double>(gen->second - 1);
+      ok = tpot <= spec_.slo.tpot;
+    }
+  }
+  const double sample = ok ? 1.0 : 0.0;
+  if (!slo_seeded_) {
+    signals_.slo_attainment = sample;
+    slo_seeded_ = true;
+  } else {
+    ewma(signals_.slo_attainment, sample);
+  }
+  arrival_time_.erase(id);
+  first_token_time_.erase(id);
+  last_token_time_.erase(id);
+  generated_.erase(id);
+  reprefilling_.erase(id);
+  if (downstream_) downstream_->on_finish(id, t);
+}
+
+void Controller::on_preempt(workload::RequestId id, Seconds t) {
+  reprefilling_.insert(id);  // back in the admission queue until it decodes
+  if (downstream_) downstream_->on_preempt(id, t);
+}
+
+}  // namespace hetis::control

@@ -1,0 +1,144 @@
+// The elastic control plane: a Controller that lives inside a simulated
+// run, watches the live metric stream, replays a cluster churn script and
+// re-deploys the engine online.
+//
+// Wiring (all per run, so parallel sweeps stay deterministic):
+//
+//   ControlSpec spec;                       // churn script + policy + knobs
+//   control::Controller ctl(spec, cluster);
+//   engine::RunOptions run;
+//   run.on_start = ctl.starter();           // schedules events + ticks
+//   engine::run_trace(*eng, trace, run);
+//
+// At attach time the Controller chains itself in front of the currently
+// installed RunObserver (forwarding every event downstream), schedules the
+// ChurnSpec's ClusterEvents and a periodic policy tick, and from then on:
+//
+//   * gpu_leave / gpu_join events update device availability and FORCE a
+//     re-deploy through engine::Reconfigurable when the active set must
+//     change (a vanished device cannot keep serving);
+//   * each tick refreshes ControlSignals (queue depth, TTFT/TPOT EWMAs,
+//     SLO-attainment EWMA, KV pressure) and asks the ScalePolicy for a
+//     target device count; ELECTIVE changes respect the cooldown;
+//   * the active set is always the `target` highest-power available
+//     devices, never below min_devices.
+//
+// How the engine reacts is the engine's own Reconfigurable contract:
+// HetisEngine replans and live-migrates, the baselines checkpoint-and-
+// restart -- which is exactly the asymmetry bench_elastic measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "control/events.h"
+#include "control/policy.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "engine/reconfigurable.h"
+#include "hw/topology.h"
+#include "sim/simulation.h"
+
+namespace hetis::control {
+
+/// Declarative configuration of one controlled run; carried by
+/// harness::ExperimentSpec::control so every sweep cell builds its own
+/// Controller.
+struct ControlSpec {
+  ChurnSpec churn;                // device availability script
+  std::string policy = "static";  // make_policy name
+  Seconds tick = 0.5;             // signal refresh + policy period
+  Seconds cooldown = 2.0;         // min gap between ELECTIVE re-deploys
+  Seconds horizon = 60.0;         // stop ticking after this sim time
+  int min_devices = 2;            // elastic floor for any decision
+  int initial_devices = 0;        // 0 = start on every cluster device
+  engine::SloSpec slo;            // targets behind the attainment signal
+  ThresholdPolicyConfig threshold;
+  SloPolicyConfig slo_policy;
+  double signal_alpha = 0.3;      // EWMA weight of the newest sample
+};
+
+struct ControllerStats {
+  int forced_reconfigs = 0;    // churn-driven device-set changes
+  int elective_reconfigs = 0;  // policy-driven device-set changes
+  int ticks = 0;
+  int peak_active = 0;
+  int min_active = 0;
+};
+
+class Controller final : public engine::RunObserver {
+ public:
+  /// `cluster` must be the cluster the engine was built on (the event
+  /// script and device ranking are resolved against it) and must outlive
+  /// the controller.
+  Controller(ControlSpec spec, const hw::Cluster& cluster);
+
+  /// RunOptions::on_start adapter; keeps `this` alive only by reference,
+  /// so the Controller must outlive the run_trace call.
+  std::function<void(sim::Simulation&, engine::Engine&)> starter();
+
+  /// Schedules the churn script + tick chain on `sim`, chains this
+  /// controller in front of the engine's current observer, and applies
+  /// `initial_devices` (re-deploying immediately when it shrinks the
+  /// deployment).  Throws std::invalid_argument when the engine does not
+  /// implement engine::Reconfigurable but the spec demands changes.
+  void attach(sim::Simulation& sim, engine::Engine& engine);
+
+  const ControllerStats& stats() const { return stats_; }
+  const ControlSignals& signals() const { return signals_; }
+  const std::string& policy_name() const { return policy_name_; }
+  /// The generated churn script (for logging / tests).
+  const std::vector<ClusterEvent>& events() const { return events_; }
+
+  // RunObserver stream: updates the signal EWMAs, then forwards downstream.
+  void on_arrival(const workload::Request& r) override;
+  void on_prefill_done(workload::RequestId id, Seconds t) override;
+  void on_token(workload::RequestId id, Seconds t, std::int64_t generated) override;
+  void on_finish(workload::RequestId id, Seconds t) override;
+  void on_preempt(workload::RequestId id, Seconds t) override;
+
+ private:
+  void handle_event(sim::Simulation& sim, const ClusterEvent& ev);
+  void tick(sim::Simulation& sim);
+  /// Re-deploys onto the target active set when it differs from the
+  /// current one.  Returns true when a reconfiguration was applied.
+  bool apply_target(sim::Simulation& sim, bool forced);
+  /// The `target_count_` highest-power available devices (>= min floor).
+  std::vector<int> pick_active() const;
+  int clamp_target(int target) const;
+  void ewma(double& slot, double sample);
+
+  ControlSpec spec_;
+  const hw::Cluster* cluster_;
+  std::unique_ptr<ScalePolicy> policy_;
+  std::string policy_name_;
+  std::vector<ClusterEvent> events_;
+
+  engine::Engine* engine_ = nullptr;
+  engine::Reconfigurable* reconfigurable_ = nullptr;
+  engine::RunObserver* downstream_ = nullptr;
+
+  std::set<int> available_;     // device ids currently usable
+  std::vector<int> active_;     // sorted; devices assigned to the engine
+  int target_count_ = 0;
+  Seconds last_elective_ = -1;  // cooldown reference
+
+  // Signal state.
+  ControlSignals signals_;
+  ControllerStats stats_;
+  std::size_t arrived_ = 0, prefilled_ = 0, finished_ = 0;
+  std::set<workload::RequestId> reprefilling_;  // preempted, not yet decoding again
+  std::size_t arrived_at_last_tick_ = 0;
+  bool rate_seeded_ = false, ttft_seeded_ = false, tpot_seeded_ = false, slo_seeded_ = false;
+  std::map<workload::RequestId, Seconds> arrival_time_;
+  std::map<workload::RequestId, Seconds> first_token_time_;
+  std::map<workload::RequestId, Seconds> last_token_time_;
+  std::map<workload::RequestId, std::int64_t> generated_;
+};
+
+}  // namespace hetis::control

@@ -1,0 +1,192 @@
+#include "control/events.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace hetis::control {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("generate_churn: ") + what);
+}
+
+void validate(const ChurnSpec& s) {
+  require(s.horizon > 0, "horizon must be > 0");
+  switch (s.kind) {
+    case Churn::kDip:
+      require(s.leave_count >= 0, "leave_count must be >= 0");
+      require(s.leave_frac >= 0 && s.leave_frac <= 1, "leave_frac must be in [0, 1]");
+      require(s.rejoin_frac >= s.leave_frac && s.rejoin_frac <= 1,
+              "rejoin_frac must be in [leave_frac, 1]");
+      break;
+    case Churn::kSpot:
+      require(s.spot_count >= 0, "spot_count must be >= 0");
+      require(s.mean_up > 0 && s.mean_down > 0, "spot dwell times must be > 0");
+      // One event pair is materialized per dwell cycle; bound the expected
+      // count like the bursty scenario bounds its segments.
+      require(s.horizon / std::min(s.mean_up, s.mean_down) <= 1e6,
+              "spot dwell times too small for the horizon (would generate > ~1e6 events)");
+      break;
+    case Churn::kSurge:
+      require(s.surge_factor >= 0, "surge_factor must be >= 0");
+      require(s.surge_from >= 0 && s.surge_from <= 1, "surge_from must be in [0, 1]");
+      require(s.surge_to >= s.surge_from && s.surge_to <= 1,
+              "surge_to must be in [surge_from, 1]");
+      break;
+    case Churn::kNone:
+      break;
+  }
+}
+
+void sort_events(std::vector<ClusterEvent>& events) {
+  std::stable_sort(events.begin(), events.end(), [](const ClusterEvent& a,
+                                                    const ClusterEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;  // leaves before joins
+    return a.device < b.device;
+  });
+}
+
+}  // namespace
+
+const char* to_string(ClusterEventKind k) {
+  switch (k) {
+    case ClusterEventKind::kGpuLeave: return "gpu_leave";
+    case ClusterEventKind::kGpuJoin: return "gpu_join";
+    case ClusterEventKind::kLoadShift: return "load_shift";
+  }
+  return "?";
+}
+
+const char* to_string(Churn c) {
+  switch (c) {
+    case Churn::kNone: return "none";
+    case Churn::kDip: return "dip";
+    case Churn::kSpot: return "spot";
+    case Churn::kSurge: return "surge";
+  }
+  return "?";
+}
+
+Churn churn_by_name(const std::string& name) {
+  if (name == "none") return Churn::kNone;
+  if (name == "dip") return Churn::kDip;
+  if (name == "spot") return Churn::kSpot;
+  if (name == "surge") return Churn::kSurge;
+  throw std::out_of_range("churn_by_name: unknown churn script '" + name + "' (known: " + [] {
+                            std::string all;
+                            for (const auto& n : churn_names()) {
+                              if (!all.empty()) all += ", ";
+                              all += n;
+                            }
+                            return all;
+                          }() + ")");
+}
+
+std::vector<std::string> churn_names() { return {"dip", "none", "spot", "surge"}; }
+
+std::vector<int> preemptible_devices(const hw::Cluster& cluster) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(cluster.num_devices()));
+  for (const auto& d : cluster.devices()) ids.push_back(d.id);
+  std::sort(ids.begin(), ids.end(), [&cluster](int a, int b) {
+    const double pa = cluster.device(a).spec().compute_power();
+    const double pb = cluster.device(b).spec().compute_power();
+    if (pa != pb) return pa < pb;
+    return a > b;
+  });
+  return ids;
+}
+
+std::vector<ClusterEvent> generate_churn(const ChurnSpec& spec, const hw::Cluster& cluster) {
+  validate(spec);
+  std::vector<ClusterEvent> events;
+  const std::vector<int> spot = preemptible_devices(cluster);
+  switch (spec.kind) {
+    case Churn::kNone:
+      break;
+    case Churn::kDip: {
+      const std::size_t n =
+          std::min<std::size_t>(spot.size(), static_cast<std::size_t>(spec.leave_count));
+      const Seconds leave_at = spec.leave_frac * spec.horizon;
+      const Seconds rejoin_at = spec.rejoin_frac * spec.horizon;
+      for (std::size_t i = 0; i < n; ++i) {
+        events.push_back({leave_at, ClusterEventKind::kGpuLeave, spot[i], 1.0});
+        if (rejoin_at < spec.horizon) {
+          events.push_back({rejoin_at, ClusterEventKind::kGpuJoin, spot[i], 1.0});
+        }
+      }
+      break;
+    }
+    case Churn::kSpot: {
+      Rng rng(spec.seed);
+      const std::size_t n =
+          std::min<std::size_t>(spot.size(), static_cast<std::size_t>(spec.spot_count));
+      for (std::size_t i = 0; i < n; ++i) {
+        // Per-device fork so adding a spot device leaves the others' event
+        // sub-streams unchanged (mirrors the multi-tenant generator).
+        Rng dev_rng = rng.fork(100 + i);
+        Seconds t = 0;
+        bool up = true;
+        for (;;) {
+          t += dev_rng.exponential(1.0 / (up ? spec.mean_up : spec.mean_down));
+          if (t >= spec.horizon) break;
+          events.push_back({t, up ? ClusterEventKind::kGpuLeave : ClusterEventKind::kGpuJoin,
+                            spot[i], 1.0});
+          up = !up;
+        }
+      }
+      break;
+    }
+    case Churn::kSurge: {
+      events.push_back(
+          {spec.surge_from * spec.horizon, ClusterEventKind::kLoadShift, -1, spec.surge_factor});
+      // surge_to is a FRACTION of the horizon; at exactly 1.0 the reset
+      // would land on the horizon itself, which the contract forbids.
+      if (spec.surge_to < 1.0) {
+        events.push_back({spec.surge_to * spec.horizon, ClusterEventKind::kLoadShift, -1, 1.0});
+      }
+      break;
+    }
+  }
+  sort_events(events);
+  return events;
+}
+
+ChurnSpec churn_preset(Churn kind, Seconds horizon, std::uint64_t seed) {
+  ChurnSpec s;
+  s.kind = kind;
+  s.horizon = horizon;
+  s.seed = seed;
+  return s;  // struct defaults are the tuned preset
+}
+
+std::string describe(const ChurnSpec& spec) {
+  char buf[160];
+  switch (spec.kind) {
+    case Churn::kNone:
+      std::snprintf(buf, sizeof(buf), "none: no churn over %.0fs", spec.horizon);
+      break;
+    case Churn::kDip:
+      std::snprintf(buf, sizeof(buf), "dip: %d devices down over [%.0fs, %.0fs)",
+                    spec.leave_count, spec.leave_frac * spec.horizon,
+                    spec.rejoin_frac * spec.horizon);
+      break;
+    case Churn::kSpot:
+      std::snprintf(buf, sizeof(buf), "spot: %d preemptible devices, dwell %.0fs up / %.0fs down",
+                    spec.spot_count, spec.mean_up, spec.mean_down);
+      break;
+    case Churn::kSurge:
+      std::snprintf(buf, sizeof(buf), "surge: %.1fx load forecast over [%.0fs, %.0fs)",
+                    spec.surge_factor, spec.surge_from * spec.horizon,
+                    spec.surge_to * spec.horizon);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace hetis::control

@@ -1,0 +1,96 @@
+// Cluster churn scripts: deterministic, seeded event traces the elastic
+// control plane replays against a run.
+//
+// Heterogeneous clusters live under churn -- spot GPUs are reclaimed and
+// returned, capacity is borrowed by other jobs, load forecasts shift -- so
+// the control plane consumes a ClusterEvent stream exactly like the
+// workload layer consumes a request trace.  Generators mirror the
+// workload::scenarios pattern: a ChurnSpec is deterministic in its seed
+// alone, presets back the README table, and churn_by_name drives the
+// benches' CLI.
+//
+//   none   empty script (elective autoscaling only)
+//   dip    the k lowest-power devices leave together and rejoin later
+//          (planned maintenance / reclaimed spot block)
+//   spot   each preemptible device independently alternates exponential
+//          up/down dwells (spot-instance churn)
+//   surge  load-forecast shift events (no device change; predictive
+//          policies may scale ahead of the announced surge)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/topology.h"
+
+namespace hetis::control {
+
+/// kGpuLeave models a GRACEFUL reclamation (a spot-instance drain notice,
+/// planned maintenance): the device stops being schedulable but its memory
+/// remains readable while the control plane re-deploys, which is why
+/// HetisEngine may live-migrate KV off a leaving device.  Hard failures
+/// (KV lost with the device) are deliberately out of scope here and named
+/// as future work in the ROADMAP.
+enum class ClusterEventKind : std::uint8_t { kGpuLeave, kGpuJoin, kLoadShift };
+
+const char* to_string(ClusterEventKind k);
+
+struct ClusterEvent {
+  Seconds time = 0;
+  ClusterEventKind kind = ClusterEventKind::kGpuLeave;
+  int device = -1;      // kGpuLeave / kGpuJoin: cluster device id
+  double factor = 1.0;  // kLoadShift: announced load multiplier
+};
+
+enum class Churn : std::uint8_t { kNone, kDip, kSpot, kSurge };
+
+const char* to_string(Churn c);
+/// Accepts the canonical names ("none", "dip", "spot", "surge"); throws
+/// std::out_of_range otherwise.
+Churn churn_by_name(const std::string& name);
+/// Canonical names accepted by churn_by_name, sorted.
+std::vector<std::string> churn_names();
+
+struct ChurnSpec {
+  Churn kind = Churn::kNone;
+  std::uint64_t seed = 42;
+  Seconds horizon = 60.0;  // no event lands at or past it
+
+  // kDip: `leave_count` lowest-power devices leave at leave_frac * horizon
+  // and rejoin at rejoin_frac * horizon.
+  int leave_count = 2;
+  double leave_frac = 0.25;
+  double rejoin_frac = 0.65;
+
+  // kSpot: the `spot_count` lowest-power devices independently alternate
+  // exponential up/down dwell times (starting up).
+  int spot_count = 4;
+  Seconds mean_up = 20.0;
+  Seconds mean_down = 8.0;
+
+  // kSurge: forecast jumps to surge_factor at surge_from * horizon and back
+  // to 1.0 at surge_to * horizon.
+  double surge_factor = 3.0;
+  double surge_from = 0.4;
+  double surge_to = 0.7;
+};
+
+/// Devices a churn script may take away, ordered lowest-power first (ties
+/// broken by id desc, so the highest-id cheap device churns first) -- the
+/// spot-market shape: cheap capacity is preemptible, anchors stay.
+std::vector<int> preemptible_devices(const hw::Cluster& cluster);
+
+/// Generates the script's event trace over `cluster`: sorted by time (ties
+/// by device id, leaves before joins).  Deterministic in the spec alone.
+/// Throws std::invalid_argument on out-of-range parameters.
+std::vector<ClusterEvent> generate_churn(const ChurnSpec& spec, const hw::Cluster& cluster);
+
+/// A ready-to-run spec for `kind` over `horizon` seconds.
+ChurnSpec churn_preset(Churn kind, Seconds horizon, std::uint64_t seed);
+
+/// One-line human description ("dip: 2 devices down over [10s, 26s)").
+std::string describe(const ChurnSpec& spec);
+
+}  // namespace hetis::control

@@ -1,0 +1,83 @@
+#include "control/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetis::control {
+
+namespace {
+
+class StaticPolicy final : public ScalePolicy {
+ public:
+  std::string name() const override { return "static"; }
+  int target_devices(const ControlSignals& s, int current_target) override {
+    (void)s;
+    return current_target;
+  }
+};
+
+class ThresholdHysteresisPolicy final : public ScalePolicy {
+ public:
+  explicit ThresholdHysteresisPolicy(ThresholdPolicyConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "threshold"; }
+
+  int target_devices(const ControlSignals& s, int current_target) override {
+    if (cfg_.follow_forecast && s.load_forecast > 1.0) {
+      // An announced surge: provision everything before the wave lands.
+      return s.available_devices;
+    }
+    const double queue = static_cast<double>(s.queue_depth);
+    if (queue > cfg_.up_queue || s.kv_pressure > cfg_.up_kv) {
+      return current_target + cfg_.step;
+    }
+    if (queue < cfg_.down_queue && s.kv_pressure < cfg_.down_kv) {
+      return current_target - cfg_.step;
+    }
+    return current_target;  // inside the hysteresis band
+  }
+
+ private:
+  ThresholdPolicyConfig cfg_;
+};
+
+class SloAttainmentPolicy final : public ScalePolicy {
+ public:
+  explicit SloAttainmentPolicy(SloPolicyConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "slo"; }
+
+  int target_devices(const ControlSignals& s, int current_target) override {
+    if (s.slo_attainment < cfg_.target - cfg_.margin) {
+      return current_target + cfg_.step;
+    }
+    // Only reclaim capacity when attainment is comfortably above target AND
+    // nothing is queued -- shrinking under backlog would immediately regress.
+    if (s.slo_attainment > cfg_.target + cfg_.margin && s.queue_depth == 0) {
+      return current_target - cfg_.step;
+    }
+    return current_target;
+  }
+
+ private:
+  SloPolicyConfig cfg_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScalePolicy> make_policy(const std::string& name,
+                                         const ThresholdPolicyConfig& threshold,
+                                         const SloPolicyConfig& slo) {
+  if (name == "static") return std::make_unique<StaticPolicy>();
+  if (name == "threshold") return std::make_unique<ThresholdHysteresisPolicy>(threshold);
+  if (name == "slo") return std::make_unique<SloAttainmentPolicy>(slo);
+  std::string all;
+  for (const auto& n : policy_names()) {
+    if (!all.empty()) all += ", ";
+    all += n;
+  }
+  throw std::out_of_range("make_policy: unknown scale policy '" + name + "' (known: " + all +
+                          ")");
+}
+
+std::vector<std::string> policy_names() { return {"slo", "static", "threshold"}; }
+
+}  // namespace hetis::control

@@ -160,6 +160,7 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
   } guard{engine.metrics()};
   engine.metrics().set_observer(opts.observer);
   engine.start(sim);
+  if (opts.on_start) opts.on_start(sim, engine);
   for (const auto& r : trace) {
     sim.schedule_at(r.arrival, [&engine, &sim, r] { engine.submit(sim, r); });
   }

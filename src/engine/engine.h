@@ -7,6 +7,7 @@
 // name through engine/registry.h; configure a run through RunOptions.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,11 @@ class Engine {
   /// parameter-split systems this is limited by the first stage to fill up;
   /// see each engine's implementation.
   virtual Bytes usable_kv_capacity() const = 0;
+
+  /// Fraction of the deployment's KV budget currently in use (worst
+  /// instance) -- the control plane's memory-pressure signal.  Engines that
+  /// do not track live usage may report 0.
+  virtual double kv_fill_fraction() const { return 0.0; }
 
   MetricsCollector& metrics() { return metrics_; }
   const MetricsCollector& metrics() const { return metrics_; }
@@ -68,6 +74,11 @@ struct RunOptions {
   std::optional<SloSpec> slo;
   /// Optional per-request lifecycle stream (not owned; may be nullptr).
   RunObserver* observer = nullptr;
+  /// Called once by run_trace after Engine::start and observer installation
+  /// but before the first arrival -- the hook the elastic control plane
+  /// (control::Controller::starter) uses to schedule churn events and
+  /// policy ticks on the run's private simulation.
+  std::function<void(sim::Simulation&, Engine&)> on_start;
 };
 
 struct RunReport {

@@ -9,6 +9,33 @@
 
 namespace hetis::engine {
 
+int tenant_priority(const std::vector<int>& priorities, const LiveRequest& lr) {
+  const int tenant = lr.req.tenant;
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= priorities.size()) return 0;
+  return priorities[static_cast<std::size_t>(tenant)];
+}
+
+void priority_enqueue(std::deque<LiveRequest>& queue, LiveRequest lr,
+                      const std::vector<int>& priorities, bool requeue_front) {
+  if (priorities.empty()) {
+    // Historical FCFS path: preempted requests retry from the front.
+    if (requeue_front) {
+      queue.push_front(std::move(lr));
+    } else {
+      queue.push_back(std::move(lr));
+    }
+    return;
+  }
+  // Keep the queue sorted by (priority desc, id asc); a preempted request
+  // naturally re-enters ahead of its class (its id is the oldest pending).
+  const int p = tenant_priority(priorities, lr);
+  auto it = std::find_if(queue.begin(), queue.end(), [&](const LiveRequest& e) {
+    const int ep = tenant_priority(priorities, e);
+    return ep < p || (ep == p && e.req.id > lr.req.id);
+  });
+  queue.insert(it, std::move(lr));
+}
+
 Bytes stage_param_bytes_per_device(const model::ModelSpec& m, const parallel::StageConfig& s,
                                    bool first, bool last) {
   Bytes layer_shard = m.layer_param_bytes() * s.layers / std::max(1, s.tp());
@@ -103,8 +130,30 @@ void PipelineInstance::release_prefilled(const LiveRequest& lr) { release_tokens
 void PipelineInstance::submit(sim::Simulation& sim, const workload::Request& r) {
   LiveRequest lr;
   lr.req = r;
-  waiting_.push_back(lr);
+  priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/false);
   kick(sim);
+}
+
+DrainedRequests PipelineInstance::retire() {
+  retired_ = true;
+  DrainedRequests out;
+  for (auto& lr : waiting_) out.fresh.push_back(lr);
+  for (auto& [id, lr] : prefilling_) {
+    // The prefill iteration is aborted with the deployment; the request
+    // re-prefills wherever it lands next.
+    LiveRequest f = lr;
+    f.prefilled = false;
+    f.generated = 0;
+    out.fresh.push_back(std::move(f));
+  }
+  for (auto& lr : running_) out.live.push_back(lr);
+  waiting_.clear();
+  running_.clear();
+  prefilling_.clear();
+  auto by_id = [](const LiveRequest& a, const LiveRequest& b) { return a.req.id < b.req.id; };
+  std::sort(out.fresh.begin(), out.fresh.end(), by_id);
+  std::sort(out.live.begin(), out.live.end(), by_id);
+  return out;
 }
 
 bool PipelineInstance::submit_prefilled(sim::Simulation& sim, const LiveRequest& lr) {
@@ -139,6 +188,7 @@ bool PipelineInstance::admit(const LiveRequest& lr) {
 void PipelineInstance::kick(sim::Simulation& sim) { pump(sim); }
 
 void PipelineInstance::pump(sim::Simulation& sim) {
+  if (retired_) return;
   const int max_inflight = std::max<int>(1, static_cast<int>(cfg_.stages.size()));
   while (inflight_ < max_inflight) {
     // Prefill-priority: admit waiting prompts up to the token budget.
@@ -157,7 +207,10 @@ void PipelineInstance::pump(sim::Simulation& sim) {
     if (!prefill_batch.empty()) {
       std::vector<std::int64_t> lens;
       lens.reserve(prefill_batch.size());
-      for (const auto& lr : prefill_batch) lens.push_back(lr.req.prompt_len);
+      for (const auto& lr : prefill_batch) {
+        lens.push_back(lr.req.prompt_len);
+        prefilling_.emplace(lr.req.id, lr);
+      }
       IterationTime it = exec_->iteration_time(cfg_, lens, /*prefill=*/true);
       Seconds issue = std::max(sim.now(), head_free_);
       head_free_ = issue + it.interval();
@@ -191,7 +244,13 @@ void PipelineInstance::pump(sim::Simulation& sim) {
 
 void PipelineInstance::finish_prefill_iteration(sim::Simulation& sim,
                                                 std::vector<LiveRequest> batch) {
+  if (retired_) {
+    // The batch was already handed to the new deployment by retire().
+    --inflight_;
+    return;
+  }
   for (auto& lr : batch) {
+    prefilling_.erase(lr.req.id);
     lr.prefilled = true;
     if (!opts_.defer_first_token) metrics_->on_first_token(lr.req.id, sim.now());
     // The first output token is produced by prefill itself.
@@ -212,6 +271,11 @@ void PipelineInstance::finish_prefill_iteration(sim::Simulation& sim,
 }
 
 void PipelineInstance::finish_decode_iteration(sim::Simulation& sim) {
+  if (retired_) {
+    --inflight_;
+    decode_inflight_ = false;
+    return;
+  }
   // Every surviving request appends one cached token on every stage.
   // First make room (LIFO recompute preemption), then commit the appends.
   while (!running_.empty() && !can_reserve(static_cast<std::int64_t>(running_.size()))) {
@@ -259,7 +323,7 @@ void PipelineInstance::preempt_lifo(sim::Simulation& sim) {
   metrics_->on_preemption(lr.req.id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;  // recompute from scratch
-  waiting_.push_front(lr);
+  priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/true);
 }
 
 }  // namespace hetis::engine

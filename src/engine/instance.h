@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "engine/exec.h"
@@ -47,6 +48,26 @@ struct InstanceOptions {
                                            // the KV migration lands
 };
 
+/// Inserts `lr` into an admission queue honoring per-tenant priorities
+/// (higher first, id order within a class).  With empty `priorities` this
+/// is plain FCFS -- push_back, or push_front when `requeue_front`
+/// (preemption retry) -- byte-identical to the historical behavior.
+void priority_enqueue(std::deque<LiveRequest>& queue, LiveRequest lr,
+                      const std::vector<int>& priorities, bool requeue_front);
+
+/// The priority of `lr` under `priorities` (0 for unknown tenants).
+int tenant_priority(const std::vector<int>& priorities, const LiveRequest& lr);
+
+/// Live state drained out of a retiring instance when the control plane
+/// re-deploys an engine.  `fresh` requests never completed prefill here
+/// (still waiting, or mid-prefill -- returned reset to generated = 0);
+/// `live` requests are prefilled and carry their decode progress.  Both
+/// are sorted by request id (arrival order).
+struct DrainedRequests {
+  std::vector<LiveRequest> fresh;
+  std::vector<LiveRequest> live;
+};
+
 class PipelineInstance {
  public:
   /// `on_prefill_done`: Splitwise hook -- called instead of joining the
@@ -75,6 +96,19 @@ class PipelineInstance {
   bool has_room(std::int64_t tokens) const;
 
   void set_prefill_handoff(PrefillHandoff cb) { handoff_ = std::move(cb); }
+
+  /// Installs per-tenant admission priorities (see priority_enqueue).
+  /// Call before the first submit; empty keeps strict FCFS.
+  void set_tenant_priorities(std::vector<int> priorities) {
+    priorities_ = std::move(priorities);
+  }
+
+  /// Retires this instance for elastic reconfiguration: drains every live
+  /// request out and turns all still-scheduled simulation events into
+  /// no-ops (the engine keeps the retired instance alive until the run
+  /// ends, so pending callbacks stay safe).  Idempotent only in the sense
+  /// that a second call returns nothing.
+  DrainedRequests retire();
 
   /// Splitwise: frees the prompt KV a handed-off request still occupies in
   /// the prefill pool (call when its migration to the decode pool ends).
@@ -121,6 +155,12 @@ class PipelineInstance {
 
   std::deque<LiveRequest> waiting_;
   std::vector<LiveRequest> running_;
+  // Requests inside an in-flight prefill iteration: without this registry a
+  // retire() could not hand them to the new deployment (the batch itself
+  // lives in the scheduled completion lambda).
+  std::map<workload::RequestId, LiveRequest> prefilling_;
+  std::vector<int> priorities_;    // per-tenant admission priorities
+  bool retired_ = false;           // pending events become no-ops
   int inflight_ = 0;               // iterations currently in the pipeline
   bool decode_inflight_ = false;   // at most one decode at a time
   Seconds head_free_ = 0;          // when the first stage frees up

@@ -87,6 +87,9 @@ class MetricsCollector {
   /// Installs (or clears, with nullptr) the lifecycle-event observer.
   /// run_trace manages this automatically from RunOptions::observer.
   void set_observer(RunObserver* observer) { observer_ = observer; }
+  /// The currently installed observer (the control plane chains itself in
+  /// front of it and forwards every event downstream).
+  RunObserver* observer() const { return observer_; }
 
   void on_arrival(const workload::Request& r);
   void on_first_token(workload::RequestId id, Seconds t);

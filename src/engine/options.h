@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/units.h"
 #include "parallel/parallelizer.h"
@@ -78,6 +79,15 @@ struct EngineOptions {
   EngineOptions(HexgenConfig c) : system(std::move(c)) {}         // NOLINT(google-explicit-constructor)
 
   std::variant<std::monostate, HetisConfig, SplitwiseConfig, HexgenConfig> system;
+
+  /// Per-tenant admission priorities, indexed by workload::Request::tenant
+  /// (higher = admitted first; ties and tenants beyond the vector fall back
+  /// to arrival order).  Empty (the default) keeps strict FCFS admission --
+  /// the historical behavior, byte-identical to pre-priority builds.  The
+  /// harness fills this automatically from a multi_tenant scenario's
+  /// TenantSpec::priority values; it applies to every engine, hence it
+  /// lives outside the per-system variant.
+  std::vector<int> tenant_priorities;
 
   bool is_default() const { return std::holds_alternative<std::monostate>(system); }
 

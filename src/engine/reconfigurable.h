@@ -1,0 +1,61 @@
+// Online reconfiguration interface for the elastic control plane (§5.3).
+//
+// An engine that implements Reconfigurable can be re-deployed onto a new
+// active device set MID-RUN: the control plane (src/control/) calls
+// `reconfigure` when a GPU joins or leaves, or when a scale policy decides
+// to grow/shrink the deployment.  The semantics of the transition are the
+// engine's own -- and that asymmetry is the point of the benchmark:
+//
+//   * HetisEngine re-runs the Parallelizer over the new device set and
+//     LIVE-MIGRATES prefilled requests: their KV caches move through the
+//     Hauler and decoding resumes where it left off (dynamic parallelism,
+//     §5.3).  Requests that do not fit the new deployment fall back to
+//     recompute.  Device removals are graceful drains (see
+//     control::ClusterEventKind) -- KV on a leaving device is still
+//     readable during the migration; hard failures would force recompute
+//     and are future work.
+//   * Splitwise / HexGen implement checkpoint-and-restart: the deployment
+//     is torn down, the model is re-loaded onto the new set (a dead window
+//     of param_bytes / LAN bandwidth), and every in-flight request
+//     re-prefills from scratch -- the cost of static parallelism.
+//
+// Implementations must keep MetricsCollector invariants intact: every
+// arrival still finishes exactly once, restarted progress is surfaced as
+// on_preempt, and on_prefill_done never fires twice for the same request.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace hetis::engine {
+
+/// Cumulative reconfiguration accounting, reported by bench_elastic.
+struct ReconfigStats {
+  int reconfigurations = 0;    // applied device-set changes
+  int migrated_requests = 0;   // live-migrated with decode progress intact
+  int restarted_requests = 0;  // lost their progress (checkpoint-restart or
+                               // no room in the new deployment)
+  Bytes migrated_kv_bytes = 0; // KV moved by live migrations
+  Seconds restart_dead_time = 0;  // total serving gap paid for re-deploys
+};
+
+class Reconfigurable {
+ public:
+  virtual ~Reconfigurable() = default;
+
+  /// Device ids (of the construction cluster) currently serving.
+  virtual std::vector<int> active_devices() const = 0;
+
+  /// Re-deploys the engine onto `devices` (a non-empty subset of the
+  /// construction cluster's ids) at sim.now().  In-flight requests are
+  /// carried over per the engine's semantics (see file header); no arrival
+  /// may be lost or double-finished.  Throws std::invalid_argument when the
+  /// device set cannot host the model at all.
+  virtual void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) = 0;
+
+  virtual const ReconfigStats& reconfig_stats() const = 0;
+};
+
+}  // namespace hetis::engine

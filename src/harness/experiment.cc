@@ -28,9 +28,11 @@ std::string csv_field(std::string s) {
 }
 
 /// Builds the trace of one workload point; a pure function of (spec, point)
-/// so every execution order -- and thread count -- yields identical bytes.
+/// so every execution order -- and thread count -- yields identical bytes
+/// (a trace_file is read once here, before any cell runs).
 std::vector<workload::Request> build_point_trace(const ExperimentSpec& spec,
                                                  const WorkloadPoint& point) {
+  if (!point.trace_file.empty()) return workload::load_trace(point.trace_file);
   if (point.scenario) return workload::generate_scenario(*point.scenario);
   workload::TraceOptions topts;
   topts.dataset = point.dataset;
@@ -38,6 +40,24 @@ std::vector<workload::Request> build_point_trace(const ExperimentSpec& spec,
   topts.horizon = spec.horizon;
   topts.seed = spec.seed;
   return workload::build_trace(topts);
+}
+
+std::string point_label(const WorkloadPoint& point) {
+  if (!point.trace_file.empty()) return "trace";
+  return point.scenario ? workload::to_string(point.scenario->kind) : "poisson";
+}
+
+/// Tenant priorities of a multi-tenant scenario point (empty when the mix
+/// is all best-effort, keeping strict FCFS and the historical bytes).
+std::vector<int> point_priorities(const WorkloadPoint& point) {
+  if (!point.scenario) return {};
+  std::vector<int> prios;
+  bool any = false;
+  for (const workload::TenantSpec& t : workload::effective_tenants(*point.scenario)) {
+    prios.push_back(t.priority);
+    any = any || t.priority != 0;
+  }
+  return any ? prios : std::vector<int>();
 }
 
 engine::EngineOptions options_for(const ExperimentSpec& spec, const std::string& engine_name) {
@@ -60,6 +80,20 @@ void ExperimentSpec::add_scenario(workload::ScenarioSpec scenario) {
   scenario.seed = seed;
   scenario.horizon = horizon;
   workloads.push_back(WorkloadPoint(std::move(scenario)));
+}
+
+void ExperimentSpec::add_trace_file(const std::string& path, double rate) {
+  WorkloadPoint point;
+  point.trace_file = path;
+  point.rate = rate;
+  workloads.push_back(std::move(point));
+}
+
+void ExperimentSpec::set_control(control::ControlSpec control_spec, Seconds drain_grace) {
+  control_spec.churn.seed = seed;
+  control_spec.churn.horizon = horizon;
+  control_spec.horizon = horizon + drain_grace;
+  control = std::move(control_spec);
 }
 
 std::vector<TenantSummary> tenant_summaries(const engine::MetricsCollector& metrics,
@@ -109,7 +143,18 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
   if (spec.run.observer != nullptr && spec.jobs != 1) {
     throw std::invalid_argument(
         "run_sweep: RunOptions::observer requires jobs == 1 -- a shared lifecycle stream "
-        "would interleave events of unrelated cells");
+        "would interleave events of unrelated cells; use ExperimentSpec::observer_factory "
+        "for per-cell observers under parallel sweeps");
+  }
+  if (spec.run.on_start && spec.control) {
+    throw std::invalid_argument(
+        "run_sweep: RunOptions::on_start and ExperimentSpec::control are mutually "
+        "exclusive (the control plane owns the start hook)");
+  }
+  if (spec.run.on_start && spec.jobs != 1) {
+    throw std::invalid_argument(
+        "run_sweep: a shared RunOptions::on_start requires jobs == 1; use "
+        "ExperimentSpec::control for per-cell controllers under parallel sweeps");
   }
   hw::Cluster cluster = cluster_by_name(spec.cluster);
 
@@ -135,19 +180,51 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     const model::ModelSpec& model = model::model_by_name(model_name);
     const WorkloadPoint& point = spec.workloads[pi];
     const std::string& engine_name = spec.engines[ei];
-    auto eng = engine::make(engine_name, cluster, model, options_for(spec, engine_name));
+    engine::EngineOptions options = options_for(spec, engine_name);
+    if (options.tenant_priorities.empty()) {
+      options.tenant_priorities = point_priorities(point);
+    }
+    auto eng = engine::make(engine_name, cluster, model, options);
+
+    // Everything per-cell below owns private state, so controlled and
+    // observed sweeps parallelize without cross-cell interleaving.
+    engine::RunOptions run = spec.run;
+    std::unique_ptr<engine::RunObserver> cell_observer;
+    if (spec.observer_factory) {
+      ExperimentSpec::CellContext ctx;
+      ctx.engine = engine_name;
+      ctx.model = model_name;
+      ctx.point = pi;
+      ctx.workload = &point;
+      cell_observer = spec.observer_factory(ctx);
+      run.observer = cell_observer.get();
+    }
+    std::unique_ptr<control::Controller> controller;
+    if (spec.control) {
+      controller = std::make_unique<control::Controller>(*spec.control, cluster);
+      run.on_start = controller->starter();
+    }
 
     SweepRow row;
     row.experiment = spec.name;
     row.cluster = spec.cluster;
     row.model = model_name;
     row.dataset = point.dataset;
-    row.scenario = point.scenario ? workload::to_string(point.scenario->kind) : "poisson";
+    row.scenario = point_label(point);
     row.rate = point.rate;
     row.trace_requests = traces[pi].size();
-    row.report = engine::run_trace(*eng, traces[pi], spec.run);
+    row.report = engine::run_trace(*eng, traces[pi], run);
     if (point.scenario) {
       row.tenants = tenant_summaries(eng->metrics(), *point.scenario, spec.run.warmup);
+    }
+    if (controller) {
+      row.control = control::to_string(spec.control->churn.kind);
+      row.policy = controller->policy_name();
+      if (const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get())) {
+        row.reconfigurations = rc->reconfig_stats().reconfigurations;
+        row.migrated_requests = rc->reconfig_stats().migrated_requests;
+        row.restarted_requests = rc->reconfig_stats().restarted_requests;
+      }
     }
     rows[ci] = std::move(row);
   };
@@ -177,8 +254,11 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
 }
 
 std::string sweep_csv_header() {
+  // Column order is append-only: the control block trails the RunReport
+  // columns so pre-control readers keep working.
   return "experiment,cluster,model,dataset,scenario,rate,trace_requests," +
-         engine::RunReport::csv_header();
+         engine::RunReport::csv_header() +
+         ",control,policy,reconfigurations,migrated_requests,restarted_requests";
 }
 
 std::string to_csv_row(const SweepRow& row) {
@@ -186,7 +266,9 @@ std::string to_csv_row(const SweepRow& row) {
   oss << csv_field(row.experiment) << ',' << csv_field(row.cluster) << ','
       << csv_field(row.model) << ',' << workload::to_string(row.dataset) << ','
       << csv_field(row.scenario) << ',' << row.rate << ',' << row.trace_requests << ','
-      << row.report.to_csv_row();
+      << row.report.to_csv_row() << ',' << csv_field(row.control) << ','
+      << csv_field(row.policy) << ',' << row.reconfigurations << ',' << row.migrated_requests
+      << ',' << row.restarted_requests;
   return oss.str();
 }
 
@@ -220,7 +302,11 @@ void write_json(std::ostream& os, const std::vector<SweepRow>& rows) {
        << engine::json_escape(row.model) << "\",\"dataset\":\""
        << workload::to_string(row.dataset) << "\",\"scenario\":\""
        << engine::json_escape(row.scenario) << "\",\"rate\":" << row.rate
-       << ",\"trace_requests\":" << row.trace_requests << ",\"report\":" << row.report.to_json();
+       << ",\"trace_requests\":" << row.trace_requests << ",\"report\":" << row.report.to_json()
+       << ",\"control\":\"" << engine::json_escape(row.control) << "\",\"policy\":\""
+       << engine::json_escape(row.policy) << "\",\"reconfigurations\":" << row.reconfigurations
+       << ",\"migrated_requests\":" << row.migrated_requests
+       << ",\"restarted_requests\":" << row.restarted_requests;
     if (!row.tenants.empty()) write_tenants_json(os, row.tenants);
     os << "}";
   }

@@ -27,10 +27,12 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "control/controller.h"
 #include "engine/engine.h"
 #include "engine/metrics.h"
 #include "engine/options.h"
@@ -39,9 +41,11 @@
 
 namespace hetis::harness {
 
-/// One workload point of a sweep: either a fixed (dataset, rate) Poisson
-/// trace, or -- when `scenario` is set -- a scenario generator (dataset and
-/// rate then mirror the scenario's base values for the CSV columns).
+/// One workload point of a sweep: a fixed (dataset, rate) Poisson trace, a
+/// scenario generator (when `scenario` is set; dataset and rate then mirror
+/// the scenario's base values for the CSV columns), or a recorded trace
+/// replayed from `trace_file` (workload::load_trace; the scenario column
+/// reads "trace").
 struct WorkloadPoint {
   WorkloadPoint() = default;
   WorkloadPoint(workload::Dataset d, double r) : dataset(d), rate(r) {}
@@ -51,6 +55,7 @@ struct WorkloadPoint {
   workload::Dataset dataset = workload::Dataset::kShareGPT;
   double rate = 1.0;  // req/s over the spec's horizon
   std::optional<workload::ScenarioSpec> scenario;
+  std::string trace_file;  // non-empty: replay this recorded trace instead
 };
 
 struct ExperimentSpec {
@@ -79,6 +84,28 @@ struct ExperimentSpec {
   /// entry get defaults.
   std::map<std::string, engine::EngineOptions> engine_options;
 
+  /// Elastic control plane: when set, every cell runs under its own
+  /// control::Controller built from this spec (churn script, scale policy,
+  /// tick), so controlled sweeps parallelize like any other -- rows stay
+  /// byte-identical for every `jobs` value.  Engines in the spec must
+  /// implement engine::Reconfigurable when the spec can demand re-deploys.
+  std::optional<control::ControlSpec> control;
+
+  /// Per-cell observer factory: called once per (engine, model, point)
+  /// cell; the returned observer lives for exactly that cell's run.  This
+  /// composes with `jobs != 1` (each cell owns a private stream), unlike
+  /// the shared RunOptions::observer.  With a control plane attached the
+  /// Controller chains in front and forwards every event here.
+  struct CellContext {
+    std::string engine;  // registry name (spec spelling)
+    std::string model;
+    std::size_t point = 0;  // index into `workloads`
+    const WorkloadPoint* workload = nullptr;
+  };
+  using ObserverFactory =
+      std::function<std::unique_ptr<engine::RunObserver>(const CellContext&)>;
+  ObserverFactory observer_factory;
+
   /// Appends one WorkloadPoint per rate for `dataset`.
   void add_rates(workload::Dataset dataset, const std::vector<double>& rates);
 
@@ -87,6 +114,15 @@ struct ExperimentSpec {
   /// experiment); push a WorkloadPoint directly to keep per-scenario
   /// values.
   void add_scenario(workload::ScenarioSpec scenario);
+
+  /// Appends a recorded-trace workload point replaying `path` (see
+  /// workload::save_trace / load_trace).  `rate` only labels the CSV row.
+  void add_trace_file(const std::string& path, double rate = 0.0);
+
+  /// Installs the control plane.  The churn script inherits the spec's
+  /// seed and horizon and the controller keeps ticking through the drain
+  /// window (horizon + drain_grace), mirroring add_scenario's stamping.
+  void set_control(control::ControlSpec control_spec, Seconds drain_grace = 30.0);
 };
 
 /// Per-tenant slice of one executed cell (multi-tenant scenarios only).
@@ -116,13 +152,22 @@ struct SweepRow {
   std::string cluster;
   std::string model;
   workload::Dataset dataset = workload::Dataset::kShareGPT;
-  std::string scenario = "poisson";  // generator name ("poisson" for fixed points)
+  std::string scenario = "poisson";  // generator name ("poisson" for fixed
+                                     // points, "trace" for replayed files)
   double rate = 0;
   std::size_t trace_requests = 0;  // size of the generated trace
   engine::RunReport report;
   /// Per-tenant breakdown; non-empty only for multi-tenant scenario points.
   /// Serialized by write_json; the flat CSV carries the aggregate row only.
   std::vector<TenantSummary> tenants;
+  // Control-plane columns (appended to the CSV; "none"/0 without a
+  // ControlSpec).  `reconfigurations` comes from the engine's own
+  // ReconfigStats so the row reflects applied re-deploys, not decisions.
+  std::string control = "none";  // churn script name
+  std::string policy = "none";   // scale policy name
+  int reconfigurations = 0;
+  int migrated_requests = 0;
+  int restarted_requests = 0;
 };
 
 /// Called after each cell completes -- live progress for long sweeps.

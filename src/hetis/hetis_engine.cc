@@ -69,11 +69,17 @@ HetisEngine::~HetisEngine() = default;
 void HetisEngine::build_instances(const hw::Cluster& cluster, const model::ModelSpec& model) {
   (void)cluster;
   (void)model;
-  int id = 0;
+  int id = static_cast<int>(retired_.size()) * 8;  // distinct ids per epoch
   for (const auto& inst : plan_.instances) {
     instances_.push_back(std::make_unique<HetisInstance>(exec_, inst, profile_, metrics_,
                                                          hauler_, opts_, id++));
+    instances_.back()->set_tenant_priorities(tenant_priorities_);
   }
+}
+
+void HetisEngine::set_tenant_priorities(std::vector<int> priorities) {
+  tenant_priorities_ = std::move(priorities);
+  for (auto& inst : instances_) inst->set_tenant_priorities(tenant_priorities_);
 }
 
 void HetisEngine::start(sim::Simulation& sim) {
@@ -94,13 +100,87 @@ void HetisEngine::start(sim::Simulation& sim) {
   }
 }
 
-void HetisEngine::submit(sim::Simulation& sim, const workload::Request& r) {
-  metrics_.on_arrival(r);
+HetisInstance* HetisEngine::least_filled() {
   HetisInstance* best = instances_.front().get();
   for (auto& inst : instances_) {
     if (inst->fill_fraction() < best->fill_fraction()) best = inst.get();
   }
-  best->submit(sim, r);
+  return best;
+}
+
+void HetisEngine::submit(sim::Simulation& sim, const workload::Request& r) {
+  metrics_.on_arrival(r);
+  least_filled()->submit(sim, r);
+}
+
+std::vector<int> HetisEngine::active_devices() const {
+  std::vector<int> devs;
+  for (const auto& inst : plan_.instances) {
+    for (int d : inst.primary_devices()) devs.push_back(d);
+    devs.insert(devs.end(), inst.attention_workers.begin(), inst.attention_workers.end());
+  }
+  std::sort(devs.begin(), devs.end());
+  return devs;
+}
+
+void HetisEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devices) {
+  // Drain the current deployment.  Prefilled requests keep their decode
+  // progress; each remembers its old primary device as the KV source.
+  struct Carried {
+    engine::LiveRequest lr;
+    int src_device;
+  };
+  std::vector<Carried> live;
+  std::vector<engine::LiveRequest> fresh;
+  for (auto& inst : instances_) {
+    const int src = inst->primary_device();
+    engine::DrainedRequests d = inst->retire();
+    for (auto& lr : d.fresh) fresh.push_back(std::move(lr));
+    for (auto& lr : d.live) live.push_back(Carried{std::move(lr), src});
+    retired_.push_back(std::move(inst));
+  }
+  instances_.clear();
+  std::sort(live.begin(), live.end(),
+            [](const Carried& a, const Carried& b) { return a.lr.req.id < b.lr.req.id; });
+
+  // §5.3 applied to churn: re-run the Parallelizer over the new device set
+  // (the search itself is sub-second and off the serving critical path; the
+  // run pays only the KV movement below).
+  std::vector<int> original_ids;
+  hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
+  parallel::Parallelizer parallelizer(sub, exec_.model_spec(), opts_.search);
+  parallel::ParallelPlan plan = parallelizer.plan(opts_.workload);
+  parallel::remap_device_ids(plan, original_ids);
+  plan_ = std::move(plan);
+  build_instances(exec_.cluster(), exec_.model_spec());
+  ++stats_.reconfigurations;
+
+  const model::ModelSpec& m = exec_.model_spec();
+  // Live-migrate prefilled requests: ship their KV to the new deployment
+  // through the Hauler and resume decoding once it lands.  Requests the new
+  // deployment cannot host fall back to recompute.
+  for (auto& c : live) {
+    HetisInstance* dst = least_filled();
+    const Bytes kv = m.kv_bytes_per_token() * c.lr.context();
+    const Seconds done = hauler_.migrate(c.src_device, dst->primary_device(), kv, sim.now());
+    if (dst->adopt(sim, c.lr, done)) {
+      ++stats_.migrated_requests;
+      stats_.migrated_kv_bytes += kv;
+    } else {
+      metrics_.on_preemption(c.lr.req.id, sim.now());
+      ++stats_.restarted_requests;
+      c.lr.prefilled = false;
+      c.lr.generated = 0;
+      fresh.push_back(c.lr);
+    }
+  }
+  // Fresh requests (waiting, mid-prefill, or migration fallbacks) re-queue
+  // in arrival order.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const engine::LiveRequest& a, const engine::LiveRequest& b) {
+              return a.req.id < b.req.id;
+            });
+  for (auto& lr : fresh) least_filled()->enqueue(sim, std::move(lr));
 }
 
 Bytes HetisEngine::usable_kv_capacity() const {
@@ -108,6 +188,12 @@ Bytes HetisEngine::usable_kv_capacity() const {
   Bytes total = 0;
   for (const auto& inst : instances_) total += inst->kv_capacity();
   return total;
+}
+
+double HetisEngine::kv_fill_fraction() const {
+  double worst = 0;
+  for (const auto& inst : instances_) worst = std::max(worst, inst->fill_fraction());
+  return worst;
 }
 
 int HetisEngine::rescue_redispatches() const {
@@ -207,8 +293,45 @@ Bytes HetisInstance::kv_capacity() const {
 void HetisInstance::submit(sim::Simulation& sim, const workload::Request& r) {
   engine::LiveRequest lr;
   lr.req = r;
-  waiting_.push_back(lr);
+  enqueue(sim, std::move(lr));
+}
+
+void HetisInstance::enqueue(sim::Simulation& sim, engine::LiveRequest lr) {
+  engine::priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/false);
   kick(sim);
+}
+
+bool HetisInstance::adopt(sim::Simulation& sim, const engine::LiveRequest& lr,
+                          Seconds resume_at) {
+  std::vector<std::pair<workload::RequestId, std::int64_t>> one{{lr.req.id, lr.context()}};
+  if (!dispatcher_.dispatch(one, sim.now())) return false;
+  running_[lr.req.id] = lr;
+  if (resume_at > sim.now()) suspended_until_[lr.req.id] = resume_at;
+  kick(sim);
+  return true;
+}
+
+engine::DrainedRequests HetisInstance::retire() {
+  retired_ = true;
+  engine::DrainedRequests out;
+  for (auto& lr : waiting_) out.fresh.push_back(lr);
+  for (auto& [id, lr] : prefilling_) {
+    engine::LiveRequest f = lr;
+    f.prefilled = false;
+    f.generated = 0;
+    out.fresh.push_back(std::move(f));
+  }
+  for (auto& [id, lr] : running_) out.live.push_back(lr);
+  waiting_.clear();
+  running_.clear();
+  prefilling_.clear();
+  suspended_until_.clear();
+  auto by_id = [](const engine::LiveRequest& a, const engine::LiveRequest& b) {
+    return a.req.id < b.req.id;
+  };
+  std::sort(out.fresh.begin(), out.fresh.end(), by_id);
+  std::sort(out.live.begin(), out.live.end(), by_id);
+  return out;
 }
 
 void HetisInstance::sample_usage(sim::Simulation& sim) {
@@ -229,6 +352,7 @@ void HetisInstance::sample_usage(sim::Simulation& sim) {
 void HetisInstance::kick(sim::Simulation& sim) { pump(sim); }
 
 void HetisInstance::pump(sim::Simulation& sim) {
+  if (retired_) return;
   const int max_inflight = std::max<int>(1, static_cast<int>(cfg_.stages.size()));
   while (inflight_ < max_inflight) {
     // --- Prefill-priority admission via the dispatch LP (Eq. 7) ---
@@ -250,7 +374,10 @@ void HetisInstance::pump(sim::Simulation& sim) {
 
     if (!prefill_batch.empty()) {
       std::vector<std::int64_t> lens;
-      for (const auto& lr : prefill_batch) lens.push_back(lr.req.prompt_len);
+      for (const auto& lr : prefill_batch) {
+        lens.push_back(lr.req.prompt_len);
+        prefilling_.emplace(lr.req.id, lr);
+      }
       // Prefill (dense + attention) runs entirely on the primary pipeline
       // (design idea I1: compute-intensive phases stay on capable devices).
       parallel::InstanceConfig primary_only;
@@ -349,7 +476,13 @@ Seconds HetisInstance::ship_offloaded_kv(sim::Simulation& sim, workload::Request
 }
 
 void HetisInstance::finish_prefill(sim::Simulation& sim, std::vector<engine::LiveRequest> batch) {
+  if (retired_) {
+    // The batch was already handed to the new deployment by retire().
+    --inflight_;
+    return;
+  }
   for (auto& lr : batch) {
+    prefilling_.erase(lr.req.id);
     lr.prefilled = true;
     lr.generated = 1;
     metrics_->on_first_token(lr.req.id, sim.now());
@@ -370,6 +503,11 @@ void HetisInstance::finish_prefill(sim::Simulation& sim, std::vector<engine::Liv
 
 void HetisInstance::finish_decode(sim::Simulation& sim,
                                   std::vector<workload::RequestId> decoded) {
+  if (retired_) {
+    --inflight_;
+    decode_inflight_ = false;
+    return;
+  }
   ++decode_iterations_;
   for (workload::RequestId id : decoded) {
     auto it = running_.find(id);
@@ -451,7 +589,7 @@ void HetisInstance::preempt(sim::Simulation& sim, workload::RequestId id) {
   metrics_->on_preemption(id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;
-  waiting_.push_front(lr);
+  engine::priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/true);
 }
 
 }  // namespace hetis::core
@@ -465,5 +603,7 @@ HETIS_REGISTER_ENGINE(hetis, [](const hetis::hw::Cluster& cluster,
                                 const hetis::engine::EngineOptions& opts)
                                  -> std::unique_ptr<hetis::engine::Engine> {
   auto cfg = opts.get_or_default<hetis::engine::HetisConfig>("hetis");
-  return std::make_unique<hetis::core::HetisEngine>(cluster, model, cfg);
+  auto eng = std::make_unique<hetis::core::HetisEngine>(cluster, model, cfg);
+  if (!opts.tenant_priorities.empty()) eng->set_tenant_priorities(opts.tenant_priorities);
+  return eng;
 });

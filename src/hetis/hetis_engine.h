@@ -20,6 +20,7 @@
 #include "engine/exec.h"
 #include "engine/instance.h"
 #include "engine/options.h"
+#include "engine/reconfigurable.h"
 #include "hauler/hauler.h"
 #include "parallel/parallelizer.h"
 
@@ -31,7 +32,7 @@ using HetisOptions = engine::HetisConfig;
 
 class HetisInstance;
 
-class HetisEngine : public engine::Engine {
+class HetisEngine : public engine::Engine, public engine::Reconfigurable {
  public:
   HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& model, HetisOptions opts = {});
   /// With an externally-fixed plan (ablations / tests).
@@ -43,6 +44,20 @@ class HetisEngine : public engine::Engine {
   void start(sim::Simulation& sim) override;
   void submit(sim::Simulation& sim, const workload::Request& r) override;
   Bytes usable_kv_capacity() const override;
+  double kv_fill_fraction() const override;
+
+  /// Per-tenant admission priorities (engine/options.h); call before the
+  /// first submit.  Survives reconfiguration.
+  void set_tenant_priorities(std::vector<int> priorities);
+
+  // Reconfigurable: dynamic parallelism (§5.3) applied to cluster churn --
+  // the Parallelizer re-plans over the new device set and prefilled
+  // requests LIVE-MIGRATE: their KV moves through the Hauler and decoding
+  // resumes with progress intact (no dead window, no recompute unless the
+  // new deployment cannot host them).
+  std::vector<int> active_devices() const override;
+  void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
+  const engine::ReconfigStats& reconfig_stats() const override { return stats_; }
 
   const parallel::ParallelPlan& plan() const { return plan_; }
   const costmodel::ProfileResult& profile() const { return profile_; }
@@ -53,13 +68,20 @@ class HetisEngine : public engine::Engine {
 
  private:
   void build_instances(const hw::Cluster& cluster, const model::ModelSpec& model);
+  /// Least-filled-instance routing shared by submit and re-admission.
+  HetisInstance* least_filled();
 
   HetisOptions opts_;
   engine::ExecModel exec_;
   parallel::ParallelPlan plan_;
   costmodel::ProfileResult profile_;
   hauler::Hauler hauler_;
+  std::vector<int> tenant_priorities_;
   std::vector<std::unique_ptr<HetisInstance>> instances_;
+  // Instances retired by reconfigure stay alive until the engine dies so
+  // their still-scheduled simulation events remain safe no-ops.
+  std::vector<std::unique_ptr<HetisInstance>> retired_;
+  engine::ReconfigStats stats_;
   // Owner of the self-chaining usage-sampling event (see start()); the
   // scheduled copies hold only weak_ptrs, so no reference cycle survives
   // the engine.
@@ -75,6 +97,28 @@ class HetisInstance {
 
   void submit(sim::Simulation& sim, const workload::Request& r);
   void sample_usage(sim::Simulation& sim);
+
+  /// Enqueues an unprefilled request carried over from a retired
+  /// deployment (no arrival recording; keeps the original request state).
+  void enqueue(sim::Simulation& sim, engine::LiveRequest lr);
+
+  /// Adopts a prefilled request with decode progress intact (elastic live
+  /// migration): its heads are dispatched into this instance and decoding
+  /// stays suspended until `resume_at` (the Hauler's KV-landing time).
+  /// Returns false when the dispatcher cannot host the request.
+  bool adopt(sim::Simulation& sim, const engine::LiveRequest& lr, Seconds resume_at);
+
+  /// Per-tenant admission priorities (empty = FCFS).
+  void set_tenant_priorities(std::vector<int> priorities) {
+    priorities_ = std::move(priorities);
+  }
+
+  /// Retires this instance for elastic reconfiguration (see
+  /// PipelineInstance::retire for the contract).
+  engine::DrainedRequests retire();
+
+  /// Representative primary device (Hauler endpoint for migrations).
+  int primary_device() const { return cfg_.stages.front().devices.front(); }
 
   /// Fill fraction for routing (max over logical devices).
   double fill_fraction() const;
@@ -112,7 +156,12 @@ class HetisInstance {
   dispatch::Dispatcher dispatcher_;
   std::deque<engine::LiveRequest> waiting_;
   std::map<workload::RequestId, engine::LiveRequest> running_;
+  // Requests inside an in-flight prefill iteration (see
+  // PipelineInstance::prefilling_ for why retire() needs this).
+  std::map<workload::RequestId, engine::LiveRequest> prefilling_;
   std::map<workload::RequestId, Seconds> suspended_until_;
+  std::vector<int> priorities_;  // per-tenant admission priorities
+  bool retired_ = false;         // pending events become no-ops
   int inflight_ = 0;
   bool decode_inflight_ = false;
   bool wake_scheduled_ = false;

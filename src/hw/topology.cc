@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace hetis::hw {
 
@@ -56,6 +57,43 @@ Bytes Cluster::total_memory() const {
   Bytes total = 0;
   for (const auto& d : devices_) total += d.spec().memory;
   return total;
+}
+
+Cluster Cluster::subcluster(const std::vector<int>& device_ids,
+                            std::vector<int>* original_ids) const {
+  if (device_ids.empty()) throw std::invalid_argument("Cluster::subcluster: empty device set");
+  std::vector<bool> seen(devices_.size(), false);
+  for (int id : device_ids) {
+    if (id < 0 || static_cast<std::size_t>(id) >= devices_.size()) {
+      throw std::invalid_argument("Cluster::subcluster: device id out of range");
+    }
+    if (seen[static_cast<std::size_t>(id)]) {
+      throw std::invalid_argument("Cluster::subcluster: duplicate device id");
+    }
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+
+  Cluster sub;
+  sub.intra_ = intra_;
+  sub.inter_ = inter_;
+  // Hosts are emitted in original host order so inter/intra-host structure
+  // (and therefore link selection) matches the parent cluster.
+  std::vector<int> new_ids;
+  for (const Host& host : hosts_) {
+    std::vector<GpuType> kept_types;
+    std::vector<int> kept_ids;
+    for (int id : host.device_ids) {
+      if (seen[static_cast<std::size_t>(id)]) {
+        kept_types.push_back(device(id).type);
+        kept_ids.push_back(id);
+      }
+    }
+    if (kept_types.empty()) continue;
+    sub.add_host(host.name, kept_types);
+    new_ids.insert(new_ids.end(), kept_ids.begin(), kept_ids.end());
+  }
+  if (original_ids) *original_ids = new_ids;
+  return sub;
 }
 
 Cluster Cluster::paper_cluster() {

@@ -68,6 +68,17 @@ class Cluster {
   /// Total memory across all devices.
   Bytes total_memory() const;
 
+  /// Builds the sub-cluster containing exactly `device_ids` of this
+  /// cluster, renumbered 0..n-1 in the given order.  Host structure and
+  /// fabric parameters are preserved (hosts that lose every device are
+  /// dropped).  When `original_ids` is non-null it receives the new-id ->
+  /// original-id mapping, so plans computed on the sub-cluster can be
+  /// remapped back onto this cluster's device ids.  Used by the elastic
+  /// control plane to replan over the surviving device set after churn.
+  /// Throws std::invalid_argument on empty, duplicate or out-of-range ids.
+  Cluster subcluster(const std::vector<int>& device_ids,
+                     std::vector<int>* original_ids = nullptr) const;
+
   /// The paper's evaluation cluster (§7.1).
   static Cluster paper_cluster();
 

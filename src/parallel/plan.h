@@ -48,4 +48,22 @@ struct ParallelPlan {
   std::string to_string(const hw::Cluster& cluster) const;
 };
 
+/// Rewrites every device id of a plan computed on a sub-cluster back onto
+/// the parent cluster through `original_ids` (the new-id -> parent-id
+/// mapping produced by hw::Cluster::subcluster).  The elastic control
+/// plane replans over the surviving device set and then deploys the result
+/// on the unchanged parent cluster's ids.
+inline void remap_device_ids(StageConfig& stage, const std::vector<int>& original_ids) {
+  for (int& dev : stage.devices) dev = original_ids.at(static_cast<std::size_t>(dev));
+}
+
+inline void remap_device_ids(InstanceConfig& cfg, const std::vector<int>& original_ids) {
+  for (StageConfig& s : cfg.stages) remap_device_ids(s, original_ids);
+  for (int& dev : cfg.attention_workers) dev = original_ids.at(static_cast<std::size_t>(dev));
+}
+
+inline void remap_device_ids(ParallelPlan& plan, const std::vector<int>& original_ids) {
+  for (InstanceConfig& inst : plan.instances) remap_device_ids(inst, original_ids);
+}
+
 }  // namespace hetis::parallel

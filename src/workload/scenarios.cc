@@ -198,10 +198,12 @@ std::vector<std::string> scenario_names() {
 }
 
 std::vector<TenantSpec> default_tenant_mix(double total_rate) {
+  // Priorities follow the SLO tightness: interactive chat outranks code
+  // completion, batch summarization is best effort.
   return {
-      TenantSpec{"chat", 0.6 * total_rate, Dataset::kShareGPT, 2.0, 0.2},
-      TenantSpec{"code", 0.3 * total_rate, Dataset::kHumanEval, 1.0, 0.1},
-      TenantSpec{"batch", 0.1 * total_rate, Dataset::kLongBench, 0, 0},
+      TenantSpec{"chat", 0.6 * total_rate, Dataset::kShareGPT, 2.0, 0.2, /*priority=*/2},
+      TenantSpec{"code", 0.3 * total_rate, Dataset::kHumanEval, 1.0, 0.1, /*priority=*/1},
+      TenantSpec{"batch", 0.1 * total_rate, Dataset::kLongBench, 0, 0, /*priority=*/0},
   };
 }
 

@@ -57,6 +57,11 @@ struct TenantSpec {
   Dataset dataset = Dataset::kShareGPT;
   Seconds ttft_slo = 0;
   Seconds tpot_slo = 0;
+  // Admission priority (higher = admitted first; 0 = best effort).  The
+  // harness forwards the per-tenant vector to every engine through
+  // engine::EngineOptions::tenant_priorities; all-zero mixes keep strict
+  // FCFS admission.
+  int priority = 0;
 };
 
 struct ScenarioSpec {

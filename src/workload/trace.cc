@@ -1,8 +1,18 @@
 #include "workload/trace.h"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace hetis::workload {
+
+namespace {
+
+// Stable record/replay column order; kept append-only like the report CSVs.
+constexpr const char* kTraceHeader = "id,arrival,prompt_len,output_len,tenant";
+
+}  // namespace
 
 std::string Request::to_string() const {
   std::ostringstream oss;
@@ -38,6 +48,80 @@ std::vector<Request> build_trace(const TraceOptions& opts) {
       opts.segments.empty() ? generate_poisson(opts.rate, opts.horizon, arrival_rng)
                             : generate_arrivals(opts.segments, arrival_rng);
   return assemble_trace(times, opts.dataset, length_rng);
+}
+
+void save_trace(std::ostream& os, const std::vector<Request>& trace) {
+  os << kTraceHeader << '\n';
+  char arrival[64];
+  for (const Request& r : trace) {
+    // %.17g round-trips every finite double exactly (same discipline as
+    // RunReport::to_csv_row).
+    std::snprintf(arrival, sizeof(arrival), "%.17g", r.arrival);
+    os << r.id << ',' << arrival << ',' << r.prompt_len << ',' << r.output_len << ','
+       << r.tenant << '\n';
+  }
+}
+
+void save_trace(const std::string& path, const std::vector<Request>& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_trace: cannot write '" + path + "'");
+  save_trace(os, trace);
+  if (!os) throw std::runtime_error("save_trace: write to '" + path + "' failed");
+}
+
+std::vector<Request> load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kTraceHeader) {
+    throw std::invalid_argument("load_trace: missing or unexpected header (want '" +
+                                std::string(kTraceHeader) + "')");
+  }
+  std::vector<Request> trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string cell;
+    std::vector<std::string> fields;
+    while (std::getline(cells, cell, ',')) fields.push_back(cell);
+    if (fields.size() != 5) {
+      throw std::invalid_argument("load_trace: line " + std::to_string(line_no) +
+                                  " has " + std::to_string(fields.size()) +
+                                  " cells, expected 5");
+    }
+    // Whole-cell parses: stoll/stod alone accept numeric prefixes ("12abc"
+    // -> 12), which would silently corrupt a "byte-identical" replay.
+    auto bad = [&]() -> std::invalid_argument {
+      return std::invalid_argument("load_trace: line " + std::to_string(line_no) +
+                                   " is not numeric: '" + line + "'");
+    };
+    try {
+      std::size_t pos = 0;
+      Request r;
+      r.id = static_cast<RequestId>(std::stoll(fields[0], &pos));
+      if (pos != fields[0].size()) throw bad();
+      r.arrival = std::stod(fields[1], &pos);
+      if (pos != fields[1].size()) throw bad();
+      r.prompt_len = std::stoll(fields[2], &pos);
+      if (pos != fields[2].size()) throw bad();
+      r.output_len = std::stoll(fields[3], &pos);
+      if (pos != fields[3].size()) throw bad();
+      r.tenant = std::stoi(fields[4], &pos);
+      if (pos != fields[4].size()) throw bad();
+      trace.push_back(r);
+    } catch (const std::invalid_argument&) {
+      throw bad();
+    } catch (const std::out_of_range&) {
+      throw bad();
+    }
+  }
+  return trace;
+}
+
+std::vector<Request> load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_trace: cannot read '" + path + "'");
+  return load_trace(is);
 }
 
 TraceStats trace_stats(const std::vector<Request>& trace) {

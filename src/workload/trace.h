@@ -1,6 +1,11 @@
 // Trace builder: arrival process x dataset sampler -> request list.
+// Plus trace record/replay: any generated trace (build_trace or a scenario)
+// can be persisted as CSV and replayed byte-identically across runs and
+// machines -- the arrival column round-trips doubles exactly.
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "workload/arrivals.h"
@@ -29,6 +34,20 @@ std::vector<Request> build_trace(const TraceOptions& opts);
 /// both consume the length RNG with the identical discipline.
 std::vector<Request> assemble_trace(const std::vector<Seconds>& times, Dataset dataset,
                                     Rng& length_rng);
+
+/// Writes `trace` as CSV with header `id,arrival,prompt_len,output_len,
+/// tenant`; arrivals use %.17g so every finite double round-trips exactly.
+void save_trace(std::ostream& os, const std::vector<Request>& trace);
+/// File overload; throws std::runtime_error when `path` cannot be written.
+void save_trace(const std::string& path, const std::vector<Request>& trace);
+
+/// Inverse of save_trace.  Validates the header and every row arity;
+/// throws std::invalid_argument on malformed input.  load_trace(save_trace
+/// (t)) == t field-for-field, so replayed experiments are byte-identical
+/// to the generating run.
+std::vector<Request> load_trace(std::istream& is);
+/// File overload; throws std::runtime_error when `path` cannot be read.
+std::vector<Request> load_trace(const std::string& path);
 
 /// Summary statistics of a trace for logging.
 struct TraceStats {

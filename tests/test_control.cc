@@ -1,0 +1,408 @@
+// Elastic control plane: churn generators, scale policies, controller
+// determinism, and mid-run reconfiguration correctness (no lost or
+// double-counted finishes under gpu_leave with requests in flight).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/events.h"
+#include "control/policy.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "harness/experiment.h"
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "workload/scenarios.h"
+#include "workload/trace.h"
+
+namespace hetis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Churn generators
+// ---------------------------------------------------------------------------
+
+TEST(ChurnEvents, NamesRoundTripAndUnknownThrows) {
+  for (const std::string& name : control::churn_names()) {
+    EXPECT_EQ(control::to_string(control::churn_by_name(name)), name);
+  }
+  EXPECT_THROW(control::churn_by_name("meteor"), std::out_of_range);
+}
+
+TEST(ChurnEvents, PreemptibleDevicesAreLowestPowerFirst) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  std::vector<int> spot = control::preemptible_devices(cluster);
+  ASSERT_EQ(spot.size(), 12u);
+  // Paper cluster: P100s (ids 8-11) churn first, A100s (ids 0-3) last.
+  EXPECT_EQ(cluster.device(spot.front()).type, hw::GpuType::kP100);
+  EXPECT_EQ(cluster.device(spot.back()).type, hw::GpuType::kA100_80G);
+}
+
+TEST(ChurnEvents, DipLeavesThenRejoinsSameDevices) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kDip, 40.0, 7);
+  spec.leave_count = 3;
+  auto events = control::generate_churn(spec, cluster);
+  ASSERT_EQ(events.size(), 6u);
+  std::vector<int> left, joined;
+  for (const auto& ev : events) {
+    EXPECT_LT(ev.time, spec.horizon);
+    if (ev.kind == control::ClusterEventKind::kGpuLeave) left.push_back(ev.device);
+    if (ev.kind == control::ClusterEventKind::kGpuJoin) joined.push_back(ev.device);
+  }
+  EXPECT_EQ(left, joined);
+  // Sorted by time: all leaves precede all joins.
+  EXPECT_LT(events.front().time, events.back().time);
+  EXPECT_EQ(events.front().kind, control::ClusterEventKind::kGpuLeave);
+  EXPECT_EQ(events.back().kind, control::ClusterEventKind::kGpuJoin);
+}
+
+TEST(ChurnEvents, SpotIsSeedDeterministicAndBounded) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kSpot, 60.0, 11);
+  auto a = control::generate_churn(spec, cluster);
+  auto b = control::generate_churn(spec, cluster);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].device, b[i].device);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i].time, a[i - 1].time);
+  spec.seed = 12;
+  auto c = control::generate_churn(spec, cluster);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) differs = c[i].time != a[i].time;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnEvents, SurgeEmitsForecastShifts) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kSurge, 50.0, 1);
+  auto events = control::generate_churn(spec, cluster);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, control::ClusterEventKind::kLoadShift);
+  EXPECT_DOUBLE_EQ(events[0].factor, spec.surge_factor);
+  EXPECT_DOUBLE_EQ(events[1].factor, 1.0);
+}
+
+TEST(ChurnEvents, ValidationRejectsBadParameters) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kDip, 10.0, 1);
+  spec.rejoin_frac = 0.1;
+  spec.leave_frac = 0.5;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+  spec = control::churn_preset(control::Churn::kSpot, 10.0, 1);
+  spec.mean_up = 0;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scale policies
+// ---------------------------------------------------------------------------
+
+control::ControlSignals calm_signals() {
+  control::ControlSignals s;
+  s.queue_depth = 0;
+  s.kv_pressure = 0.1;
+  s.slo_attainment = 1.0;
+  s.active_devices = 8;
+  s.available_devices = 12;
+  s.min_devices = 2;
+  return s;
+}
+
+TEST(ScalePolicies, StaticNeverMoves) {
+  auto p = control::make_policy("static");
+  control::ControlSignals s = calm_signals();
+  s.queue_depth = 1000;
+  s.kv_pressure = 1.0;
+  EXPECT_EQ(p->target_devices(s, 8), 8);
+}
+
+TEST(ScalePolicies, ThresholdScalesUpDownWithHysteresis) {
+  auto p = control::make_policy("threshold");
+  control::ControlSignals s = calm_signals();
+  s.queue_depth = 20;  // above up_queue
+  EXPECT_EQ(p->target_devices(s, 8), 9);
+  s = calm_signals();
+  s.kv_pressure = 0.95;  // above up_kv
+  EXPECT_EQ(p->target_devices(s, 8), 9);
+  s = calm_signals();  // both below the down thresholds
+  EXPECT_EQ(p->target_devices(s, 8), 7);
+  s.queue_depth = 4;  // inside the hysteresis band: hold
+  EXPECT_EQ(p->target_devices(s, 8), 8);
+}
+
+TEST(ScalePolicies, ThresholdFollowsForecastToMax) {
+  auto p = control::make_policy("threshold");
+  control::ControlSignals s = calm_signals();
+  s.load_forecast = 3.0;
+  EXPECT_EQ(p->target_devices(s, 6), s.available_devices);
+}
+
+TEST(ScalePolicies, SloPolicyTracksAttainmentBand) {
+  auto p = control::make_policy("slo");
+  control::ControlSignals s = calm_signals();
+  s.slo_attainment = 0.5;
+  EXPECT_EQ(p->target_devices(s, 8), 9);
+  s.slo_attainment = 0.99;
+  s.queue_depth = 0;
+  EXPECT_EQ(p->target_devices(s, 8), 7);
+  s.slo_attainment = 0.9;  // inside the dead band
+  EXPECT_EQ(p->target_devices(s, 8), 8);
+  EXPECT_THROW(control::make_policy("oracle"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Controller + engines
+// ---------------------------------------------------------------------------
+
+/// Counts lifecycle events per id; fails on double finishes.
+class FinishLedger : public engine::RunObserver {
+ public:
+  void on_arrival(const workload::Request& r) override { ++arrivals_[r.id]; }
+  void on_finish(workload::RequestId id, Seconds t) override {
+    (void)t;
+    ++finishes_[id];
+  }
+  const std::map<workload::RequestId, int>& arrivals() const { return arrivals_; }
+  const std::map<workload::RequestId, int>& finishes() const { return finishes_; }
+
+ private:
+  std::map<workload::RequestId, int> arrivals_;
+  std::map<workload::RequestId, int> finishes_;
+};
+
+control::ControlSpec dip_spec(Seconds horizon, int leave_count = 2) {
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::Churn::kDip, horizon, 5);
+  cs.churn.leave_count = leave_count;
+  cs.churn.leave_frac = 0.3;
+  cs.churn.rejoin_frac = 0.7;
+  cs.policy = "static";
+  cs.horizon = horizon + 30.0;
+  cs.min_devices = 4;
+  return cs;
+}
+
+TEST(Controller, MidRunGpuLeaveLosesNoFinishes) {
+  // Acceptance: a gpu_leave with requests in flight must not lose or
+  // double-count a single finish, on any engine.
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::TraceOptions topts;
+  topts.rate = 4.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto trace = workload::build_trace(topts);
+  ASSERT_GT(trace.size(), 10u);
+
+  for (const std::string name : {"hetis", "splitwise", "hexgen"}) {
+    SCOPED_TRACE(name);
+    auto eng = engine::make(name, cluster, model);
+    FinishLedger ledger;
+    control::Controller ctl(dip_spec(8.0), cluster);
+    engine::RunOptions run(900.0);
+    run.observer = &ledger;
+    run.on_start = ctl.starter();
+    engine::RunReport rep = engine::run_trace(*eng, trace, run);
+
+    EXPECT_EQ(rep.arrived, trace.size());
+    EXPECT_EQ(rep.finished, trace.size());
+    EXPECT_FALSE(rep.drain_timeout_hit);
+    // The churn actually forced re-deploys (leave + rejoin).
+    const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get());
+    ASSERT_NE(rc, nullptr);
+    EXPECT_GE(rc->reconfig_stats().reconfigurations, 2);
+    EXPECT_GE(ctl.stats().forced_reconfigs, 2);
+    // Ledger: every arrival finished exactly once, through the chained
+    // observer (the controller forwards downstream).
+    EXPECT_EQ(ledger.arrivals().size(), trace.size());
+    EXPECT_EQ(ledger.finishes().size(), trace.size());
+    for (const auto& [id, n] : ledger.finishes()) EXPECT_EQ(n, 1) << "request " << id;
+  }
+}
+
+TEST(Controller, HetisMigratesWhereBaselinesRestart) {
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::TraceOptions topts;
+  topts.rate = 4.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto trace = workload::build_trace(topts);
+
+  auto run_one = [&](const std::string& name) {
+    auto eng = engine::make(name, cluster, model);
+    control::Controller ctl(dip_spec(8.0), cluster);
+    engine::RunOptions run(900.0);
+    run.on_start = ctl.starter();
+    engine::run_trace(*eng, trace, run);
+    return dynamic_cast<const engine::Reconfigurable*>(eng.get())->reconfig_stats();
+  };
+
+  engine::ReconfigStats hetis = run_one("hetis");
+  EXPECT_GT(hetis.migrated_requests, 0);
+  EXPECT_GT(hetis.migrated_kv_bytes, 0);
+  EXPECT_EQ(hetis.restart_dead_time, 0.0);
+  engine::ReconfigStats splitwise = run_one("splitwise");
+  EXPECT_EQ(splitwise.migrated_requests, 0);
+  EXPECT_GT(splitwise.restart_dead_time, 0.0);
+  engine::ReconfigStats hexgen = run_one("hexgen");
+  EXPECT_EQ(hexgen.migrated_requests, 0);
+  EXPECT_GT(hexgen.restarted_requests, 0);
+}
+
+TEST(Controller, RejectsNonReconfigurableEnginesWhenChurnDemands) {
+  class FixedEngine : public engine::Engine {
+   public:
+    std::string name() const override { return "Fixed"; }
+    void submit(sim::Simulation&, const workload::Request& r) override {
+      metrics_.on_arrival(r);
+    }
+    Bytes usable_kv_capacity() const override { return 0; }
+  };
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  FixedEngine eng;
+  sim::Simulation sim;
+
+  control::ControlSpec churny = dip_spec(10.0);
+  control::Controller ctl(churny, cluster);
+  EXPECT_THROW(ctl.attach(sim, eng), std::invalid_argument);
+
+  // A pure observer attachment (no churn, static policy) is fine.
+  control::ControlSpec calm;
+  calm.policy = "static";
+  calm.horizon = 1.0;
+  control::Controller watcher(calm, cluster);
+  EXPECT_NO_THROW(watcher.attach(sim, eng));
+}
+
+TEST(Controller, ValidatesSpecBounds) {
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  control::ControlSpec cs;
+  cs.min_devices = 0;
+  EXPECT_THROW(control::Controller(cs, cluster), std::invalid_argument);
+  cs.min_devices = 2;
+  cs.initial_devices = 99;
+  EXPECT_THROW(control::Controller(cs, cluster), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Harness integration: determinism + per-cell observers
+// ---------------------------------------------------------------------------
+
+harness::ExperimentSpec controlled_spec() {
+  harness::ExperimentSpec spec;
+  spec.name = "controlled";
+  spec.engines = {"hetis", "splitwise", "hexgen"};
+  spec.models = {"Llama-13B"};
+  spec.horizon = 8.0;
+  spec.seed = 29;
+  spec.run = engine::RunOptions(900.0);
+  engine::SloSpec slo;
+  slo.ttft = 5.0;
+  slo.tpot = 0.15;
+  spec.run.slo = slo;
+  spec.add_scenario(
+      workload::scenario_preset(workload::Scenario::kBursty, 3.0, spec.horizon, spec.seed));
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::Churn::kDip, spec.horizon, spec.seed);
+  cs.policy = "threshold";
+  cs.min_devices = 4;
+  cs.slo = slo;
+  spec.set_control(cs);
+  return spec;
+}
+
+std::string controlled_csv(int jobs) {
+  harness::ExperimentSpec spec = controlled_spec();
+  spec.jobs = jobs;
+  std::ostringstream csv;
+  harness::write_csv(csv, harness::run_sweep(spec));
+  return csv.str();
+}
+
+TEST(ControlledSweep, SameSeedAndEventsAreByteIdenticalAcrossJobs) {
+  // Acceptance: same seed + event trace => byte-identical reports at jobs
+  // 1 / 2 / 8 (each cell owns a private controller).
+  const std::string serial = controlled_csv(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(controlled_csv(2), serial);
+  EXPECT_EQ(controlled_csv(8), serial);
+  // The control columns are populated.
+  EXPECT_NE(serial.find("dip,threshold,"), std::string::npos);
+}
+
+TEST(ControlledSweep, SetControlStampsSeedAndHorizon) {
+  harness::ExperimentSpec spec = controlled_spec();
+  ASSERT_TRUE(spec.control.has_value());
+  EXPECT_EQ(spec.control->churn.seed, spec.seed);
+  EXPECT_DOUBLE_EQ(spec.control->churn.horizon, spec.horizon);
+  EXPECT_GT(spec.control->horizon, spec.horizon);
+}
+
+TEST(ControlledSweep, SweepHeaderCarriesControlColumns) {
+  const std::string header = harness::sweep_csv_header();
+  EXPECT_NE(header.find(",control,policy,reconfigurations,"), std::string::npos);
+  harness::SweepRow blank;
+  const std::string row = harness::to_csv_row(blank);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')),
+            static_cast<std::size_t>(std::count(row.begin(), row.end(), ',')));
+}
+
+TEST(ObserverFactory, PerCellObserversLiftTheParallelRestriction) {
+  // Acceptance: a per-cell observer factory composes with jobs != 1 (the
+  // shared RunOptions::observer still throws there) and each observer sees
+  // exactly its own cell's lifecycle.
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen", "splitwise"};
+  spec.models = {"Llama-13B"};
+  spec.horizon = 4.0;
+  spec.seed = 23;
+  spec.run = engine::RunOptions(900.0);
+  spec.add_rates(workload::Dataset::kShareGPT, {2.0, 4.0});
+  spec.jobs = 4;
+
+  struct CountingObserver : engine::RunObserver {
+    explicit CountingObserver(std::atomic<std::size_t>* slot) : slot_(slot) {}
+    void on_finish(workload::RequestId, Seconds) override { ++*slot_; }
+    std::atomic<std::size_t>* slot_;
+  };
+  std::array<std::atomic<std::size_t>, 4> finishes{};
+  spec.observer_factory = [&](const harness::ExperimentSpec::CellContext& ctx)
+      -> std::unique_ptr<engine::RunObserver> {
+    EXPECT_LT(ctx.point, 2u);
+    EXPECT_EQ(ctx.model, "Llama-13B");
+    EXPECT_NE(ctx.workload, nullptr);
+    const std::size_t cell = ctx.point * 2 + (ctx.engine == "hexgen" ? 0 : 1);
+    return std::make_unique<CountingObserver>(&finishes[cell]);
+  };
+
+  auto rows = harness::run_sweep(spec);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t pi = 0; pi < 2; ++pi) {
+    for (std::size_t ei = 0; ei < 2; ++ei) {
+      EXPECT_EQ(finishes[pi * 2 + ei].load(), rows[pi * 2 + ei].report.finished)
+          << "cell (" << pi << ", " << ei << ")";
+    }
+  }
+
+  // The shared-observer restriction is still enforced under jobs != 1.
+  engine::RunObserver shared;
+  spec.observer_factory = nullptr;
+  spec.run.observer = &shared;
+  EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetis

@@ -299,6 +299,38 @@ TEST(ParallelSweep, CellExceptionsPropagateFromWorkers) {
   EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
 }
 
+TEST(Sweep, RecordedTracesReplayByteIdentically) {
+  // Record a scenario trace, replay it through add_trace_file, and the
+  // rows must match serving the generated trace directly.
+  workload::ScenarioSpec scen =
+      workload::scenario_preset(workload::Scenario::kBursty, 3.0, 5.0, 37);
+  auto trace = workload::generate_scenario(scen);
+  ASSERT_FALSE(trace.empty());
+  const std::string path = ::testing::TempDir() + "harness_replay_trace.csv";
+  workload::save_trace(path, trace);
+
+  harness::ExperimentSpec spec;
+  spec.engines = {"hexgen"};
+  spec.models = {"Llama-13B"};
+  spec.horizon = 5.0;
+  spec.run = engine::RunOptions(900.0);
+  spec.add_trace_file(path, /*rate=*/3.0);
+  auto rows = harness::run_sweep(spec);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].scenario, "trace");
+  EXPECT_EQ(rows[0].trace_requests, trace.size());
+
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  auto eng = engine::make("hexgen", cluster, model::model_by_name("Llama-13B"));
+  auto direct = engine::run_trace(*eng, trace, engine::RunOptions(900.0));
+  EXPECT_EQ(rows[0].report.to_csv_row(), direct.to_csv_row());
+
+  // A missing file fails loudly before any cell runs.
+  spec.workloads.clear();
+  spec.add_trace_file("/nonexistent/trace.csv");
+  EXPECT_THROW(harness::run_sweep(spec), std::runtime_error);
+}
+
 TEST(Sweep, UnknownClusterModelOrEngineFailLoudly) {
   harness::ExperimentSpec spec;
   spec.engines = {"hexgen"};

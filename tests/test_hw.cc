@@ -161,5 +161,37 @@ TEST(Cluster, ToStringMentionsHosts) {
   EXPECT_NE(s.find("P100"), std::string::npos);
 }
 
+TEST(Cluster, SubclusterPreservesStructureAndMapsIds) {
+  Cluster c = Cluster::paper_cluster();
+  // Drop the last two P100s (ids 10, 11) and one 3090 (id 5).
+  std::vector<int> keep{0, 1, 2, 3, 4, 6, 7, 8, 9};
+  std::vector<int> original;
+  Cluster sub = c.subcluster(keep, &original);
+  ASSERT_EQ(sub.num_devices(), 9);
+  ASSERT_EQ(original.size(), 9u);
+  for (int i = 0; i < sub.num_devices(); ++i) {
+    // Renumbered contiguously; type and host-mate relations preserved.
+    EXPECT_EQ(sub.device(i).id, i);
+    EXPECT_EQ(sub.device(i).type, c.device(original[static_cast<std::size_t>(i)]).type);
+  }
+  // Host structure: devices 4 (3090 host a) and 5 (= original 6, host b)
+  // must be on DIFFERENT hosts, exactly like their originals.
+  EXPECT_FALSE(sub.same_host(4, 5));
+  EXPECT_TRUE(sub.same_host(0, 3));
+  // Fabric parameters carry over.
+  EXPECT_EQ(sub.intra_host_link().bandwidth, c.intra_host_link().bandwidth);
+  // Hosts that lose every device are dropped.
+  Cluster a100_only = c.subcluster({0, 1, 2, 3});
+  EXPECT_EQ(a100_only.hosts().size(), 1u);
+}
+
+TEST(Cluster, SubclusterRejectsBadDeviceSets) {
+  Cluster c = Cluster::paper_cluster();
+  EXPECT_THROW(c.subcluster({}), std::invalid_argument);
+  EXPECT_THROW(c.subcluster({0, 0}), std::invalid_argument);
+  EXPECT_THROW(c.subcluster({0, 99}), std::invalid_argument);
+  EXPECT_THROW(c.subcluster({-1}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hetis::hw
