@@ -8,6 +8,7 @@
 // bench dumps the aligned sweep rows instead of the human table.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -122,7 +123,8 @@ inline harness::RowCallback progress_printer(std::size_t total) {
 
 /// The spec's cell count (for progress_printer totals).
 inline std::size_t cell_count(const harness::ExperimentSpec& spec) {
-  return spec.engines.size() * spec.models.size() * spec.workloads.size();
+  return spec.engines.size() * spec.models.size() * spec.workloads.size() *
+         std::max<std::size_t>(1, spec.objectives.size());
 }
 
 /// Report of `engine_name` within workload point `point` of a sweep whose

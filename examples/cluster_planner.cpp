@@ -5,15 +5,20 @@
 // ShareGPT trace through the registry front-end with the plan pinned via
 // EngineOptions.
 //
-//   build/examples/cluster_planner [model] [gpu=count ...]
+//   build/examples/cluster_planner [--objective NAME] [model] [gpu=count ...]
 //   e.g. build/examples/cluster_planner Llama-70B A100=4 3090=4 P100=4
 //        build/examples/cluster_planner OPT-30B  H100=2 V100=8 T4=8
+//        build/examples/cluster_planner --objective latency Llama-13B
 //
-// Without GPU arguments, plans the paper cluster.
+// Without GPU arguments, plans the paper cluster.  --objective selects the
+// search policy (throughput | latency | goodput_per_device, see
+// parallel/objective.h); the default reproduces the paper's cheapest-cost
+// search.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "engine/exec.h"
@@ -45,13 +50,35 @@ hetis::hw::GpuType gpu_by_name(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace hetis;
 
-  std::string model_name = argc > 1 ? argv[1] : "Llama-70B";
+  // Pull --objective out of argv; the remaining arguments stay positional.
+  std::string objective_name = "throughput";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--objective") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--objective expects a name (throughput | latency | "
+                             "goodput_per_device)\n");
+        return 1;
+      }
+      objective_name = argv[++i];
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+
+  // A leading gpu=count means the model name was omitted; catch it before
+  // model_by_name throws an uncaught out_of_range on "A100=4".
+  if (!args.empty() && args[0].find('=') != std::string::npos) {
+    std::fprintf(stderr, "usage: cluster_planner [--objective NAME] [model] [gpu=count ...]\n");
+    return 1;
+  }
+  std::string model_name = !args.empty() ? args[0] : "Llama-70B";
   const model::ModelSpec& model = model::model_by_name(model_name);
 
   hw::Cluster cluster;
-  if (argc > 2) {
-    for (int i = 2; i < argc; ++i) {
-      std::string arg = argv[i];
+  if (args.size() > 1) {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
       auto eq = arg.find('=');
       if (eq == std::string::npos) {
         std::fprintf(stderr, "expected gpu=count, got '%s'\n", arg.c_str());
@@ -81,11 +108,15 @@ int main(int argc, char** argv) {
   profile.mean_context = 512;
   profile.decode_weight = 256;
 
-  parallel::Parallelizer planner(cluster, model);
+  parallel::ParallelizerOptions popts;
+  popts.objective.name = objective_name;  // make_objective validates below
+  parallel::Parallelizer planner(cluster, model, popts);
   parallel::ParallelPlan plan = planner.plan(profile);
   const parallel::SearchDiagnostics& diag = planner.diagnostics();
+  const parallel::PlanEstimate estimate = planner.evaluator().evaluate(plan, profile);
 
-  std::printf("selected plan: %s\n\n", plan.to_string(cluster).c_str());
+  std::printf("objective: %s\n", diag.objective.c_str());
+  std::printf("selected plan: %s\n\n", plan.to_string(cluster, &diag).c_str());
   for (std::size_t i = 0; i < plan.instances.size(); ++i) {
     const auto& inst = plan.instances[i];
     std::printf("instance %zu:\n", i);
@@ -109,9 +140,13 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nsearch: %d configurations over %d grouping(s), %d device(s) pruned to the "
-              "Attention pool, %.1f ms wall time\n",
+              "Attention pool, best score %.6g, %.1f ms wall time\n",
               diag.configurations_evaluated, diag.instances_considered, diag.pruned_devices,
-              to_millis(diag.wall_time));
+              diag.best_cost, to_millis(diag.wall_time));
+  std::printf("estimate: TTFT %.3fs, TPOT %.4fs, %.2f req/s over %d device(s) "
+              "(%d instance(s), %.1f GB KV)\n",
+              estimate.ttft, estimate.tpot, estimate.throughput, estimate.device_count,
+              estimate.instances, to_gb(estimate.kv_capacity));
 
   // Validate the plan end to end: pin it into EngineOptions and serve a
   // short ShareGPT smoke trace through the registry front-end.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "parallel/objective.h"
 
 namespace hetis::control {
 
@@ -23,6 +24,10 @@ Controller::Controller(ControlSpec spec, const hw::Cluster& cluster)
   target_count_ = spec_.initial_devices == 0 ? total : spec_.initial_devices;
   target_count_ = clamp_target(target_count_);
   signals_.min_devices = spec_.min_devices;
+  if (!spec_.replan_objective.empty()) {
+    parallel::make_objective(spec_.replan_objective);  // typo -> throw at build
+                                                       // time, not mid-churn
+  }
 }
 
 std::function<void(sim::Simulation&, engine::Engine&)> Controller::starter() {
@@ -44,6 +49,14 @@ void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
     }
   }
 
+  // An SLO-attainment controller replans for latency, not raw throughput,
+  // unless the spec pins a different objective explicitly.
+  replan_objective_ = spec_.replan_objective;
+  if (replan_objective_.empty() && spec_.policy == "slo") replan_objective_ = "latency";
+  if (!replan_objective_.empty() && reconfigurable_) {
+    reconfigurable_->set_plan_objective({replan_objective_, spec_.slo});
+  }
+
   // Chain in front of whatever observer run_trace installed.
   downstream_ = engine.metrics().observer();
   engine.metrics().set_observer(this);
@@ -51,6 +64,7 @@ void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
   // The construction deployment was planned over the whole cluster, so the
   // assigned set starts as every device; pick_active() shrinks it below.
   active_.assign(available_.begin(), available_.end());
+  active_history_.emplace_back(sim.now(), static_cast<int>(active_.size()));
   stats_.peak_active = static_cast<int>(active_.size());
   stats_.min_active = static_cast<int>(active_.size());
 
@@ -99,6 +113,7 @@ bool Controller::apply_target(sim::Simulation& sim, bool forced) {
   }
   reconfigurable_->reconfigure(sim, want);
   active_ = std::move(want);
+  active_history_.emplace_back(sim.now(), static_cast<int>(active_.size()));
   (forced ? stats_.forced_reconfigs : stats_.elective_reconfigs) += 1;
   stats_.peak_active = std::max(stats_.peak_active, static_cast<int>(active_.size()));
   stats_.min_active = std::min(stats_.min_active, static_cast<int>(active_.size()));
@@ -179,6 +194,21 @@ void Controller::tick(sim::Simulation& sim) {
   if (sim.now() + spec_.tick <= spec_.horizon) {
     sim.schedule_in(spec_.tick, [this, &sim] { tick(sim); });
   }
+}
+
+double Controller::device_seconds(Seconds until) const {
+  // Before attach (empty history) the construction deployment spans the
+  // whole cluster for the whole window.
+  if (active_history_.empty()) return cluster_->num_devices() * std::max<Seconds>(0, until);
+  double total = 0;
+  for (std::size_t i = 0; i < active_history_.size(); ++i) {
+    const Seconds start = active_history_[i].first;
+    const Seconds end = std::min(
+        i + 1 < active_history_.size() ? active_history_[i + 1].first : until, until);
+    if (end <= start) continue;  // zero-width (same-instant re-deploys) or past `until`
+    total += (end - start) * active_history_[i].second;
+  }
+  return total;
 }
 
 void Controller::ewma(double& slot, double sample) {

@@ -61,6 +61,12 @@ struct ControlSpec {
   ThresholdPolicyConfig threshold;
   SloPolicyConfig slo_policy;
   double signal_alpha = 0.3;      // EWMA weight of the newest sample
+  /// Plan objective replanning engines use for every re-deploy this
+  /// controller triggers (parallel/objective.h; the spec's `slo` targets
+  /// ride along).  Empty keeps the engine's configured objective -- except
+  /// under the "slo" policy, which defaults to "latency": a controller
+  /// scaling FOR SLO attainment should not replan FOR raw throughput.
+  std::string replan_objective;
 };
 
 struct ControllerStats {
@@ -92,6 +98,14 @@ class Controller final : public engine::RunObserver {
   const ControllerStats& stats() const { return stats_; }
   const ControlSignals& signals() const { return signals_; }
   const std::string& policy_name() const { return policy_name_; }
+  /// The objective this controller instructs replanning engines to use
+  /// ("" when the engine keeps its own; see ControlSpec::replan_objective).
+  const std::string& replan_objective() const { return replan_objective_; }
+  /// Integral of the assigned device count over sim time [0, until] --
+  /// the device-seconds this deployment occupied, the denominator of the
+  /// harness's cost-efficiency columns.  `until` is typically the run's
+  /// makespan; segments are closed by each re-deploy.
+  double device_seconds(Seconds until) const;
   /// The generated churn script (for logging / tests).
   const std::vector<ClusterEvent>& events() const { return events_; }
 
@@ -122,9 +136,12 @@ class Controller final : public engine::RunObserver {
   engine::Engine* engine_ = nullptr;
   engine::Reconfigurable* reconfigurable_ = nullptr;
   engine::RunObserver* downstream_ = nullptr;
+  std::string replan_objective_;
 
   std::set<int> available_;     // device ids currently usable
   std::vector<int> active_;     // sorted; devices assigned to the engine
+  // (time, assigned-device count) step function behind device_seconds().
+  std::vector<std::pair<Seconds, int>> active_history_;
   int target_count_ = 0;
   Seconds last_elective_ = -1;  // cooldown reference
 

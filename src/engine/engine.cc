@@ -20,20 +20,19 @@ constexpr const char* kCsvColumns =
     "drain_timeout_hit,slo_set,slo_ttft,slo_tpot,ttft_attainment,tpot_attainment,"
     "slo_attainment,goodput";
 
-// %.17g round-trips every finite double exactly.
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
 std::size_t csv_column_count() {
   const std::string header = kCsvColumns;
   return static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) + 1;
 }
 
-// The engine display name lands in the row unquoted; neutralize the two
-// characters that would break row framing.
+}  // namespace
+
+std::string csv_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 std::string csv_field(std::string s) {
   for (char& c : s) {
     if (c == ',' || c == '\n') c = ' ';
@@ -41,7 +40,7 @@ std::string csv_field(std::string s) {
   return s;
 }
 
-std::vector<std::string> split_csv(const std::string& row) {
+std::vector<std::string> split_csv_row(const std::string& row) {
   std::vector<std::string> out;
   std::string cell;
   std::istringstream iss(row);
@@ -50,7 +49,17 @@ std::vector<std::string> split_csv(const std::string& row) {
   return out;
 }
 
-}  // namespace
+bool meets_ttft_slo(const RequestRecord& rec, const SloSpec& slo) {
+  return slo.ttft <= 0 || (rec.first_token >= 0 && rec.ttft() <= slo.ttft);
+}
+
+bool meets_tpot_slo(const RequestRecord& rec, const SloSpec& slo) {
+  return slo.tpot <= 0 || rec.output_len <= 1 || rec.tpot() <= slo.tpot;
+}
+
+bool meets_slo(const RequestRecord& rec, const SloSpec& slo) {
+  return meets_ttft_slo(rec, slo) && meets_tpot_slo(rec, slo);
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -86,17 +95,17 @@ std::string RunReport::csv_header() { return kCsvColumns; }
 std::string RunReport::to_csv_row() const {
   std::ostringstream oss;
   oss << csv_field(engine) << ',' << arrived << ',' << finished << ',' << measured << ','
-      << fmt(norm_latency_mean) << ',' << fmt(norm_latency_p95) << ',' << fmt(ttft_p95) << ','
-      << fmt(tpot_p95) << ',' << fmt(mlp_module_p95) << ',' << fmt(attn_module_p95) << ','
-      << fmt(throughput) << ',' << preemptions << ',' << usable_kv << ',' << fmt(makespan) << ','
-      << (drain_timeout_hit ? 1 : 0) << ',' << (slo_set ? 1 : 0) << ',' << fmt(slo_ttft) << ','
-      << fmt(slo_tpot) << ',' << fmt(ttft_attainment) << ',' << fmt(tpot_attainment) << ','
-      << fmt(slo_attainment) << ',' << fmt(goodput);
+      << csv_double(norm_latency_mean) << ',' << csv_double(norm_latency_p95) << ',' << csv_double(ttft_p95) << ','
+      << csv_double(tpot_p95) << ',' << csv_double(mlp_module_p95) << ',' << csv_double(attn_module_p95) << ','
+      << csv_double(throughput) << ',' << preemptions << ',' << usable_kv << ',' << csv_double(makespan) << ','
+      << (drain_timeout_hit ? 1 : 0) << ',' << (slo_set ? 1 : 0) << ',' << csv_double(slo_ttft) << ','
+      << csv_double(slo_tpot) << ',' << csv_double(ttft_attainment) << ',' << csv_double(tpot_attainment) << ','
+      << csv_double(slo_attainment) << ',' << csv_double(goodput);
   return oss.str();
 }
 
 RunReport RunReport::from_csv_row(const std::string& row) {
-  std::vector<std::string> cells = split_csv(row);
+  std::vector<std::string> cells = split_csv_row(row);
   // Accept extra trailing cells so today's reader still loads rows written
   // after columns are appended (the column order is append-only).
   if (cells.size() < csv_column_count()) {
@@ -135,17 +144,17 @@ std::string RunReport::to_json() const {
   std::ostringstream oss;
   oss << "{\"engine\":\"" << json_escape(engine) << "\",\"arrived\":" << arrived
       << ",\"finished\":" << finished << ",\"measured\":" << measured
-      << ",\"norm_latency_mean\":" << fmt(norm_latency_mean)
-      << ",\"norm_latency_p95\":" << fmt(norm_latency_p95) << ",\"ttft_p95\":" << fmt(ttft_p95)
-      << ",\"tpot_p95\":" << fmt(tpot_p95) << ",\"mlp_module_p95\":" << fmt(mlp_module_p95)
-      << ",\"attn_module_p95\":" << fmt(attn_module_p95) << ",\"throughput\":" << fmt(throughput)
+      << ",\"norm_latency_mean\":" << csv_double(norm_latency_mean)
+      << ",\"norm_latency_p95\":" << csv_double(norm_latency_p95) << ",\"ttft_p95\":" << csv_double(ttft_p95)
+      << ",\"tpot_p95\":" << csv_double(tpot_p95) << ",\"mlp_module_p95\":" << csv_double(mlp_module_p95)
+      << ",\"attn_module_p95\":" << csv_double(attn_module_p95) << ",\"throughput\":" << csv_double(throughput)
       << ",\"preemptions\":" << preemptions << ",\"usable_kv_bytes\":" << usable_kv
-      << ",\"makespan\":" << fmt(makespan)
+      << ",\"makespan\":" << csv_double(makespan)
       << ",\"drain_timeout_hit\":" << (drain_timeout_hit ? "true" : "false")
-      << ",\"slo_set\":" << (slo_set ? "true" : "false") << ",\"slo_ttft\":" << fmt(slo_ttft)
-      << ",\"slo_tpot\":" << fmt(slo_tpot) << ",\"ttft_attainment\":" << fmt(ttft_attainment)
-      << ",\"tpot_attainment\":" << fmt(tpot_attainment)
-      << ",\"slo_attainment\":" << fmt(slo_attainment) << ",\"goodput\":" << fmt(goodput) << "}";
+      << ",\"slo_set\":" << (slo_set ? "true" : "false") << ",\"slo_ttft\":" << csv_double(slo_ttft)
+      << ",\"slo_tpot\":" << csv_double(slo_tpot) << ",\"ttft_attainment\":" << csv_double(ttft_attainment)
+      << ",\"tpot_attainment\":" << csv_double(tpot_attainment)
+      << ",\"slo_attainment\":" << csv_double(slo_attainment) << ",\"goodput\":" << csv_double(goodput) << "}";
   return oss.str();
 }
 
@@ -210,9 +219,8 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
     norm.add(rec.norm_latency());
     if (rec.output_len > 1) tpot.add(rec.tpot());
     if (slo) {
-      const bool meets_ttft =
-          slo->ttft <= 0 || (rec.first_token >= 0 && rec.ttft() <= slo->ttft);
-      const bool meets_tpot = slo->tpot <= 0 || rec.output_len <= 1 || rec.tpot() <= slo->tpot;
+      const bool meets_ttft = meets_ttft_slo(rec, *slo);
+      const bool meets_tpot = meets_tpot_slo(rec, *slo);
       if (meets_ttft) ++ttft_ok;
       if (meets_tpot) ++tpot_ok;
       if (meets_ttft && meets_tpot) ++slo_ok;

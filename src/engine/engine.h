@@ -138,4 +138,27 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
 /// harness row writers.
 std::string json_escape(const std::string& s);
 
+// CSV helpers shared by RunReport and the harness sweep rows -- one
+// implementation so the two serializations can never drift apart.
+
+/// Formats a double as %.17g, which round-trips every finite value exactly.
+std::string csv_double(double v);
+/// Neutralizes the two characters that would break row framing (',' and
+/// '\n' become spaces; rows are written unquoted).
+std::string csv_field(std::string s);
+/// Splits one row on bare commas (fields were csv_field-sanitized at write
+/// time, so no quoting rules apply); a trailing comma yields an empty cell.
+std::vector<std::string> split_csv_row(const std::string& row);
+
+// run_trace's per-request SLO grading predicates, exported so every other
+// grader (harness cost columns, per-tenant summaries) shares the exact
+// conventions: targets <= 0 are vacuously met, TTFT needs a prefill
+// completion, single-token outputs meet TPOT trivially.
+
+bool meets_ttft_slo(const RequestRecord& rec, const SloSpec& slo);
+bool meets_tpot_slo(const RequestRecord& rec, const SloSpec& slo);
+/// Both targets at once -- the "SLO-attaining request" predicate behind
+/// slo_attainment, goodput and device_seconds_per_slo_request.
+bool meets_slo(const RequestRecord& rec, const SloSpec& slo);
+
 }  // namespace hetis::engine

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "parallel/objective.h"
 #include "sim/simulation.h"
 
 namespace hetis::engine {
@@ -54,6 +55,15 @@ class Reconfigurable {
   /// may be lost or double-finished.  Throws std::invalid_argument when the
   /// device set cannot host the model at all.
   virtual void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) = 0;
+
+  /// Selects the plan objective subsequent `reconfigure` calls (and any
+  /// other replanning) optimize for -- the control plane passes e.g. the
+  /// latency objective when its SLO-attainment policy replans under churn.
+  /// Engines without a planner (the checkpoint-restart baselines' fixed
+  /// layouts) ignore it, hence the default no-op.
+  virtual void set_plan_objective(const parallel::ObjectiveSpec& objective) {
+    (void)objective;
+  }
 
   virtual const ReconfigStats& reconfig_stats() const = 0;
 };

@@ -18,13 +18,36 @@ namespace hetis::harness {
 
 namespace {
 
-/// Caller-supplied strings (spec name, cluster, model) land in CSV rows
-/// unquoted; neutralize the two characters that would break row framing.
-std::string csv_field(std::string s) {
-  for (char& c : s) {
-    if (c == ',' || c == '\n') c = ' ';
+using engine::csv_double;
+using engine::csv_field;  // caller-supplied strings land in rows unquoted
+
+/// Finished post-warmup requests meeting BOTH SLO targets -- run_trace's
+/// own engine::meets_slo predicate, so the denominator of the
+/// device_seconds_per_slo_request cost column can never drift from the
+/// reported slo_attainment.
+std::size_t slo_attained_count(const engine::MetricsCollector& metrics,
+                               const engine::SloSpec& slo, Seconds warmup) {
+  std::size_t n = 0;
+  for (const auto& [id, rec] : metrics.records()) {
+    (void)id;
+    if (rec.arrival >= warmup && rec.finished() && engine::meets_slo(rec, slo)) ++n;
   }
-  return s;
+  return n;
+}
+
+/// Absolute sim time of the run's last observed request event -- the end
+/// of the device-occupancy window.  (RunReport::makespan is a DURATION
+/// from the first arrival and would mis-slice the controller's
+/// absolute-time re-deploy history.)
+Seconds run_end_time(const engine::MetricsCollector& metrics) {
+  Seconds end = 0;
+  for (const auto& [id, rec] : metrics.records()) {
+    (void)id;
+    end = std::max(end, rec.arrival);
+    if (rec.first_token >= 0) end = std::max(end, rec.first_token);
+    if (rec.finished()) end = std::max(end, rec.finish);
+  }
+  return end;
 }
 
 /// Builds the trace of one workload point; a pure function of (spec, point)
@@ -121,10 +144,7 @@ std::vector<TenantSummary> tenant_summaries(const engine::MetricsCollector& metr
     if (!any[ti] || rec.arrival < first[ti]) first[ti] = rec.arrival;
     if (!any[ti] || rec.finish > last[ti]) last[ti] = rec.finish;
     any[ti] = true;
-    const bool meets_ttft =
-        t.ttft_slo <= 0 || (rec.first_token >= 0 && rec.ttft() <= t.ttft_slo);
-    const bool meets_tpot = t.tpot_slo <= 0 || rec.output_len <= 1 || rec.tpot() <= t.tpot_slo;
-    if (meets_ttft && meets_tpot) ++slo_ok[ti];
+    if (engine::meets_slo(rec, engine::SloSpec{t.ttft_slo, t.tpot_slo})) ++slo_ok[ti];
   }
   for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
     out[ti].ttft_p95 = ttft[ti].p95();
@@ -166,21 +186,39 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     traces.push_back(build_point_trace(spec, point));
   }
 
+  // An empty objective list means "engine defaults", like the default
+  // single-"" list (kept non-empty so the cell indexing below holds).
+  const std::vector<std::string> objectives =
+      spec.objectives.empty() ? std::vector<std::string>{""} : spec.objectives;
+
   const std::size_t ne = spec.engines.size();
   const std::size_t np = spec.workloads.size();
-  const std::size_t ncells = spec.models.size() * np * ne;
+  const std::size_t no = objectives.size();
+  const std::size_t ncells = spec.models.size() * np * ne * no;
   std::vector<SweepRow> rows(ncells);
 
-  // Row order contract: models outer, points middle, engines inner.
+  // Row order contract: models outer, then points, engines, objectives
+  // innermost.
   auto run_cell = [&](std::size_t ci) {
-    const std::size_t mi = ci / (np * ne);
-    const std::size_t pi = (ci / ne) % np;
-    const std::size_t ei = ci % ne;
+    const std::size_t mi = ci / (np * ne * no);
+    const std::size_t pi = (ci / (ne * no)) % np;
+    const std::size_t ei = (ci / no) % ne;
+    const std::size_t oi = ci % no;
     const std::string& model_name = spec.models[mi];
     const model::ModelSpec& model = model::model_by_name(model_name);
     const WorkloadPoint& point = spec.workloads[pi];
     const std::string& engine_name = spec.engines[ei];
+    const std::string& objective_name = objectives[oi];
     engine::EngineOptions options = options_for(spec, engine_name);
+    if (!objective_name.empty() && engine::ascii_lower(engine_name) == "hetis") {
+      // Plan under the requested objective; the run's SLO targets become
+      // the objective's targets.  Replacing only the system config keeps
+      // tenant priorities and every other knob intact.
+      engine::HetisConfig cfg = options.get_or_default<engine::HetisConfig>(engine_name);
+      cfg.search.objective.name = objective_name;
+      if (spec.run.slo) cfg.search.objective.slo = *spec.run.slo;
+      options.system = std::move(cfg);
+    }
     if (options.tenant_priorities.empty()) {
       options.tenant_priorities = point_priorities(point);
     }
@@ -217,14 +255,32 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     if (point.scenario) {
       row.tenants = tenant_summaries(eng->metrics(), *point.scenario, spec.run.warmup);
     }
+    const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get());
     if (controller) {
       row.control = control::to_string(spec.control->churn.kind);
       row.policy = controller->policy_name();
-      if (const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get())) {
+      if (rc) {
         row.reconfigurations = rc->reconfig_stats().reconfigurations;
         row.migrated_requests = rc->reconfig_stats().migrated_requests;
         row.restarted_requests = rc->reconfig_stats().restarted_requests;
       }
+    }
+    // Cost-efficiency columns: device-seconds follow every controlled
+    // re-deploy; uncontrolled runs charge a constant device set.  Both
+    // integrate over [0, last request event] in ABSOLUTE sim time,
+    // matching the controller's re-deploy history.
+    row.objective = objective_name.empty() ? "default" : objective_name;
+    const Seconds end = run_end_time(eng->metrics());
+    if (controller) {
+      row.device_seconds = controller->device_seconds(end);
+    } else if (rc) {
+      row.device_seconds = static_cast<double>(rc->active_devices().size()) * end;
+    } else {
+      row.device_seconds = static_cast<double>(cluster.num_devices()) * end;
+    }
+    if (spec.run.slo) {
+      const std::size_t ok = slo_attained_count(eng->metrics(), *spec.run.slo, spec.run.warmup);
+      row.device_seconds_per_slo_request = ok ? row.device_seconds / ok : 0.0;
     }
     rows[ci] = std::move(row);
   };
@@ -255,10 +311,12 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
 
 std::string sweep_csv_header() {
   // Column order is append-only: the control block trails the RunReport
-  // columns so pre-control readers keep working.
+  // columns, the objective/cost block trails the control block, so older
+  // readers keep working.
   return "experiment,cluster,model,dataset,scenario,rate,trace_requests," +
          engine::RunReport::csv_header() +
-         ",control,policy,reconfigurations,migrated_requests,restarted_requests";
+         ",control,policy,reconfigurations,migrated_requests,restarted_requests"
+         ",objective,device_seconds,device_seconds_per_slo_request";
 }
 
 std::string to_csv_row(const SweepRow& row) {
@@ -268,8 +326,47 @@ std::string to_csv_row(const SweepRow& row) {
       << csv_field(row.scenario) << ',' << row.rate << ',' << row.trace_requests << ','
       << row.report.to_csv_row() << ',' << csv_field(row.control) << ','
       << csv_field(row.policy) << ',' << row.reconfigurations << ',' << row.migrated_requests
-      << ',' << row.restarted_requests;
+      << ',' << row.restarted_requests << ',' << csv_field(row.objective) << ','
+      << csv_double(row.device_seconds) << ',' << csv_double(row.device_seconds_per_slo_request);
   return oss.str();
+}
+
+SweepRow sweep_row_from_csv(const std::string& row) {
+  const std::vector<std::string> cells = engine::split_csv_row(row);
+  const std::string report_header = engine::RunReport::csv_header();
+  const std::size_t report_cols =
+      static_cast<std::size_t>(std::count(report_header.begin(), report_header.end(), ',')) + 1;
+  const std::size_t lead = 7, control_cols = 5, objective_cols = 3;
+  const std::size_t expected = lead + report_cols + control_cols + objective_cols;
+  if (cells.size() < expected) {
+    throw std::invalid_argument("sweep_row_from_csv: expected at least " +
+                                std::to_string(expected) + " cells, got " +
+                                std::to_string(cells.size()));
+  }
+  SweepRow out;
+  std::size_t i = 0;
+  out.experiment = cells[i++];
+  out.cluster = cells[i++];
+  out.model = cells[i++];
+  out.dataset = workload::dataset_by_name(cells[i++]);
+  out.scenario = cells[i++];
+  out.rate = std::stod(cells[i++]);
+  out.trace_requests = static_cast<std::size_t>(std::stoull(cells[i++]));
+  std::string report_row;
+  for (std::size_t k = 0; k < report_cols; ++k) {
+    if (k) report_row += ',';
+    report_row += cells[i++];
+  }
+  out.report = engine::RunReport::from_csv_row(report_row);
+  out.control = cells[i++];
+  out.policy = cells[i++];
+  out.reconfigurations = std::stoi(cells[i++]);
+  out.migrated_requests = std::stoi(cells[i++]);
+  out.restarted_requests = std::stoi(cells[i++]);
+  out.objective = cells[i++];
+  out.device_seconds = std::stod(cells[i++]);
+  out.device_seconds_per_slo_request = std::stod(cells[i++]);
+  return out;
 }
 
 void write_csv(std::ostream& os, const std::vector<SweepRow>& rows) {
@@ -306,7 +403,11 @@ void write_json(std::ostream& os, const std::vector<SweepRow>& rows) {
        << ",\"control\":\"" << engine::json_escape(row.control) << "\",\"policy\":\""
        << engine::json_escape(row.policy) << "\",\"reconfigurations\":" << row.reconfigurations
        << ",\"migrated_requests\":" << row.migrated_requests
-       << ",\"restarted_requests\":" << row.restarted_requests;
+       << ",\"restarted_requests\":" << row.restarted_requests << ",\"objective\":\""
+       << engine::json_escape(row.objective)
+       << "\",\"device_seconds\":" << csv_double(row.device_seconds)
+       << ",\"device_seconds_per_slo_request\":"
+       << csv_double(row.device_seconds_per_slo_request);
     if (!row.tenants.empty()) write_tenants_json(os, row.tenants);
     os << "}";
   }

@@ -79,6 +79,16 @@ struct ExperimentSpec {
   /// would interleave events of unrelated cells).
   int jobs = 1;
 
+  /// Plan objectives to sweep (innermost cell dimension; see
+  /// parallel/objective.h).  The default single "" entry keeps each
+  /// engine's configured objective -- and the historical cell count and
+  /// row bytes.  A named entry ("throughput" | "latency" |
+  /// "goodput_per_device") overrides HetisConfig::search.objective for
+  /// that cell (the spec's RunOptions SLO rides along as the objective's
+  /// targets); engines that do not plan through the Parallelizer serve
+  /// identically and merely record the objective column.
+  std::vector<std::string> objectives{""};
+
   /// Per-engine configuration, keyed by registry name (matched
   /// case-insensitively, like the registry itself); engines without an
   /// entry get defaults.
@@ -168,6 +178,18 @@ struct SweepRow {
   int reconfigurations = 0;
   int migrated_requests = 0;
   int restarted_requests = 0;
+  // Objective block (appended columns).  `objective` echoes the sweep's
+  // requested plan objective ("default" when the spec left the engine's
+  // own).  `device_seconds` integrates the assigned device count over the
+  // run's makespan (controlled runs follow every re-deploy; uncontrolled
+  // runs charge the engine's active device set, or the whole cluster for
+  // engines that do not report one).  `device_seconds_per_slo_request` is
+  // the cost-efficiency headline ROADMAP asked for -- device-seconds per
+  // SLO-attaining post-warmup request (0 when no SLO was set or nothing
+  // attained it).
+  std::string objective = "default";
+  double device_seconds = 0;
+  double device_seconds_per_slo_request = 0;
 };
 
 /// Called after each cell completes -- live progress for long sweeps.
@@ -186,6 +208,14 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
 /// Aligned serialization, sharing RunReport's stable column order.
 std::string sweep_csv_header();
 std::string to_csv_row(const SweepRow& row);
+/// Inverse of to_csv_row for every scalar column (the per-tenant breakdown
+/// only exists in the JSON form).  Doubles written via %.17g -- the whole
+/// RunReport block and the objective/cost columns -- round-trip exactly;
+/// `rate` keeps its historical short form (an input echo, typically a
+/// round number), so a pathological rate like 1.23456789 re-serializes at
+/// 6 significant digits.  Throws std::invalid_argument on a malformed row.
+/// Used by the round-trip tests and by scripts re-loading sweep CSVs.
+SweepRow sweep_row_from_csv(const std::string& row);
 void write_csv(std::ostream& os, const std::vector<SweepRow>& rows);
 void write_json(std::ostream& os, const std::vector<SweepRow>& rows);
 

@@ -8,12 +8,21 @@ namespace hetis::harness {
 hw::Cluster cluster_by_name(const std::string& name) {
   if (name == "paper") return hw::Cluster::paper_cluster();
   if (name == "ablation") return hw::Cluster::ablation_cluster();
+  if (name == "budget") {
+    // Mid/low-end mix without a flagship tier: heterogeneity the planner
+    // must price, not just prune (every V100 lost to pruning is a quarter
+    // of the compute).
+    hw::Cluster c;
+    c.add_host("host-v100", hw::GpuType::kV100_32G, 4);
+    c.add_host("host-t4", hw::GpuType::kT4, 4);
+    return c;
+  }
   std::ostringstream oss;
   oss << "cluster_by_name: unknown cluster preset '" << name << "'; known presets:";
   for (const auto& known : cluster_preset_names()) oss << " '" << known << "'";
   throw std::invalid_argument(oss.str());
 }
 
-std::vector<std::string> cluster_preset_names() { return {"ablation", "paper"}; }
+std::vector<std::string> cluster_preset_names() { return {"ablation", "budget", "paper"}; }
 
 }  // namespace hetis::harness

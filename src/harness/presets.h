@@ -12,6 +12,8 @@ namespace hetis::harness {
 /// Builds a cluster preset by name.  Known presets:
 ///   "paper"    -- the paper's testbed (4xA100 + 4x3090 + 4xP100, §7.1)
 ///   "ablation" -- one A100 + two 3090s (Fig. 14 / Fig. 15a ablations)
+///   "budget"   -- no-flagship tier: 4xV100-32G + 4xT4 across two hosts,
+///                 the mid/low-end mix the objective benches price plans on
 /// Throws std::invalid_argument listing the known names otherwise.
 hw::Cluster cluster_by_name(const std::string& name);
 

@@ -44,6 +44,7 @@ HetisEngine::HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& mod
   } else {
     parallel::Parallelizer parallelizer(cluster, model, opts_.search);
     plan_ = parallelizer.plan(opts_.workload);
+    search_diag_ = parallelizer.diagnostics();
   }
   costmodel::ProfilerOptions popts;
   popts.seed = opts_.profile_seed;
@@ -75,6 +76,12 @@ void HetisEngine::build_instances(const hw::Cluster& cluster, const model::Model
                                                          hauler_, opts_, id++));
     instances_.back()->set_tenant_priorities(tenant_priorities_);
   }
+}
+
+void HetisEngine::set_plan_objective(const parallel::ObjectiveSpec& objective) {
+  parallel::make_objective(objective);  // validate eagerly: a typo must fail
+                                        // here, not mid-churn on a replan
+  opts_.search.objective = objective;
 }
 
 void HetisEngine::set_tenant_priorities(std::vector<int> priorities) {
@@ -150,6 +157,7 @@ void HetisEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devi
   hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
   parallel::Parallelizer parallelizer(sub, exec_.model_spec(), opts_.search);
   parallel::ParallelPlan plan = parallelizer.plan(opts_.workload);
+  search_diag_ = parallelizer.diagnostics();
   parallel::remap_device_ids(plan, original_ids);
   plan_ = std::move(plan);
   build_instances(exec_.cluster(), exec_.model_spec());

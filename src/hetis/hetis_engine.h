@@ -57,9 +57,19 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   // new deployment cannot host them).
   std::vector<int> active_devices() const override;
   void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
+  /// Subsequent replans (and only replans -- the running deployment is not
+  /// torn down) search under this objective; the control plane's
+  /// SLO-attainment policy passes the latency objective here.
+  void set_plan_objective(const parallel::ObjectiveSpec& objective) override;
   const engine::ReconfigStats& reconfig_stats() const override { return stats_; }
 
   const parallel::ParallelPlan& plan() const { return plan_; }
+  /// The objective the next plan search would use (construction value until
+  /// set_plan_objective overrides it).
+  const parallel::ObjectiveSpec& plan_objective() const { return opts_.search.objective; }
+  /// Diagnostics of the most recent Parallelizer search; default-constructed
+  /// when the engine serves on an externally pinned plan.
+  const parallel::SearchDiagnostics& search_diagnostics() const { return search_diag_; }
   const costmodel::ProfileResult& profile() const { return profile_; }
   Bytes migrated_bytes() const { return hauler_.total_bytes(); }
   std::int64_t migrations() const { return hauler_.total_migrations(); }
@@ -74,6 +84,7 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   HetisOptions opts_;
   engine::ExecModel exec_;
   parallel::ParallelPlan plan_;
+  parallel::SearchDiagnostics search_diag_;
   costmodel::ProfileResult profile_;
   hauler::Hauler hauler_;
   std::vector<int> tenant_priorities_;

@@ -1,0 +1,64 @@
+// PlanEvaluator: candidate costing for the Parallelizer search, extracted
+// into its own layer so every consumer of a plan -- the search itself, the
+// elastic control plane, the harness and the benches -- prices candidates
+// through one costmodel-backed code path.
+//
+// An evaluator owns (or borrows) an engine::ExecModel and turns an
+// InstanceConfig plus a WorkloadProfile into a PlanEstimate: prefill
+// iteration latency (TTFT), decode iteration latency (TPOT), a coarse
+// steady-state throughput estimate, the KV capacity and the device count.
+// PlanObjectives score these estimates; the Parallelizer keeps the
+// candidate with the minimum score.
+#pragma once
+
+#include <optional>
+
+#include "engine/exec.h"
+#include "parallel/objective.h"
+#include "parallel/plan.h"
+
+namespace hetis::parallel {
+
+struct WorkloadProfile;  // parallel/parallelizer.h
+
+class PlanEvaluator {
+ public:
+  /// Builds a private ExecModel over `cluster` + `model` (both must outlive
+  /// the evaluator).
+  PlanEvaluator(const hw::Cluster& cluster, const model::ModelSpec& model);
+  /// Borrows an existing ExecModel (must outlive the evaluator); the
+  /// Parallelizer shares its own model this way.
+  explicit PlanEvaluator(const engine::ExecModel& exec);
+
+  /// Estimate for ONE instance serving `profile` (callers pass the
+  /// per-instance workload share; see Parallelizer::plan).  instances == 1.
+  PlanEstimate evaluate(const InstanceConfig& cfg, const WorkloadProfile& profile) const;
+
+  /// Plan-level estimate: each instance serves a 1/d share of `profile`;
+  /// latencies are the worst instance's, throughput and KV capacity sum.
+  PlanEstimate evaluate(const ParallelPlan& plan, const WorkloadProfile& profile) const;
+
+  /// Aggregate KV-cache bytes an instance can host (primary stages net of
+  /// their parameter shards, plus the attention-worker pool).
+  Bytes kv_capacity(const InstanceConfig& cfg) const;
+
+  /// True when every primary-stage device can hold its parameter shard
+  /// with KV room to spare (per-device budget > 0).  Depth-exploring
+  /// objectives use this to discard aggressively-pruned candidates that
+  /// score well on latency arithmetic but could never load the model --
+  /// e.g. all 80 Llama-70B layers on one A100.
+  bool hosts_model(const InstanceConfig& cfg) const;
+
+  const engine::ExecModel& exec() const { return *exec_; }
+
+ private:
+  std::optional<engine::ExecModel> owned_;  // engaged under the owning ctor
+  const engine::ExecModel* exec_;
+};
+
+/// Scales a single-instance estimate to a d-wide data-parallel plan:
+/// latencies carry over (instances are symmetric), throughput / KV capacity
+/// / device count multiply.  Shared by the search and the benches.
+PlanEstimate replicate_estimate(PlanEstimate instance_estimate, int instances);
+
+}  // namespace hetis::parallel

@@ -1,0 +1,83 @@
+#include "parallel/objective.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetis::parallel {
+
+namespace {
+
+/// The paper's posture: minimize the iteration cost (one prefill plus
+/// decode_weight decode iterations).  Keeps the legacy search path --
+/// explores_depth() is false -- so default plans stay byte-identical.
+class ThroughputObjective final : public PlanObjective {
+ public:
+  std::string name() const override { return "throughput"; }
+  double score(const PlanEstimate& e) const override { return e.iteration_cost(); }
+  bool explores_depth() const override { return false; }
+};
+
+/// Minimizes estimated TTFT.  With SLO targets set, candidates overshooting
+/// a target are penalized multiplicatively by the overshoot ratio, so a
+/// marginally-faster-TTFT plan cannot win while blowing the TPOT budget.
+/// Without targets the score IS the TTFT, which guarantees the selected
+/// plan's estimated TTFT never exceeds any other candidate's -- including
+/// the throughput objective's choice, which the search always keeps in the
+/// candidate set.
+class LatencyObjective final : public PlanObjective {
+ public:
+  explicit LatencyObjective(engine::SloSpec slo) : slo_(slo) {}
+  std::string name() const override { return "latency"; }
+  double score(const PlanEstimate& e) const override {
+    double s = e.ttft;
+    if (slo_.ttft > 0 && e.ttft > slo_.ttft) s *= e.ttft / slo_.ttft;
+    if (slo_.tpot > 0 && e.tpot > slo_.tpot) s *= e.tpot / slo_.tpot;
+    return s;
+  }
+
+ private:
+  engine::SloSpec slo_;
+};
+
+/// Cost efficiency: maximizes estimated goodput per occupied device
+/// (requests per device-second).  Goodput discounts raw throughput by the
+/// SLO-overshoot ratios, mirroring how run_trace only credits SLO-attaining
+/// requests.  Returned negated so lower-is-better holds.
+class GoodputPerDeviceObjective final : public PlanObjective {
+ public:
+  explicit GoodputPerDeviceObjective(engine::SloSpec slo) : slo_(slo) {}
+  std::string name() const override { return "goodput_per_device"; }
+  double score(const PlanEstimate& e) const override {
+    double goodput = e.throughput;
+    if (slo_.ttft > 0 && e.ttft > slo_.ttft) goodput *= slo_.ttft / e.ttft;
+    if (slo_.tpot > 0 && e.tpot > slo_.tpot) goodput *= slo_.tpot / e.tpot;
+    return -goodput / std::max(1, e.device_count);
+  }
+
+ private:
+  engine::SloSpec slo_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlanObjective> make_objective(const std::string& name,
+                                              const engine::SloSpec& slo) {
+  if (name == "throughput") return std::make_unique<ThroughputObjective>();
+  if (name == "latency") return std::make_unique<LatencyObjective>(slo);
+  if (name == "goodput_per_device") return std::make_unique<GoodputPerDeviceObjective>(slo);
+  std::ostringstream oss;
+  oss << "make_objective: unknown plan objective '" << name << "'; known objectives:";
+  for (const auto& known : objective_names()) oss << " '" << known << "'";
+  throw std::out_of_range(oss.str());
+}
+
+std::unique_ptr<PlanObjective> make_objective(const ObjectiveSpec& spec) {
+  return make_objective(spec.name, spec.slo);
+}
+
+std::vector<std::string> objective_names() {
+  return {"goodput_per_device", "latency", "throughput"};
+}
+
+}  // namespace hetis::parallel

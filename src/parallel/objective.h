@@ -1,0 +1,98 @@
+// Pluggable plan objectives for the Parallelizer search (paper §4.1,
+// generalized).
+//
+// The paper's search minimizes a single iteration-cost scalar -- a pure
+// throughput posture.  Related systems (Helix's per-request-latency
+// max-flow formulation, Tangram's objective-aware costing of candidate
+// parallelizations) make the serving objective a first-class axis of the
+// placement search instead.  This header does the same for our planner:
+//
+//   * PlanEstimate  -- what the PlanEvaluator predicts for one candidate
+//     configuration: TTFT, TPOT, aggregate throughput, KV capacity and the
+//     number of devices the plan occupies.
+//   * PlanObjective -- maps a PlanEstimate to a scalar score (LOWER is
+//     better, like the legacy cost).  Implementations are pure functions of
+//     the estimate, so the same objective drives construction-time planning,
+//     elastic replanning and the harness sweeps deterministically.
+//   * make_objective("throughput" | "latency" | "goodput_per_device") --
+//     the named built-ins:
+//       throughput          the paper's iteration cost (TTFT + w * TPOT);
+//                           reproduces the legacy plans byte-identically.
+//       latency             minimizes estimated TTFT; SloSpec-aware --
+//                           candidates that blow a TTFT/TPOT target are
+//                           penalized proportionally to the overshoot.
+//       goodput_per_device  cost efficiency: maximizes estimated
+//                           SLO-discounted goodput per occupied device
+//                           (requests per device-second), so plans shed
+//                           hardware whose marginal contribution does not
+//                           pay for itself.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/engine.h"
+
+namespace hetis::parallel {
+
+/// What the PlanEvaluator predicts for one candidate configuration under a
+/// WorkloadProfile.  Instance-level estimates describe one data-parallel
+/// instance serving its 1/d workload share; plan-level estimates aggregate
+/// across the d instances (worst-case latencies, summed throughput/KV).
+struct PlanEstimate {
+  Seconds ttft = 0;        // prefill iteration latency (time-to-first-token)
+  Seconds tpot = 0;        // decode iteration latency (time-per-output-token)
+  double throughput = 0;   // estimated steady-state finished requests / s
+  Bytes kv_capacity = 0;   // aggregate KV-cache bytes the plan can host
+  int device_count = 0;    // devices the plan occupies (primaries + workers)
+  int instances = 1;       // data-parallel width
+  double decode_weight = 0;  // echoed WorkloadProfile::decode_weight
+
+  /// The legacy search scalar (paper §4.1): one prefill plus decode_weight
+  /// decode iterations.  The throughput objective scores exactly this, which
+  /// is what keeps default plans byte-identical to the pre-objective search.
+  double iteration_cost() const { return ttft + decode_weight * tpot; }
+};
+
+/// Value-semantic objective selection: a factory name plus the SLO targets
+/// the SLO-aware objectives grade estimates against.  Carried by
+/// ParallelizerOptions (and therefore HetisConfig / EngineOptions), passed
+/// by the control plane through engine::Reconfigurable::set_plan_objective.
+struct ObjectiveSpec {
+  std::string name = "throughput";
+  engine::SloSpec slo;  // targets <= 0 disable that term (run_trace rules)
+};
+
+/// A plan objective: scores candidate estimates, LOWER is better.  Scores
+/// only need to be comparable within one search, so objectives are free to
+/// return negative values (goodput_per_device does).
+class PlanObjective {
+ public:
+  virtual ~PlanObjective() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The candidate's score; the search keeps the minimum.
+  virtual double score(const PlanEstimate& e) const = 0;
+
+  /// True when the search should explore beyond the paper's Delta-pruned
+  /// frontier: enumerate every pruning depth and also consider dropping
+  /// pruned devices entirely instead of keeping them as Attention workers.
+  /// The throughput objective returns false, which pins the legacy search
+  /// path (and its byte-identical plans).
+  virtual bool explores_depth() const { return true; }
+};
+
+/// Constructs a built-in objective by name ("throughput" | "latency" |
+/// "goodput_per_device").  Throws std::out_of_range listing the known names
+/// otherwise (mirrors control::make_policy).
+std::unique_ptr<PlanObjective> make_objective(const std::string& name,
+                                              const engine::SloSpec& slo = {});
+std::unique_ptr<PlanObjective> make_objective(const ObjectiveSpec& spec);
+
+/// Names accepted by make_objective, sorted.
+std::vector<std::string> objective_names();
+
+}  // namespace hetis::parallel

@@ -1,6 +1,7 @@
 #include "parallel/parallelizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -15,7 +16,8 @@
 
 namespace hetis::parallel {
 
-std::string ParallelPlan::to_string(const hw::Cluster& cluster) const {
+std::string ParallelPlan::to_string(const hw::Cluster& cluster,
+                                    const SearchDiagnostics* diag) const {
   std::ostringstream oss;
   oss << "ParallelPlan{" << instances.size() << " instance(s)";
   for (std::size_t i = 0; i < instances.size(); ++i) {
@@ -36,13 +38,23 @@ std::string ParallelPlan::to_string(const hw::Cluster& cluster) const {
       oss << "]";
     }
   }
+  if (diag) {
+    oss << "; search{objective=" << diag->objective << ", evaluated="
+        << diag->configurations_evaluated << ", groupings=" << diag->instances_considered
+        << ", pruned=" << diag->pruned_devices << ", best_score=" << diag->best_cost
+        << ", wall=" << diag->wall_time << "s}";
+  }
   oss << "}";
   return oss.str();
 }
 
 Parallelizer::Parallelizer(const hw::Cluster& cluster, const model::ModelSpec& model,
                            ParallelizerOptions opts)
-    : cluster_(&cluster), model_(&model), opts_(opts), exec_(cluster, model) {}
+    : cluster_(&cluster),
+      model_(&model),
+      opts_(std::move(opts)),
+      exec_(cluster, model),
+      evaluator_(exec_) {}
 
 double Parallelizer::per_layer_cost_perfect(hw::GpuType type, int count,
                                             const WorkloadProfile& profile) const {
@@ -124,39 +136,13 @@ std::vector<int> Parallelizer::balance_layers(const std::vector<double>& per_lay
   return layers;
 }
 
-Bytes Parallelizer::instance_kv_capacity(const InstanceConfig& cfg) const {
-  Bytes total = 0;
-  for (std::size_t k = 0; k < cfg.stages.size(); ++k) {
-    const auto& s = cfg.stages[k];
-    Bytes params =
-        engine::stage_param_bytes_per_device(*model_, s, k == 0, k + 1 == cfg.stages.size());
-    for (int dev : s.devices) {
-      total += engine::kv_budget(cluster_->device(dev).spec(), params);
-    }
-  }
-  for (int dev : cfg.attention_workers) {
-    total += engine::kv_budget(cluster_->device(dev).spec(), 0);
-  }
-  return total;
-}
-
-double Parallelizer::instance_cost(const InstanceConfig& cfg,
-                                   const WorkloadProfile& profile) const {
-  // Full cost model C = C_comp + C_comm (HexGen-style), via ExecModel.
-  std::vector<std::int64_t> prompt_lens(
-      std::max<std::int64_t>(1, profile.prefill_tokens / std::max<std::int64_t>(1, profile.mean_context)),
-      profile.mean_context);
-  engine::IterationTime prefill = exec_.iteration_time(cfg, prompt_lens, /*prefill=*/true);
-  std::vector<std::int64_t> ctxs(static_cast<std::size_t>(profile.decode_batch),
-                                 profile.mean_context);
-  engine::IterationTime decode = exec_.iteration_time(cfg, ctxs, /*prefill=*/false);
-  return prefill.latency() + profile.decode_weight * decode.latency();
-}
-
 InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& shares,
                                                   const std::vector<int>& pruned,
-                                                  const WorkloadProfile& profile,
-                                                  double* cost_out) const {
+                                                  bool drop_pruned, bool require_hosts_model,
+                                                  const WorkloadProfile& profile, int d,
+                                                  const PlanObjective& objective,
+                                                  double* score_out,
+                                                  PlanEstimate* estimate_out) const {
   // Remaining (non-pruned) devices per type keep pipeline-stage roles.
   std::vector<std::pair<hw::GpuType, std::vector<int>>> stage_groups;
   for (const auto& share : shares) {
@@ -167,7 +153,8 @@ InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& 
     if (!devs.empty()) stage_groups.emplace_back(share.type, std::move(devs));
   }
   if (stage_groups.empty()) {
-    *cost_out = std::numeric_limits<double>::infinity();
+    *score_out = std::numeric_limits<double>::infinity();
+    *estimate_out = PlanEstimate{};
     return {};
   }
 
@@ -180,8 +167,9 @@ InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& 
 
   // Intra-stage TP x PP enumeration: each unified stage of n devices with L
   // layers may run as pp sub-stages of tp-way TP (tp * pp == n).
-  double best_cost = std::numeric_limits<double>::infinity();
+  double best_score = std::numeric_limits<double>::infinity();
   InstanceConfig best;
+  PlanEstimate best_estimate;
 
   // Enumerate the cross product of per-stage (tp, pp) choices.  Stage
   // counts are small (<= 8 devices), so the product is tiny; evaluate
@@ -214,11 +202,15 @@ InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& 
         cfg.stages.push_back(std::move(stage));
       }
     }
-    cfg.attention_workers = pruned;
-    double cost = instance_cost(cfg, profile);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = cfg;
+    if (!drop_pruned) cfg.attention_workers = pruned;
+    if (!require_hosts_model || evaluator_.hosts_model(cfg)) {
+      PlanEstimate estimate = replicate_estimate(evaluator_.evaluate(cfg, profile), d);
+      double score = objective.score(estimate);
+      if (score < best_score) {
+        best_score = score;
+        best = cfg;
+        best_estimate = estimate;
+      }
     }
     // Advance the mixed-radix counter.
     std::size_t k = 0;
@@ -229,13 +221,20 @@ InstanceConfig Parallelizer::best_instance_config(const std::vector<TypeShare>& 
     }
     if (k == choice.size()) break;
   }
-  *cost_out = best_cost;
+  *score_out = best_score;
+  *estimate_out = best_estimate;
   return best;
 }
 
 ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
+  std::unique_ptr<PlanObjective> objective = make_objective(opts_.objective);
+  return plan(profile, *objective);
+}
+
+ParallelPlan Parallelizer::plan(const WorkloadProfile& profile, const PlanObjective& objective) {
   auto t0 = std::chrono::steady_clock::now();
   diag_ = SearchDiagnostics{};
+  diag_.objective = objective.name();
 
   // Group devices by type, ordered high-end -> low-end.
   std::vector<hw::GpuType> types = cluster_->types_by_power_desc();
@@ -260,7 +259,8 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
 
   struct Candidate {
     ParallelPlan plan;
-    double cost = std::numeric_limits<double>::infinity();
+    double score = std::numeric_limits<double>::infinity();
+    PlanEstimate estimate;
     int pruned = 0;
   };
   std::vector<Candidate> results(candidates_d.size());
@@ -289,7 +289,10 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
     if (shares.empty()) return;
 
     // --- Pruning (lowest-end first, Delta criterion) ---
-    std::vector<int> pruned;
+    // The Delta walk defines the paper's pruning frontier; it is the ONLY
+    // candidate under the throughput objective (legacy behavior, byte
+    // identical) and one of the candidates under depth-exploring ones.
+    std::vector<int> delta_pruned;
     auto counts_of = [&](const std::vector<int>& pr) {
       std::vector<std::pair<hw::GpuType, int>> counts;
       for (const auto& s : shares) {
@@ -302,11 +305,11 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
       return counts;
     };
     if (opts_.enable_pruning) {
-      double current = perfect_scaling_cost(counts_of(pruned), share);
+      double current = perfect_scaling_cost(counts_of(delta_pruned), share);
       // low-end -> high-end: iterate shares in reverse power order.
       for (auto it = shares.rbegin(); it != shares.rend(); ++it) {
         for (int id : it->device_ids) {
-          std::vector<int> attempt = pruned;
+          std::vector<int> attempt = delta_pruned;
           attempt.push_back(id);
           auto counts = counts_of(attempt);
           int remaining = 0;
@@ -315,7 +318,7 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
           double without = perfect_scaling_cost(counts, share);
           ++evaluated;
           if (without / current <= 1.0 + opts_.delta) {
-            pruned = std::move(attempt);
+            delta_pruned = std::move(attempt);
             current = without;
           } else {
             break;  // removing more of this (or higher) type only hurts
@@ -324,20 +327,54 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
       }
     }
 
-    // --- Intra-stage TP/PP search ---
-    double cost = 0.0;
-    InstanceConfig inst = best_instance_config(shares, pruned, share, &cost);
-    ++evaluated;
-    if (!std::isfinite(cost)) return;
+    // --- Intra-stage TP/PP search over the candidate prunings ---
+    Candidate best;
+    auto consider = [&](const std::vector<int>& pruned, bool drop_pruned,
+                        bool require_hosts_model) {
+      double score = std::numeric_limits<double>::infinity();
+      PlanEstimate estimate;
+      InstanceConfig inst =
+          best_instance_config(shares, pruned, drop_pruned, require_hosts_model, share, d,
+                               objective, &score, &estimate);
+      ++evaluated;
+      if (!std::isfinite(score)) return;
+      // KV feasibility filter: the d instances together must host the
+      // workload's decode set.
+      if (estimate.kv_capacity < profile.min_kv_bytes) return;
+      if (score >= best.score) return;
+      best.score = score;
+      best.estimate = estimate;
+      best.pruned = static_cast<int>(pruned.size());
+      best.plan.instances.assign(1, std::move(inst));
+    };
 
-    // --- KV feasibility filter ---
-    Bytes kv = instance_kv_capacity(inst);
-    if (kv * d < profile.min_kv_bytes) return;
+    // The Delta candidate keeps the legacy semantics (no parameter-fit
+    // filter) so the default objective's plans stay byte-identical.
+    consider(delta_pruned, /*drop_pruned=*/false, /*require_hosts_model=*/false);
+    if (objective.explores_depth() && opts_.enable_pruning) {
+      // Enumerate every pruning depth along the same low-end -> high-end
+      // removal order, each in two placements: removed GPUs serve as
+      // Attention workers (the paper's role) or leave the deployment
+      // entirely (smaller device footprint -- what a cost-efficiency
+      // objective wants credit for).
+      std::vector<int> order;
+      for (auto it = shares.rbegin(); it != shares.rend(); ++it) {
+        order.insert(order.end(), it->device_ids.begin(), it->device_ids.end());
+      }
+      for (std::size_t depth = 0; depth < order.size(); ++depth) {  // >= 1 primary stays
+        const std::vector<int> pruned(order.begin(),
+                                      order.begin() + static_cast<std::ptrdiff_t>(depth));
+        if (pruned != delta_pruned) {
+          consider(pruned, /*drop_pruned=*/false, /*require_hosts_model=*/true);
+        }
+        if (!pruned.empty()) consider(pruned, /*drop_pruned=*/true, /*require_hosts_model=*/true);
+      }
+    }
+    if (best.plan.instances.empty()) return;
 
     // Replicate across the d instances with each instance's own devices.
-    Candidate cand;
-    cand.cost = cost;
-    cand.pruned = static_cast<int>(pruned.size());
+    const InstanceConfig inst = best.plan.instances.front();
+    best.plan.instances.clear();
     for (int rep = 0; rep < d; ++rep) {
       InstanceConfig copy = inst;
       // Map instance-0 device ids onto replica `rep` (per-type offset).
@@ -357,20 +394,27 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
         auto pos = std::find(all.begin(), all.end(), dev) - all.begin();
         dev = all[static_cast<std::size_t>(pos + rep * per)];
       }
-      cand.plan.instances.push_back(std::move(copy));
+      best.plan.instances.push_back(std::move(copy));
     }
-    results[di] = std::move(cand);
+    results[di] = std::move(best);
   });
 
-  // Pick the cheapest candidate (cost is per-instance latency; instances
-  // serve disjoint request shares, so compare per-instance cost directly;
-  // ties prefer more instances = more aggregate throughput).
+  // Pick the best-scoring candidate (scores compare per-instance estimates
+  // scaled to the full d-wide plan; candidates within 0.1% of the best keep
+  // the earlier -- narrower -- grouping).  The 0.1% band must shrink the
+  // threshold toward better-than-best for either sign: positive scores keep
+  // the legacy `* 0.999` expression bit-for-bit, negative (maximizing)
+  // scores need `* 1.001` or the band would ACCEPT slightly-worse ones.
   std::size_t best = results.size();
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (results[i].plan.instances.empty()) continue;
-    if (best == results.size() || results[i].cost < results[best].cost * 0.999) {
+    if (best == results.size()) {
       best = i;
+      continue;
     }
+    const double incumbent = results[best].score;
+    const double threshold = incumbent >= 0 ? incumbent * 0.999 : incumbent * 1.001;
+    if (results[i].score < threshold) best = i;
   }
   diag_.configurations_evaluated = evaluated.load();
   diag_.instances_considered = static_cast<int>(candidates_d.size());
@@ -381,10 +425,8 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile) {
         "Parallelizer: no feasible configuration (KV capacity below min_kv_bytes?)");
   }
   diag_.pruned_devices = results[best].pruned;
-  diag_.best_cost = results[best].cost;
-  HETIS_INFO("Parallelizer: " << results[best].plan.to_string(*cluster_) << ", cost="
-                              << results[best].cost << ", searched in " << diag_.wall_time
-                              << "s");
+  diag_.best_cost = results[best].score;
+  HETIS_INFO("Parallelizer: " << results[best].plan.to_string(*cluster_, &diag_));
   return results[best].plan;
 }
 

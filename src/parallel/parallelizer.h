@@ -13,7 +13,17 @@
 //   4. Intra-stage TP x PP enumeration (evaluated in parallel on the
 //      thread pool) with the full C_comm + C_comp cost model.
 //   5. Configurations whose KV capacity cannot host the workload's decode
-//      set are filtered out; the cheapest surviving configuration wins.
+//      set are filtered out; the best-scoring surviving configuration wins.
+//
+// Candidates are priced by the PlanEvaluator (parallel/evaluator.h) and
+// ranked by a pluggable PlanObjective (parallel/objective.h).  The default
+// "throughput" objective scores the paper's iteration cost and follows the
+// Delta-pruning frontier exactly, reproducing the legacy plans byte for
+// byte.  Objectives that explore depth ("latency", "goodput_per_device")
+// additionally enumerate every pruning depth -- and, per depth, both
+// keeping the removed GPUs as Attention workers and dropping them from the
+// deployment entirely -- so a latency-optimal search can land on e.g. the
+// 4xA100-only plan that beats the full 12-device pipeline on TTFT.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,8 @@
 #include "engine/exec.h"
 #include "hw/topology.h"
 #include "model/llm.h"
+#include "parallel/evaluator.h"
+#include "parallel/objective.h"
 #include "parallel/plan.h"
 
 namespace hetis::parallel {
@@ -42,13 +54,18 @@ struct ParallelizerOptions {
   bool enable_pruning = true;   // ablation switch
   bool allow_dp = true;         // consider multi-instance groupings
   std::size_t search_threads = 0;  // 0 = hardware concurrency
+  /// What the search optimizes (parallel/objective.h).  The default
+  /// "throughput" spec keeps the legacy cheapest-cost plans byte-identical.
+  ObjectiveSpec objective;
 };
 
 struct SearchDiagnostics {
+  std::string objective = "throughput";  // objective the search ranked by
   int configurations_evaluated = 0;
   int instances_considered = 0;
   int pruned_devices = 0;
-  double best_cost = 0;
+  double best_cost = 0;  // best objective score (negative for maximizing
+                         // objectives like goodput_per_device)
   Seconds wall_time = 0;
 };
 
@@ -57,10 +74,14 @@ class Parallelizer {
   Parallelizer(const hw::Cluster& cluster, const model::ModelSpec& model,
                ParallelizerOptions opts = {});
 
-  /// Runs the full hierarchical search.
+  /// Runs the full hierarchical search under the options' objective.
   ParallelPlan plan(const WorkloadProfile& profile);
+  /// Same search ranked by a caller-supplied objective (pluggable policies
+  /// beyond the make_objective built-ins).
+  ParallelPlan plan(const WorkloadProfile& profile, const PlanObjective& objective);
 
   const SearchDiagnostics& diagnostics() const { return diag_; }
+  const PlanEvaluator& evaluator() const { return evaluator_; }
 
   /// C_p: max per-stage cost under perfect scaling for a per-type device
   /// allocation (counts per GpuType) -- the pruning-phase cost (§4.1).
@@ -76,13 +97,18 @@ class Parallelizer {
   /// Layer counts proportional to stage speed (balanced partition).
   std::vector<int> balance_layers(const std::vector<double>& per_layer_cost) const;
 
-  /// Builds and costs the best intra-stage TP/PP layout for one instance.
+  /// Builds the best intra-stage TP/PP layout for one instance under
+  /// `objective` (scored on the d-wide estimate); writes the winning score
+  /// and plan-level estimate through the out parameters.  With
+  /// `require_hosts_model`, layouts whose devices cannot hold their
+  /// parameter shard are discarded (the depth-explored candidate space
+  /// contains such configs; the legacy Delta frontier keeps its historical
+  /// semantics).
   InstanceConfig best_instance_config(const std::vector<TypeShare>& shares,
-                                      const std::vector<int>& pruned,
-                                      const WorkloadProfile& profile, double* cost_out) const;
-
-  double instance_cost(const InstanceConfig& cfg, const WorkloadProfile& profile) const;
-  Bytes instance_kv_capacity(const InstanceConfig& cfg) const;
+                                      const std::vector<int>& pruned, bool drop_pruned,
+                                      bool require_hosts_model, const WorkloadProfile& profile,
+                                      int d, const PlanObjective& objective, double* score_out,
+                                      PlanEstimate* estimate_out) const;
 
   /// Per-layer dense+attention cost of one token batch on `count` devices
   /// of `type` under perfect scaling.
@@ -93,6 +119,7 @@ class Parallelizer {
   const model::ModelSpec* model_;
   ParallelizerOptions opts_;
   engine::ExecModel exec_;
+  PlanEvaluator evaluator_;
   SearchDiagnostics diag_;
 };
 

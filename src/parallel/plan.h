@@ -2,12 +2,16 @@
 // the serving engines.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "hw/topology.h"
 
 namespace hetis::parallel {
+
+struct SearchDiagnostics;  // parallel/parallelizer.h
 
 /// One pipeline stage: a tensor-parallel group of same-type devices owning
 /// a contiguous slab of layers.
@@ -45,21 +49,46 @@ struct InstanceConfig {
 struct ParallelPlan {
   std::vector<InstanceConfig> instances;
 
-  std::string to_string(const hw::Cluster& cluster) const;
+  /// Human-readable layout summary.  With `diag` the search diagnostics
+  /// (objective, configurations evaluated, pruned devices, best score, wall
+  /// time) are appended -- pass Parallelizer::diagnostics() right after a
+  /// search to record how the plan was found.
+  std::string to_string(const hw::Cluster& cluster,
+                        const SearchDiagnostics* diag = nullptr) const;
 };
+
+namespace detail {
+
+/// Bounds-checked lookup for remap_device_ids: a plan computed on one
+/// subcluster but remapped through another's id table is a control-plane
+/// bug, so the error must say which id overflowed which mapping instead of
+/// surfacing a bare std::out_of_range from vector::at.
+inline int remapped_device_id(int dev, const std::vector<int>& original_ids) {
+  if (dev < 0 || static_cast<std::size_t>(dev) >= original_ids.size()) {
+    throw std::out_of_range(
+        "parallel::remap_device_ids: plan references device id " + std::to_string(dev) +
+        " but the subcluster mapping only covers ids [0, " +
+        std::to_string(original_ids.size()) +
+        ") -- was the plan computed on a different subcluster?");
+  }
+  return original_ids[static_cast<std::size_t>(dev)];
+}
+
+}  // namespace detail
 
 /// Rewrites every device id of a plan computed on a sub-cluster back onto
 /// the parent cluster through `original_ids` (the new-id -> parent-id
 /// mapping produced by hw::Cluster::subcluster).  The elastic control
 /// plane replans over the surviving device set and then deploys the result
-/// on the unchanged parent cluster's ids.
+/// on the unchanged parent cluster's ids.  Ids outside the mapping throw
+/// std::out_of_range with the offending id and mapping size spelled out.
 inline void remap_device_ids(StageConfig& stage, const std::vector<int>& original_ids) {
-  for (int& dev : stage.devices) dev = original_ids.at(static_cast<std::size_t>(dev));
+  for (int& dev : stage.devices) dev = detail::remapped_device_id(dev, original_ids);
 }
 
 inline void remap_device_ids(InstanceConfig& cfg, const std::vector<int>& original_ids) {
   for (StageConfig& s : cfg.stages) remap_device_ids(s, original_ids);
-  for (int& dev : cfg.attention_workers) dev = original_ids.at(static_cast<std::size_t>(dev));
+  for (int& dev : cfg.attention_workers) dev = detail::remapped_device_id(dev, original_ids);
 }
 
 inline void remap_device_ids(ParallelPlan& plan, const std::vector<int>& original_ids) {

@@ -190,6 +190,86 @@ TEST(Parallelizer, DpDisabledSingleInstance) {
   EXPECT_EQ(plan.instances.size(), 1u);
 }
 
+TEST(Parallelizer, PruningAblationEquivalence) {
+  // enable_pruning=false and Delta=0 must land on the SAME plan: Delta=0
+  // rejects every removal, so both searches see the identical (unpruned)
+  // candidate set.  Guards the ablation switch against drifting from a
+  // "no device ever pruned" search.
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  ParallelizerOptions no_pruning;
+  no_pruning.enable_pruning = false;
+  ParallelizerOptions delta_zero;
+  delta_zero.delta = 0.0;
+  for (const auto* m : {&model::llama_13b(), &model::llama_70b()}) {
+    Parallelizer a(cluster, *m, no_pruning);
+    Parallelizer b(cluster, *m, delta_zero);
+    ParallelPlan pa = a.plan(default_profile());
+    ParallelPlan pb = b.plan(default_profile());
+    ASSERT_EQ(pa.instances.size(), pb.instances.size()) << m->name;
+    for (std::size_t i = 0; i < pa.instances.size(); ++i) {
+      EXPECT_EQ(pa.instances[i].attention_workers, pb.instances[i].attention_workers);
+      ASSERT_EQ(pa.instances[i].stages.size(), pb.instances[i].stages.size()) << m->name;
+      for (std::size_t k = 0; k < pa.instances[i].stages.size(); ++k) {
+        EXPECT_EQ(pa.instances[i].stages[k].devices, pb.instances[i].stages[k].devices);
+        EXPECT_EQ(pa.instances[i].stages[k].layers, pb.instances[i].stages[k].layers);
+      }
+    }
+    EXPECT_EQ(a.diagnostics().pruned_devices, 0) << m->name;
+    EXPECT_EQ(b.diagnostics().pruned_devices, 0) << m->name;
+  }
+}
+
+TEST(RemapDeviceIds, RemapsThroughMapping) {
+  StageConfig stage;
+  stage.devices = {0, 2};
+  remap_device_ids(stage, {7, 5, 3});
+  EXPECT_EQ(stage.devices, (std::vector<int>{7, 3}));
+
+  InstanceConfig cfg;
+  cfg.stages.push_back(StageConfig{{1}, 4, 0});
+  cfg.attention_workers = {0};
+  remap_device_ids(cfg, {9, 8});
+  EXPECT_EQ(cfg.stages[0].devices, (std::vector<int>{8}));
+  EXPECT_EQ(cfg.attention_workers, (std::vector<int>{9}));
+}
+
+TEST(RemapDeviceIds, OutOfRangeThrowsWithContext) {
+  StageConfig stage;
+  stage.devices = {3};
+  try {
+    remap_device_ids(stage, {10, 11});  // id 3 outside [0, 2)
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("remap_device_ids"), std::string::npos);
+    EXPECT_NE(msg.find("3"), std::string::npos) << "offending id spelled out";
+    EXPECT_NE(msg.find("[0, 2)"), std::string::npos) << "mapping range spelled out";
+  }
+
+  // Negative ids (a corrupted plan) are rejected the same way, not used to
+  // index the mapping.
+  InstanceConfig cfg;
+  cfg.attention_workers = {-1};
+  EXPECT_THROW(remap_device_ids(cfg, {0, 1}), std::out_of_range);
+
+  // A whole-plan remap through an empty mapping names the empty range.
+  ParallelPlan plan;
+  plan.instances.push_back(cfg);
+  EXPECT_THROW(remap_device_ids(plan, {}), std::out_of_range);
+}
+
+TEST(RemapDeviceIds, FailedRemapLeavesEarlierStagesRewritten) {
+  // Documented sharp edge: remapping is in-place, so a throw mid-plan can
+  // leave a partially rewritten config.  Callers treat the plan as dead on
+  // failure (the control plane replans from scratch); this test pins the
+  // exception, not torn-state recovery.
+  InstanceConfig cfg;
+  cfg.stages.push_back(StageConfig{{0}, 4, 0});
+  cfg.stages.push_back(StageConfig{{5}, 4, 0});
+  EXPECT_THROW(remap_device_ids(cfg, {2}), std::out_of_range);
+  EXPECT_EQ(cfg.stages[0].devices.front(), 2) << "first stage already rewritten";
+}
+
 TEST(Parallelizer, PlanToStringReadable) {
   hw::Cluster cluster = hw::Cluster::paper_cluster();
   Parallelizer par(cluster, model::llama_70b());

@@ -119,7 +119,11 @@ TEST(Registry, FixedPlanViaOptionsSkipsTheSearch) {
 
 TEST(Registry, ClusterPresetUnknownNameThrows) {
   EXPECT_THROW(harness::cluster_by_name("nonexistent"), std::invalid_argument);
-  EXPECT_EQ(harness::cluster_preset_names().size(), 2u);
+  EXPECT_EQ(harness::cluster_preset_names().size(), 3u);
+  // Every advertised preset must actually build.
+  for (const std::string& name : harness::cluster_preset_names()) {
+    EXPECT_GT(harness::cluster_by_name(name).num_devices(), 0) << name;
+  }
 }
 
 }  // namespace
