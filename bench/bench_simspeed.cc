@@ -1,0 +1,270 @@
+// Simulator hot-path speed: simulated-requests-per-wall-second on
+// million-request traces.
+//
+// The paper's evaluation replays ~200-request traces; the ROADMAP's north
+// star is datacenter-scale serving, which means the simulator itself must
+// sustain 10^6+-request traces.  This bench is the scoreboard for that hot
+// path: it replays a deterministic poisson and bursty trace (same seed =>
+// same trace, byte for byte) through all three registered engines and
+// reports wall-clock speed, committed as BENCH_simspeed.json so speedups
+// (or regressions) are tracked PR-over-PR like the other benches.
+//
+// Flags:
+//   --csv           dump rows to stdout instead of the table
+//   --csv-header    print the CSV header and exit (CI diffs this)
+//   --requests N    trace length per scenario (default 1000000)
+//   --rate R        arrival rate in req/s (default 2; the horizon is sized
+//                   as requests/rate so the cluster stays unsaturated)
+//   --out PATH      JSON artifact path (default BENCH_simspeed.json;
+//                   "-" disables)
+//   --check PATH    threshold guard: compare this run against a committed
+//                   BENCH_simspeed.json and exit 2 if any (engine,
+//                   scenario) row regresses more than --tolerance in
+//                   requests-per-wall-second
+//   --tolerance F   allowed relative regression for --check (default 0.2)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace hetis;
+
+struct SpeedRow {
+  std::string engine;
+  std::string scenario;
+  std::size_t requests = 0;
+  std::size_t finished = 0;
+  std::size_t events = 0;     // simulation events executed
+  double sim_span = 0;        // simulated seconds covered by the run
+  double wall_seconds = 0;
+  double requests_per_wall_second = 0;
+  double events_per_wall_second = 0;
+};
+
+constexpr const char* kCsvHeader =
+    "engine,scenario,requests,finished,events,sim_span,wall_seconds,"
+    "requests_per_wall_second,events_per_wall_second";
+
+std::string row_csv(const SpeedRow& r) {
+  std::ostringstream oss;
+  oss << engine::csv_field(r.engine) << ',' << engine::csv_field(r.scenario) << ','
+      << r.requests << ',' << r.finished << ',' << r.events << ','
+      << engine::csv_double(r.sim_span) << ',' << engine::csv_double(r.wall_seconds) << ','
+      << engine::csv_double(r.requests_per_wall_second) << ','
+      << engine::csv_double(r.events_per_wall_second);
+  return oss.str();
+}
+
+std::string row_json(const SpeedRow& r) {
+  std::ostringstream oss;
+  oss << "{\"engine\":\"" << engine::json_escape(r.engine) << "\",\"scenario\":\""
+      << engine::json_escape(r.scenario) << "\",\"requests\":" << r.requests
+      << ",\"finished\":" << r.finished << ",\"events\":" << r.events
+      << ",\"sim_span\":" << engine::csv_double(r.sim_span)
+      << ",\"wall_seconds\":" << engine::csv_double(r.wall_seconds)
+      << ",\"requests_per_wall_second\":" << engine::csv_double(r.requests_per_wall_second)
+      << ",\"events_per_wall_second\":" << engine::csv_double(r.events_per_wall_second) << "}";
+  return oss.str();
+}
+
+/// Replays `trace` through a freshly built engine, mirroring
+/// engine::run_trace's scheduling exactly (arrivals pushed up front in
+/// trace order, run_until(last_arrival + drain)) but timing the event loop
+/// and counting executed events.
+SpeedRow timed_run(const std::string& engine_name, const std::string& scenario,
+                   const hw::Cluster& cluster, const model::ModelSpec& model,
+                   const engine::EngineOptions& opts,
+                   const std::vector<workload::Request>& trace, Seconds drain) {
+  auto eng = engine::make(engine_name, cluster, model, opts);
+  sim::Simulation sim;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  eng->start(sim);
+  for (const auto& r : trace) {
+    sim.schedule_at(r.arrival, [&eng, &sim, &r] { eng->submit(sim, r); });
+  }
+  const Seconds last_arrival = trace.empty() ? 0.0 : trace.back().arrival;
+  const std::size_t events = sim.run_until(last_arrival + drain);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  SpeedRow row;
+  row.engine = eng->name();
+  row.scenario = scenario;
+  row.requests = trace.size();
+  row.finished = eng->metrics().finished();
+  row.events = events;
+  row.sim_span = sim.now();
+  row.wall_seconds = wall;
+  row.requests_per_wall_second = static_cast<double>(trace.size()) / std::max(1e-9, wall);
+  row.events_per_wall_second = static_cast<double>(events) / std::max(1e-9, wall);
+  return row;
+}
+
+/// Minimal scanner for the rows of a BENCH_simspeed.json written by this
+/// bench: extracts (engine, scenario, requests_per_wall_second) triples.
+struct RefRow {
+  std::string engine;
+  std::string scenario;
+  double rps = 0;
+};
+
+std::vector<RefRow> load_reference(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ERROR: --check cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::vector<RefRow> rows;
+  auto grab = [&text](std::size_t from, const std::string& key) -> std::string {
+    const std::string needle = "\"" + key + "\":";
+    std::size_t k = text.find(needle, from);
+    if (k == std::string::npos) return "";
+    k += needle.size();
+    bool quoted = k < text.size() && text[k] == '"';
+    if (quoted) ++k;
+    std::size_t end = text.find_first_of(quoted ? "\"" : ",}", k);
+    if (end == std::string::npos) return "";
+    return text.substr(k, end - k);
+  };
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"engine\":", pos)) != std::string::npos) {
+    RefRow r;
+    r.engine = grab(pos, "engine");
+    r.scenario = grab(pos, "scenario");
+    const std::string rps = grab(pos, "requests_per_wall_second");
+    r.rps = rps.empty() ? 0.0 : std::atof(rps.c_str());
+    if (!r.engine.empty() && !r.scenario.empty() && r.rps > 0) rows.push_back(r);
+    ++pos;
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetis;
+  if (bench::flag_requested(argc, argv, "--csv-header")) {
+    std::printf("%s\n", kCsvHeader);
+    return 0;
+  }
+  const std::size_t requests = static_cast<std::size_t>(
+      std::atoll(bench::arg_value(argc, argv, "--requests", "1000000").c_str()));
+  const double rate = std::atof(bench::arg_value(argc, argv, "--rate", "2").c_str());
+  const std::string out_path = bench::arg_value(argc, argv, "--out", "BENCH_simspeed.json");
+  const std::string check_path = bench::arg_value(argc, argv, "--check", "");
+  const double tolerance =
+      std::atof(bench::arg_value(argc, argv, "--tolerance", "0.2").c_str());
+  const bool csv = bench::csv_requested(argc, argv);
+  if (requests == 0 || rate <= 0) {
+    std::fprintf(stderr, "--requests and --rate must be positive\n");
+    return 2;
+  }
+
+  const hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec model = model::model_by_name("Llama-13B");
+  engine::EngineOptions hetis_opts{bench::hetis_options()};
+  const engine::EngineOptions default_opts;
+
+  // The horizon is sized so the poisson generator lands slightly above the
+  // target count; the trace is then truncated to exactly `requests` so every
+  // row (and every future PR) replays the identical workload.
+  const Seconds horizon = (static_cast<double>(requests) + 6.0 * std::sqrt(static_cast<double>(requests))) / rate;
+  std::vector<std::pair<std::string, std::vector<workload::Request>>> traces;
+  for (const char* name : {"poisson", "bursty"}) {
+    workload::ScenarioSpec spec =
+        workload::scenario_preset(workload::scenario_by_name(name), rate, horizon, bench::kSeed);
+    std::vector<workload::Request> trace = workload::generate_scenario(spec);
+    if (trace.size() > requests) trace.resize(requests);
+    traces.emplace_back(name, std::move(trace));
+  }
+
+  std::vector<SpeedRow> rows;
+  for (const auto& [scenario, trace] : traces) {
+    for (const std::string& engine_name : {std::string("splitwise"), std::string("hexgen"),
+                                           std::string("hetis")}) {
+      const engine::EngineOptions& opts =
+          engine_name == "hetis" ? hetis_opts : default_opts;
+      rows.push_back(timed_run(engine_name, scenario, cluster, model, opts, trace,
+                               /*drain=*/600.0));
+      if (!csv) {
+        const SpeedRow& r = rows.back();
+        std::fprintf(stderr, "[%zu/6] %s/%s: %.0f req/s-wall (%.2fs wall, %zu events)\n",
+                     rows.size(), r.engine.c_str(), r.scenario.c_str(),
+                     r.requests_per_wall_second, r.wall_seconds, r.events);
+      }
+    }
+  }
+
+  if (out_path != "-") {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"simspeed\",\"model\":\"Llama-13B\",\"cluster\":\"paper\""
+        << ",\"seed\":" << bench::kSeed << ",\"rate\":" << rate
+        << ",\"requests\":" << requests << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i) out << ",";
+      out << row_json(rows[i]);
+    }
+    out << "]}\n";
+  }
+
+  if (csv) {
+    std::printf("%s\n", kCsvHeader);
+    for (const auto& r : rows) std::printf("%s\n", row_csv(r).c_str());
+  } else {
+    std::printf("=== Simulator speed: %zu-request traces, Llama-13B, paper cluster ===\n",
+                requests);
+    std::printf("%-10s %-8s %10s %10s %12s %10s %14s\n", "engine", "scenario", "requests",
+                "finished", "events", "wall(s)", "req/s-wall");
+    for (const auto& r : rows) {
+      std::printf("%-10s %-8s %10zu %10zu %12zu %10.2f %14.0f\n", r.engine.c_str(),
+                  r.scenario.c_str(), r.requests, r.finished, r.events, r.wall_seconds,
+                  r.requests_per_wall_second);
+    }
+    if (out_path != "-") std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // Threshold guard: a PR that makes the simulator >tolerance slower on any
+  // row fails CI (the committed JSON is the trajectory's baseline).
+  if (!check_path.empty()) {
+    const std::vector<RefRow> ref = load_reference(check_path);
+    if (ref.empty()) {
+      std::fprintf(stderr, "ERROR: --check found no rows in %s\n", check_path.c_str());
+      return 2;
+    }
+    int failures = 0;
+    for (const RefRow& r : ref) {
+      for (const SpeedRow& cur : rows) {
+        if (cur.engine != r.engine || cur.scenario != r.scenario) continue;
+        const double floor = r.rps * (1.0 - tolerance);
+        if (cur.requests_per_wall_second < floor) {
+          std::fprintf(stderr,
+                       "FAIL: %s/%s regressed: %.0f req/s-wall < %.0f (baseline %.0f, "
+                       "tolerance %.0f%%)\n",
+                       r.engine.c_str(), r.scenario.c_str(), cur.requests_per_wall_second,
+                       floor, r.rps, tolerance * 100.0);
+          ++failures;
+        }
+      }
+    }
+    if (failures > 0) return 2;
+    std::fprintf(stderr, "simspeed threshold guard passed (%zu reference rows, tolerance "
+                 "%.0f%%)\n", ref.size(), tolerance * 100.0);
+  }
+  return 0;
+}

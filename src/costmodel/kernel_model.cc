@@ -69,7 +69,21 @@ Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::
 Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
                                            const std::vector<std::int64_t>& ctxs,
                                            int heads) const {
-  return decode_attention_time(gpu, m, ctxs, std::vector<int>(ctxs.size(), heads));
+  // Same accumulation as the parallel-arrays overload with every head count
+  // equal -- identical floating-point order -- minus the temporary heads
+  // vector, which this engine-side path would otherwise allocate once per
+  // stage per decode iteration.
+  if (heads <= 0) return 0.0;
+  model::Work total;
+  total.kernels = 0;
+  double head_sum = 0;
+  for (std::int64_t ctx : ctxs) {
+    total += model::decode_attention_work(m, ctx, heads);
+    head_sum += heads;
+  }
+  if (head_sum == 0) return 0.0;
+  total.kernels = 1;
+  return attention_time(gpu, total, head_sum);
 }
 
 Seconds KernelModel::prefill_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,

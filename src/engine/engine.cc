@@ -168,10 +168,14 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
     ~ObserverGuard() { metrics.set_observer(nullptr); }
   } guard{engine.metrics()};
   engine.metrics().set_observer(opts.observer);
+  engine.metrics().reserve(trace.size());
   engine.start(sim);
   if (opts.on_start) opts.on_start(sim, engine);
   for (const auto& r : trace) {
-    sim.schedule_at(r.arrival, [&engine, &sim, r] { engine.submit(sim, r); });
+    // Captures the request by reference -- the caller-owned trace outlives
+    // the run, and the small capture keeps the event in EventTask's inline
+    // buffer (no allocation for the million pre-scheduled arrivals).
+    sim.schedule_at(r.arrival, [&engine, &sim, &r] { engine.submit(sim, r); });
   }
   Seconds last_arrival = trace.empty() ? 0.0 : trace.back().arrival;
   sim.run_until(last_arrival + opts.drain_timeout);
@@ -201,7 +205,7 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
   // same population as the attainment fractions.
   Seconds first = 0, last = 0, mfirst = 0, mlast = 0;
   bool any = false, many = false;
-  for (const auto& [id, rec] : m.records()) {
+  for (const RequestRecord& rec : m.records()) {
     const bool in_window = rec.arrival >= opts.warmup;
     if (in_window) ++slo_denom;
     // TTFT is defined for any prefilled request, finished or not (it keeps

@@ -75,6 +75,13 @@ IterationTime ExecModel::iteration_time(const parallel::InstanceConfig& inst,
                                         const std::vector<std::int64_t>& lens,
                                         bool prefill) const {
   IterationTime out;
+  iteration_time(inst, lens, prefill, out);
+  return out;
+}
+
+void ExecModel::iteration_time(const parallel::InstanceConfig& inst,
+                               const std::vector<std::int64_t>& lens, bool prefill,
+                               IterationTime& out) const {
   std::int64_t tokens = 0;
   if (prefill) {
     for (std::int64_t l : lens) tokens += l;
@@ -88,11 +95,11 @@ IterationTime ExecModel::iteration_time(const parallel::InstanceConfig& inst,
     st.dense = stage_dense_time(stage, tokens);
     st.attention = prefill ? stage_attention_prefill(stage, lens, model_->heads)
                            : stage_attention_decode(stage, lens, model_->heads);
-    if (k + 1 < inst.stages.size()) {
-      st.comm_out = interstage_comm(stage, inst.stages[k + 1], tokens);
-    }
+    // Assigned unconditionally: a reused `out` carries the previous call's
+    // value in the last stage's slot otherwise.
+    st.comm_out =
+        k + 1 < inst.stages.size() ? interstage_comm(stage, inst.stages[k + 1], tokens) : 0.0;
   }
-  return out;
 }
 
 Bytes kv_budget(const hw::GpuSpec& gpu, Bytes param_bytes_on_device) {

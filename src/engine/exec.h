@@ -63,6 +63,12 @@ class ExecModel {
   IterationTime iteration_time(const parallel::InstanceConfig& inst,
                                const std::vector<std::int64_t>& lens, bool prefill) const;
 
+  /// Allocation-free variant for the per-iteration hot path: fills `out`
+  /// in place, reusing its stages capacity across calls.
+  void iteration_time(const parallel::InstanceConfig& inst,
+                      const std::vector<std::int64_t>& lens, bool prefill,
+                      IterationTime& out) const;
+
   const costmodel::KernelModel& kernel() const { return kernel_; }
   const costmodel::CommModel& comm() const { return comm_; }
   const model::ModelSpec& model_spec() const { return *model_; }

@@ -48,7 +48,8 @@ Bytes stage_param_bytes_per_device(const model::ModelSpec& m, const parallel::St
 
 PipelineInstance::PipelineInstance(const ExecModel& exec, parallel::InstanceConfig cfg,
                                    MetricsCollector& metrics, InstanceOptions opts, int id)
-    : exec_(&exec), cfg_(std::move(cfg)), metrics_(&metrics), opts_(opts), id_(id) {
+    : exec_(&exec), cfg_(std::move(cfg)), metrics_(&metrics), opts_(opts), id_(id),
+      batch_(&metrics) {
   const model::ModelSpec& m = exec_->model_spec();
   stage_cap_.resize(cfg_.stages.size(), 0);
   stage_used_.resize(cfg_.stages.size(), 0);
@@ -138,7 +139,7 @@ DrainedRequests PipelineInstance::retire() {
   retired_ = true;
   DrainedRequests out;
   for (auto& lr : waiting_) out.fresh.push_back(lr);
-  for (auto& [id, lr] : prefilling_) {
+  for (auto& lr : prefilling_) {
     // The prefill iteration is aborted with the deployment; the request
     // re-prefills wherever it lands next.
     LiveRequest f = lr;
@@ -193,6 +194,10 @@ void PipelineInstance::pump(sim::Simulation& sim) {
   while (inflight_ < max_inflight) {
     // Prefill-priority: admit waiting prompts up to the token budget.
     std::vector<LiveRequest> prefill_batch;
+    if (!batch_pool_.empty()) {
+      prefill_batch = std::move(batch_pool_.back());
+      batch_pool_.pop_back();
+    }
     std::int64_t budget = opts_.max_prefill_tokens;
     while (!waiting_.empty() && running_.size() + prefill_batch.size() < opts_.max_batch) {
       LiveRequest& head = waiting_.front();
@@ -205,13 +210,14 @@ void PipelineInstance::pump(sim::Simulation& sim) {
     }
 
     if (!prefill_batch.empty()) {
-      std::vector<std::int64_t> lens;
-      lens.reserve(prefill_batch.size());
+      scratch_lens_.clear();
+      scratch_lens_.reserve(prefill_batch.size());
       for (const auto& lr : prefill_batch) {
-        lens.push_back(lr.req.prompt_len);
-        prefilling_.emplace(lr.req.id, lr);
+        scratch_lens_.push_back(lr.req.prompt_len);
+        prefilling_.push_back(lr);
       }
-      IterationTime it = exec_->iteration_time(cfg_, lens, /*prefill=*/true);
+      exec_->iteration_time(cfg_, scratch_lens_, /*prefill=*/true, scratch_it_);
+      const IterationTime& it = scratch_it_;
       Seconds issue = std::max(sim.now(), head_free_);
       head_free_ = issue + it.interval();
       ++inflight_;
@@ -221,16 +227,19 @@ void PipelineInstance::pump(sim::Simulation& sim) {
                       });
       continue;
     }
+    // Empty, but it may carry recycled capacity worth keeping.
+    batch_pool_.push_back(std::move(prefill_batch));
 
     if (running_.empty() || decode_inflight_) return;
 
     // Decode iteration over the whole running batch.  It both depends on
     // and produces per-request state, so it serializes behind the previous
     // decode (decode_done_) in addition to waiting for the pipeline head.
-    std::vector<std::int64_t> ctxs;
-    ctxs.reserve(running_.size());
-    for (const auto& lr : running_) ctxs.push_back(lr.context());
-    IterationTime it = exec_->iteration_time(cfg_, ctxs, /*prefill=*/false);
+    scratch_lens_.clear();
+    scratch_lens_.reserve(running_.size());
+    for (const auto& lr : running_) scratch_lens_.push_back(lr.context());
+    exec_->iteration_time(cfg_, scratch_lens_, /*prefill=*/false, scratch_it_);
+    const IterationTime& it = scratch_it_;
     metrics_->add_decode_module_sample(it.mlp_module_latency(), it.attn_module_latency());
     Seconds issue = std::max({sim.now(), head_free_, decode_done_});
     head_free_ = issue + it.interval();
@@ -250,9 +259,15 @@ void PipelineInstance::finish_prefill_iteration(sim::Simulation& sim,
     return;
   }
   for (auto& lr : batch) {
-    prefilling_.erase(lr.req.id);
+    for (auto it = prefilling_.begin(); it != prefilling_.end(); ++it) {
+      if (it->req.id == lr.req.id) {
+        *it = std::move(prefilling_.back());
+        prefilling_.pop_back();
+        break;
+      }
+    }
     lr.prefilled = true;
-    if (!opts_.defer_first_token) metrics_->on_first_token(lr.req.id, sim.now());
+    if (!opts_.defer_first_token) batch_.on_first_token(lr.req.id, sim.now());
     // The first output token is produced by prefill itself.
     lr.generated = 1;
     if (opts_.prefill_only && handoff_) {
@@ -261,11 +276,14 @@ void PipelineInstance::finish_prefill_iteration(sim::Simulation& sim,
       handoff_(sim, lr);
     } else if (lr.done()) {
       release_tokens(lr.context());
-      metrics_->on_finish(lr.req.id, sim.now());
+      batch_.on_finish(lr.req.id, sim.now());
     } else {
       running_.push_back(lr);
     }
   }
+  batch.clear();
+  batch_pool_.push_back(std::move(batch));
+  batch_.flush();
   --inflight_;
   pump(sim);
 }
@@ -284,20 +302,23 @@ void PipelineInstance::finish_decode_iteration(sim::Simulation& sim) {
   for (auto& lr : running_) {
     lr.generated += 1;
     reserve_tokens(1);
-    metrics_->on_token(lr.req.id, sim.now(), lr.generated);
+    batch_.on_token(lr.req.id, sim.now(), lr.generated);
   }
-  // Retire finished requests.
-  std::vector<LiveRequest> still_running;
-  still_running.reserve(running_.size());
-  for (auto& lr : running_) {
+  // Retire finished requests, compacting the batch in place (order
+  // preserved; no per-iteration rebuild allocation).
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    LiveRequest& lr = running_[i];
     if (lr.done()) {
       release_tokens(lr.context());
-      metrics_->on_finish(lr.req.id, sim.now());
+      batch_.on_finish(lr.req.id, sim.now());
     } else {
-      still_running.push_back(lr);
+      if (keep != i) running_[keep] = lr;
+      ++keep;
     }
   }
-  running_ = std::move(still_running);
+  running_.resize(keep);
+  batch_.flush();
   --inflight_;
   decode_inflight_ = false;
   pump(sim);
@@ -320,7 +341,7 @@ void PipelineInstance::preempt_lifo(sim::Simulation& sim) {
   LiveRequest lr = running_[victim];
   running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(victim));
   release_tokens(lr.context());
-  metrics_->on_preemption(lr.req.id, sim.now());
+  batch_.on_preemption(lr.req.id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;  // recompute from scratch
   priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/true);

@@ -17,7 +17,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "engine/exec.h"
@@ -157,8 +156,10 @@ class PipelineInstance {
   std::vector<LiveRequest> running_;
   // Requests inside an in-flight prefill iteration: without this registry a
   // retire() could not hand them to the new deployment (the batch itself
-  // lives in the scheduled completion lambda).
-  std::map<workload::RequestId, LiveRequest> prefilling_;
+  // lives in the scheduled completion lambda).  Unordered (retire() sorts
+  // its output); bounded by max_batch x pipeline depth, so linear removal
+  // beats node-based storage.
+  std::vector<LiveRequest> prefilling_;
   std::vector<int> priorities_;    // per-tenant admission priorities
   bool retired_ = false;           // pending events become no-ops
   int inflight_ = 0;               // iterations currently in the pipeline
@@ -170,6 +171,14 @@ class PipelineInstance {
   std::vector<Bytes> stage_cap_;
   std::vector<Bytes> stage_used_;
   std::vector<Bytes> per_token_;  // kv bytes per cached token, per stage
+
+  // Hot-path scratch: lifecycle events buffer in batch_ and flush before
+  // each event handler returns; the vectors below recycle their capacity
+  // across iterations so the steady state allocates nothing.
+  MetricsBatch batch_;
+  std::vector<std::int64_t> scratch_lens_;
+  IterationTime scratch_it_;
+  std::vector<std::vector<LiveRequest>> batch_pool_;
 
   PrefillHandoff handoff_;
 };

@@ -1,9 +1,53 @@
 #include "engine/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 namespace hetis::engine {
+namespace {
+
+// Ids at or above this never enter the dense slot index (a hand-built test
+// using id 10^9 must not allocate a 10^9-entry table); they resolve through
+// binary search over the sorted record vector instead.
+constexpr workload::RequestId kDenseLimit = workload::RequestId{1} << 24;
+
+}  // namespace
+
+void MetricsCollector::reserve(std::size_t n) {
+  records_.reserve(n);
+  slots_.reserve(n);
+}
+
+void MetricsCollector::index_slot(workload::RequestId id, std::size_t slot) {
+  if (id < 0 || id >= kDenseLimit) return;
+  const auto u = static_cast<std::size_t>(id);
+  if (u >= slots_.size()) slots_.resize(u + 1, -1);
+  slots_[u] = static_cast<std::int32_t>(slot);
+}
+
+const RequestRecord* MetricsCollector::find(workload::RequestId id) const {
+  if (id >= 0 && static_cast<std::size_t>(id) < slots_.size()) {
+    const std::int32_t s = slots_[static_cast<std::size_t>(id)];
+    return s >= 0 ? &records_[static_cast<std::size_t>(s)] : nullptr;
+  }
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), id,
+      [](const RequestRecord& rec, workload::RequestId v) { return rec.id < v; });
+  if (it != records_.end() && it->id == id) return &*it;
+  return nullptr;
+}
+
+RequestRecord* MetricsCollector::find(workload::RequestId id) {
+  return const_cast<RequestRecord*>(
+      static_cast<const MetricsCollector*>(this)->find(id));
+}
+
+const RequestRecord& MetricsCollector::record(workload::RequestId id) const {
+  const RequestRecord* rec = find(id);
+  if (rec == nullptr) throw std::out_of_range("MetricsCollector: unknown request");
+  return *rec;
+}
 
 void MetricsCollector::on_arrival(const workload::Request& r) {
   RequestRecord rec;
@@ -12,33 +56,48 @@ void MetricsCollector::on_arrival(const workload::Request& r) {
   rec.prompt_len = r.prompt_len;
   rec.output_len = r.output_len;
   rec.tenant = r.tenant;
-  auto [it, inserted] = records_.emplace(r.id, rec);
-  if (!inserted) throw std::logic_error("MetricsCollector: duplicate arrival");
+  if (records_.empty() || r.id > records_.back().id) {
+    // Trace ids ascend in arrival order, so this is the steady-state path.
+    records_.push_back(rec);
+    index_slot(r.id, records_.size() - 1);
+  } else {
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), r.id,
+        [](const RequestRecord& a, workload::RequestId v) { return a.id < v; });
+    if (it != records_.end() && it->id == r.id) {
+      throw std::logic_error("MetricsCollector: duplicate arrival");
+    }
+    const std::size_t pos = static_cast<std::size_t>(it - records_.begin());
+    records_.insert(it, rec);
+    for (std::size_t i = pos; i < records_.size(); ++i) index_slot(records_[i].id, i);
+  }
   if (observer_) observer_->on_arrival(r);
 }
 
 void MetricsCollector::on_first_token(workload::RequestId id, Seconds t) {
-  auto it = records_.find(id);
-  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
+  RequestRecord* rec = find(id);
+  if (rec == nullptr) throw std::out_of_range("MetricsCollector: unknown request");
   // A preempted-and-recomputed request keeps its original first-token time,
   // and the observer sees exactly one prefill_done per request.
-  if (it->second.first_token < 0) {
-    it->second.first_token = t;
+  if (rec->first_token < 0) {
+    rec->first_token = t;
     if (observer_) observer_->on_prefill_done(id, t);
   }
 }
 
 void MetricsCollector::on_finish(workload::RequestId id, Seconds t) {
-  auto it = records_.find(id);
-  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
-  it->second.finish = t;
+  RequestRecord* rec = find(id);
+  if (rec == nullptr) throw std::out_of_range("MetricsCollector: unknown request");
+  if (rec->finish < 0) ++finished_;
+  rec->finish = t;
   if (observer_) observer_->on_finish(id, t);
 }
 
 void MetricsCollector::on_preemption(workload::RequestId id, Seconds t) {
-  auto it = records_.find(id);
-  if (it == records_.end()) throw std::out_of_range("MetricsCollector: unknown request");
-  ++it->second.preemptions;
+  RequestRecord* rec = find(id);
+  if (rec == nullptr) throw std::out_of_range("MetricsCollector: unknown request");
+  ++rec->preemptions;
+  ++total_preemptions_;
   if (observer_) observer_->on_preempt(id, t);
 }
 
@@ -47,17 +106,9 @@ void MetricsCollector::add_decode_module_sample(Seconds mlp_time, Seconds attn_t
   attn_module_.add(attn_time);
 }
 
-std::size_t MetricsCollector::finished() const {
-  std::size_t n = 0;
-  for (const auto& [id, rec] : records_) {
-    if (rec.finished()) ++n;
-  }
-  return n;
-}
-
 Summary MetricsCollector::norm_latency() const {
   Summary s;
-  for (const auto& [id, rec] : records_) {
+  for (const RequestRecord& rec : records_) {
     if (rec.finished()) s.add(rec.norm_latency());
   }
   return s;
@@ -65,7 +116,7 @@ Summary MetricsCollector::norm_latency() const {
 
 Summary MetricsCollector::ttft() const {
   Summary s;
-  for (const auto& [id, rec] : records_) {
+  for (const RequestRecord& rec : records_) {
     if (rec.first_token >= 0) s.add(rec.ttft());
   }
   return s;
@@ -73,16 +124,10 @@ Summary MetricsCollector::ttft() const {
 
 Summary MetricsCollector::tpot() const {
   Summary s;
-  for (const auto& [id, rec] : records_) {
+  for (const RequestRecord& rec : records_) {
     if (rec.finished() && rec.output_len > 1) s.add(rec.tpot());
   }
   return s;
-}
-
-int MetricsCollector::total_preemptions() const {
-  int n = 0;
-  for (const auto& [id, rec] : records_) n += rec.preemptions;
-  return n;
 }
 
 std::string MetricsCollector::summary_string() const {

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -82,6 +81,16 @@ struct UsageSample {
   double heads = 0;                // query heads resident
 };
 
+/// Aggregates per-request lifecycle events into RequestRecords.
+///
+/// Storage is a flat vector kept sorted by id plus a dense id->slot index,
+/// so the million-request hot path pays an O(1) array lookup per lifecycle
+/// event instead of a node-based map find.  Trace ids arrive in ascending
+/// order (workload/trace.h assigns 0..n-1 in arrival order), so the sorted
+/// invariant is maintained by plain push_back; out-of-order ids (hand-built
+/// tests) take a one-off O(n) insertion.  records() therefore iterates in
+/// ascending-id order -- the same order the previous std::map storage
+/// produced -- which keeps every floating-point aggregate byte-identical.
 class MetricsCollector {
  public:
   /// Installs (or clears, with nullptr) the lifecycle-event observer.
@@ -90,6 +99,10 @@ class MetricsCollector {
   /// The currently installed observer (the control plane chains itself in
   /// front of it and forwards every event downstream).
   RunObserver* observer() const { return observer_; }
+
+  /// Pre-sizes the record table (run_trace calls this with the trace
+  /// length so million-request replays never re-grow it).
+  void reserve(std::size_t n);
 
   void on_arrival(const workload::Request& r);
   void on_first_token(workload::RequestId id, Seconds t);
@@ -109,7 +122,7 @@ class MetricsCollector {
 
   // --- Aggregation ---
   std::size_t arrived() const { return records_.size(); }
-  std::size_t finished() const;
+  std::size_t finished() const { return finished_; }
 
   /// Normalized latency (s/token) over finished requests.
   Summary norm_latency() const;
@@ -117,19 +130,114 @@ class MetricsCollector {
   Summary tpot() const;
   Summary mlp_module_time() const { return mlp_module_; }
   Summary attn_module_time() const { return attn_module_; }
-  int total_preemptions() const;
+  int total_preemptions() const { return total_preemptions_; }
 
   const std::vector<UsageSample>& usage_series() const { return usage_; }
-  const std::map<workload::RequestId, RequestRecord>& records() const { return records_; }
+
+  /// All records in ascending-id order (== arrival order for trace runs).
+  const std::vector<RequestRecord>& records() const { return records_; }
+  /// The record for `id`; throws std::out_of_range when unknown.
+  const RequestRecord& record(workload::RequestId id) const;
 
   std::string summary_string() const;
 
  private:
-  std::map<workload::RequestId, RequestRecord> records_;
+  const RequestRecord* find(workload::RequestId id) const;
+  RequestRecord* find(workload::RequestId id);
+  void index_slot(workload::RequestId id, std::size_t slot);
+
+  std::vector<RequestRecord> records_;  // sorted ascending by id
+  /// slots_[id] is the index into records_ for 0 <= id < slots_.size()
+  /// (-1 when absent); ids outside the dense range fall back to a linear
+  /// scan (tests only -- trace ids are dense by construction).
+  std::vector<std::int32_t> slots_;
+  std::size_t finished_ = 0;
+  int total_preemptions_ = 0;
   Summary mlp_module_;
   Summary attn_module_;
   std::vector<UsageSample> usage_;
   RunObserver* observer_ = nullptr;
+};
+
+/// Per-instance lifecycle buffer -- the simulator hot path's front end to
+/// the MetricsCollector.
+///
+/// With an observer installed, every event streams through the collector
+/// immediately: the control plane consumes lifecycle events on the
+/// simulation clock and must not see them late.  Observer-off (the default
+/// for sweeps and benches), record mutations buffer locally and flush once
+/// per iteration event, so a 64-request decode batch touches the record
+/// table once instead of 64 times.  Instances flush before returning to
+/// the event loop -- a buffer never outlives the sim-time instant that
+/// filled it -- so the collector is applied the exact event sequence the
+/// streaming path would have produced and every aggregate is identical
+/// (asserted by MetricsBatch tests in tests/test_engine.cc).
+class MetricsBatch {
+ public:
+  explicit MetricsBatch(MetricsCollector* m) : m_(m) {}
+  MetricsBatch(const MetricsBatch&) = delete;
+  MetricsBatch& operator=(const MetricsBatch&) = delete;
+  ~MetricsBatch() { flush(); }
+
+  void on_first_token(workload::RequestId id, Seconds t) {
+    if (m_->observer() != nullptr) {
+      m_->on_first_token(id, t);
+      return;
+    }
+    buf_.push_back(Ev{Ev::kFirstToken, id, t});
+  }
+  /// Tokens feed the observer only; with none installed this is a no-op,
+  /// so there is nothing to buffer.
+  void on_token(workload::RequestId id, Seconds t, std::int64_t generated) {
+    m_->on_token(id, t, generated);
+  }
+  void on_finish(workload::RequestId id, Seconds t) {
+    if (m_->observer() != nullptr) {
+      m_->on_finish(id, t);
+      return;
+    }
+    buf_.push_back(Ev{Ev::kFinish, id, t});
+  }
+  void on_preemption(workload::RequestId id, Seconds t) {
+    if (m_->observer() != nullptr) {
+      m_->on_preemption(id, t);
+      return;
+    }
+    buf_.push_back(Ev{Ev::kPreempt, id, t});
+  }
+
+  /// Applies buffered events to the collector in emission order.  Owning
+  /// instances call this before returning to the event loop.
+  void flush() {
+    for (const Ev& e : buf_) {
+      switch (e.kind) {
+        case Ev::kFirstToken:
+          m_->on_first_token(e.id, e.t);
+          break;
+        case Ev::kFinish:
+          m_->on_finish(e.id, e.t);
+          break;
+        case Ev::kPreempt:
+          m_->on_preemption(e.id, e.t);
+          break;
+      }
+    }
+    buf_.clear();
+  }
+
+  std::size_t buffered() const { return buf_.size(); }
+  MetricsCollector* collector() const { return m_; }
+
+ private:
+  struct Ev {
+    enum Kind : std::uint8_t { kFirstToken, kFinish, kPreempt };
+    Kind kind;
+    workload::RequestId id;
+    Seconds t;
+  };
+
+  MetricsCollector* m_;
+  std::vector<Ev> buf_;
 };
 
 }  // namespace hetis::engine

@@ -28,8 +28,7 @@ using engine::csv_field;  // caller-supplied strings land in rows unquoted
 std::size_t slo_attained_count(const engine::MetricsCollector& metrics,
                                const engine::SloSpec& slo, Seconds warmup) {
   std::size_t n = 0;
-  for (const auto& [id, rec] : metrics.records()) {
-    (void)id;
+  for (const engine::RequestRecord& rec : metrics.records()) {
     if (rec.arrival >= warmup && rec.finished() && engine::meets_slo(rec, slo)) ++n;
   }
   return n;
@@ -41,8 +40,7 @@ std::size_t slo_attained_count(const engine::MetricsCollector& metrics,
 /// absolute-time re-deploy history.)
 Seconds run_end_time(const engine::MetricsCollector& metrics) {
   Seconds end = 0;
-  for (const auto& [id, rec] : metrics.records()) {
-    (void)id;
+  for (const engine::RequestRecord& rec : metrics.records()) {
     end = std::max(end, rec.arrival);
     if (rec.first_token >= 0) end = std::max(end, rec.first_token);
     if (rec.finished()) end = std::max(end, rec.finish);
@@ -131,7 +129,7 @@ std::vector<TenantSummary> tenant_summaries(const engine::MetricsCollector& metr
   std::vector<bool> any(tenants.size(), false);
   for (std::size_t ti = 0; ti < tenants.size(); ++ti) out[ti].tenant = tenants[ti].name;
 
-  for (const auto& [id, rec] : metrics.records()) {
+  for (const engine::RequestRecord& rec : metrics.records()) {
     if (rec.tenant < 0 || static_cast<std::size_t>(rec.tenant) >= tenants.size()) continue;
     if (rec.arrival < warmup) continue;
     const std::size_t ti = static_cast<std::size_t>(rec.tenant);

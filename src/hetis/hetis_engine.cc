@@ -276,7 +276,29 @@ HetisInstance::HetisInstance(const engine::ExecModel& exec, const parallel::Inst
       hauler_(&hauler),
       opts_(opts),
       id_(id),
-      dispatcher_(make_dispatcher_config(cfg, profile, opts)) {}
+      dispatcher_(make_dispatcher_config(cfg, profile, opts)),
+      batch_(&metrics) {
+  // Prefill (dense + attention) runs entirely on the primary pipeline
+  // (design idea I1: compute-intensive phases stay on capable devices).
+  primary_only_.stages = cfg_.stages;
+}
+
+std::vector<engine::LiveRequest>::iterator HetisInstance::running_lower_bound(
+    workload::RequestId id) {
+  return std::lower_bound(running_.begin(), running_.end(), id,
+                          [](const engine::LiveRequest& lr, workload::RequestId v) {
+                            return lr.req.id < v;
+                          });
+}
+
+void HetisInstance::insert_running(engine::LiveRequest lr) {
+  auto it = running_lower_bound(lr.req.id);
+  if (it != running_.end() && it->req.id == lr.req.id) {
+    *it = std::move(lr);
+  } else {
+    running_.insert(it, std::move(lr));
+  }
+}
 
 double HetisInstance::fill_fraction() const {
   double worst = 0;
@@ -311,9 +333,10 @@ void HetisInstance::enqueue(sim::Simulation& sim, engine::LiveRequest lr) {
 
 bool HetisInstance::adopt(sim::Simulation& sim, const engine::LiveRequest& lr,
                           Seconds resume_at) {
-  std::vector<std::pair<workload::RequestId, std::int64_t>> one{{lr.req.id, lr.context()}};
-  if (!dispatcher_.dispatch(one, sim.now())) return false;
-  running_[lr.req.id] = lr;
+  scratch_one_.clear();
+  scratch_one_.emplace_back(lr.req.id, lr.context());
+  if (!dispatcher_.dispatch(scratch_one_, sim.now())) return false;
+  insert_running(lr);
   if (resume_at > sim.now()) suspended_until_[lr.req.id] = resume_at;
   kick(sim);
   return true;
@@ -323,13 +346,13 @@ engine::DrainedRequests HetisInstance::retire() {
   retired_ = true;
   engine::DrainedRequests out;
   for (auto& lr : waiting_) out.fresh.push_back(lr);
-  for (auto& [id, lr] : prefilling_) {
+  for (auto& lr : prefilling_) {
     engine::LiveRequest f = lr;
     f.prefilled = false;
     f.generated = 0;
     out.fresh.push_back(std::move(f));
   }
-  for (auto& [id, lr] : running_) out.live.push_back(lr);
+  for (auto& lr : running_) out.live.push_back(lr);
   waiting_.clear();
   running_.clear();
   prefilling_.clear();
@@ -365,15 +388,19 @@ void HetisInstance::pump(sim::Simulation& sim) {
   while (inflight_ < max_inflight) {
     // --- Prefill-priority admission via the dispatch LP (Eq. 7) ---
     std::vector<engine::LiveRequest> prefill_batch;
+    if (!batch_pool_.empty()) {
+      prefill_batch = std::move(batch_pool_.back());
+      batch_pool_.pop_back();
+    }
     std::int64_t budget = opts_.max_prefill_tokens;
     while (!waiting_.empty() && running_.size() + prefill_batch.size() < opts_.max_batch &&
            budget > 0) {
       engine::LiveRequest& head = waiting_.front();
       if (head.req.prompt_len > budget && !prefill_batch.empty()) break;
       // Dispatch this request's heads (reserves memory at its destinations).
-      std::vector<std::pair<workload::RequestId, std::int64_t>> one{
-          {head.req.id, head.req.prompt_len + 1}};
-      auto placed = dispatcher_.dispatch(one, sim.now());
+      scratch_one_.clear();
+      scratch_one_.emplace_back(head.req.id, head.req.prompt_len + 1);
+      auto placed = dispatcher_.dispatch(scratch_one_, sim.now());
       if (!placed) break;  // instance cannot host it right now
       budget -= head.req.prompt_len;
       prefill_batch.push_back(head);
@@ -381,16 +408,13 @@ void HetisInstance::pump(sim::Simulation& sim) {
     }
 
     if (!prefill_batch.empty()) {
-      std::vector<std::int64_t> lens;
+      scratch_lens_.clear();
       for (const auto& lr : prefill_batch) {
-        lens.push_back(lr.req.prompt_len);
-        prefilling_.emplace(lr.req.id, lr);
+        scratch_lens_.push_back(lr.req.prompt_len);
+        prefilling_.push_back(lr);
       }
-      // Prefill (dense + attention) runs entirely on the primary pipeline
-      // (design idea I1: compute-intensive phases stay on capable devices).
-      parallel::InstanceConfig primary_only;
-      primary_only.stages = cfg_.stages;
-      engine::IterationTime it = exec_->iteration_time(primary_only, lens, /*prefill=*/true);
+      exec_->iteration_time(primary_only_, scratch_lens_, /*prefill=*/true, scratch_it_);
+      const engine::IterationTime& it = scratch_it_;
       Seconds issue = std::max(sim.now(), head_free_);
       head_free_ = issue + it.interval();
       ++inflight_;
@@ -400,23 +424,42 @@ void HetisInstance::pump(sim::Simulation& sim) {
                       });
       continue;
     }
+    // Empty, but it may carry recycled capacity worth keeping.
+    batch_pool_.push_back(std::move(prefill_batch));
 
     if (decode_inflight_) return;
 
     // --- Decode iteration over non-suspended running requests ---
     std::vector<workload::RequestId> decoded;
-    std::vector<std::int64_t> ctxs;
-    for (auto& [id, lr] : running_) {
-      auto sit = suspended_until_.find(id);
-      if (sit != suspended_until_.end()) {
-        if (sim.now() < sit->second) continue;
-        suspended_until_.erase(sit);
+    if (!decoded_pool_.empty()) {
+      decoded = std::move(decoded_pool_.back());
+      decoded_pool_.pop_back();
+    }
+    for (auto& lr : running_) {
+      const workload::RequestId id = lr.req.id;
+      if (!suspended_until_.empty()) {
+        auto sit = suspended_until_.find(id);
+        if (sit != suspended_until_.end()) {
+          if (sim.now() < sit->second) continue;
+          suspended_until_.erase(sit);
+        }
       }
       decoded.push_back(id);
-      ctxs.push_back(lr.context());
     }
 
     if (decoded.empty()) {
+      decoded_pool_.push_back(std::move(decoded));
+      // Any entry already expired here is an orphan: an expired entry whose
+      // request is still running was consumed (and erased) by the scan
+      // above.  Waking on an orphan would re-enter pump at the current
+      // instant and spin the simulation forever.
+      for (auto it = suspended_until_.begin(); it != suspended_until_.end();) {
+        if (it->second <= sim.now()) {
+          it = suspended_until_.erase(it);
+        } else {
+          ++it;
+        }
+      }
       if (!suspended_until_.empty() && !wake_scheduled_) {
         // Wake when the earliest migration lands.
         Seconds wake = std::numeric_limits<double>::infinity();
@@ -490,21 +533,33 @@ void HetisInstance::finish_prefill(sim::Simulation& sim, std::vector<engine::Liv
     return;
   }
   for (auto& lr : batch) {
-    prefilling_.erase(lr.req.id);
+    for (auto it = prefilling_.begin(); it != prefilling_.end(); ++it) {
+      if (it->req.id == lr.req.id) {
+        *it = std::move(prefilling_.back());
+        prefilling_.pop_back();
+        break;
+      }
+    }
     lr.prefilled = true;
     lr.generated = 1;
-    metrics_->on_first_token(lr.req.id, sim.now());
+    batch_.on_first_token(lr.req.id, sim.now());
     if (lr.done()) {
       dispatcher_.remove(lr.req.id);
-      metrics_->on_finish(lr.req.id, sim.now());
+      // A rebalance may have suspended this request mid-prefill; it never
+      // reaches running_, so drop the entry or it outlives the request.
+      suspended_until_.erase(lr.req.id);
+      batch_.on_finish(lr.req.id, sim.now());
       continue;
     }
     // Ship offloaded heads' prompt KV in the background; the request only
     // resumes decoding once its cache is in place.
     Seconds ready = ship_offloaded_kv(sim, lr.req.id);
     if (ready > sim.now()) suspended_until_[lr.req.id] = ready;
-    running_[lr.req.id] = lr;
+    insert_running(lr);
   }
+  batch.clear();
+  batch_pool_.push_back(std::move(batch));
+  batch_.flush();
   --inflight_;
   pump(sim);
 }
@@ -518,22 +573,26 @@ void HetisInstance::finish_decode(sim::Simulation& sim,
   }
   ++decode_iterations_;
   for (workload::RequestId id : decoded) {
-    auto it = running_.find(id);
-    if (it == running_.end()) continue;  // preempted mid-flight
-    it->second.generated += 1;
-    metrics_->on_token(id, sim.now(), it->second.generated);
-    if (it->second.done()) {
+    auto it = running_lower_bound(id);
+    if (it == running_.end() || it->req.id != id) continue;  // preempted mid-flight
+    it->generated += 1;
+    batch_.on_token(id, sim.now(), it->generated);
+    if (it->done()) {
       dispatcher_.remove(id);
-      metrics_->on_finish(id, sim.now());
+      suspended_until_.erase(id);
+      batch_.on_finish(id, sim.now());
       running_.erase(it);
     } else {
       dispatcher_.append_token(id);
     }
   }
+  decoded.clear();
+  decoded_pool_.push_back(std::move(decoded));
   resolve_memory_pressure(sim);
   if (opts_.enable_redispatch && decode_iterations_ % opts_.redispatch_period == 0) {
     maybe_rebalance(sim);
   }
+  batch_.flush();
   --inflight_;
   decode_inflight_ = false;
   pump(sim);
@@ -588,13 +647,14 @@ void HetisInstance::execute_rebalance(sim::Simulation& sim, const dispatch::Reba
 }
 
 void HetisInstance::preempt(sim::Simulation& sim, workload::RequestId id) {
-  auto it = running_.find(id);
-  if (it == running_.end() || id < 0) return;
-  engine::LiveRequest lr = it->second;
+  if (id < 0) return;
+  auto it = running_lower_bound(id);
+  if (it == running_.end() || it->req.id != id) return;
+  engine::LiveRequest lr = *it;
   running_.erase(it);
   suspended_until_.erase(id);
   dispatcher_.remove(id);
-  metrics_->on_preemption(id, sim.now());
+  batch_.on_preemption(id, sim.now());
   lr.prefilled = false;
   lr.generated = 0;
   engine::priority_enqueue(waiting_, std::move(lr), priorities_, /*requeue_front=*/true);

@@ -147,6 +147,10 @@ class HetisInstance {
   void resolve_memory_pressure(sim::Simulation& sim);
   void maybe_rebalance(sim::Simulation& sim);
   void preempt(sim::Simulation& sim, workload::RequestId id);
+  /// Iterator to the first running request with id >= `id`.
+  std::vector<engine::LiveRequest>::iterator running_lower_bound(workload::RequestId id);
+  /// Inserts (or replaces) `lr` in running_, keeping the id order.
+  void insert_running(engine::LiveRequest lr);
   /// Post-prefill: ship offloaded heads' prompt KV to workers; returns the
   /// completion time (== now when nothing is offloaded).
   Seconds ship_offloaded_kv(sim::Simulation& sim, workload::RequestId id);
@@ -166,10 +170,14 @@ class HetisInstance {
 
   dispatch::Dispatcher dispatcher_;
   std::deque<engine::LiveRequest> waiting_;
-  std::map<workload::RequestId, engine::LiveRequest> running_;
+  // Sorted by request id: the decode loop walks it in id order (the same
+  // order the historical std::map storage iterated), and the batch is
+  // bounded by max_batch so binary-search + shifting beats node churn.
+  std::vector<engine::LiveRequest> running_;
   // Requests inside an in-flight prefill iteration (see
-  // PipelineInstance::prefilling_ for why retire() needs this).
-  std::map<workload::RequestId, engine::LiveRequest> prefilling_;
+  // PipelineInstance::prefilling_ for why retire() needs this).  Unordered;
+  // retire() sorts its output.
+  std::vector<engine::LiveRequest> prefilling_;
   std::map<workload::RequestId, Seconds> suspended_until_;
   std::vector<int> priorities_;  // per-tenant admission priorities
   bool retired_ = false;         // pending events become no-ops
@@ -181,6 +189,17 @@ class HetisInstance {
   std::int64_t decode_iterations_ = 0;
   int rescue_count_ = 0;
   int balance_count_ = 0;
+
+  // Hot-path scratch (see PipelineInstance): lifecycle events buffer in
+  // batch_ and flush before each event handler returns; the containers
+  // below recycle capacity so steady-state iterations allocate nothing.
+  engine::MetricsBatch batch_;
+  parallel::InstanceConfig primary_only_;  // prefill runs on primary stages
+  engine::IterationTime scratch_it_;
+  std::vector<std::int64_t> scratch_lens_;
+  std::vector<std::pair<workload::RequestId, std::int64_t>> scratch_one_;
+  std::vector<std::vector<engine::LiveRequest>> batch_pool_;
+  std::vector<std::vector<workload::RequestId>> decoded_pool_;
 };
 
 }  // namespace hetis::core

@@ -1,0 +1,48 @@
+#include "sim/arena.h"
+
+#include <new>
+
+namespace hetis::sim {
+
+EventArena::~EventArena() = default;
+
+void* EventArena::allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  if (size > max_pooled_size()) {
+    ++oversize_allocations_;
+    ++live_blocks_;
+    return ::operator new(size);
+  }
+  const std::size_t c = class_of(size);
+  ++live_blocks_;
+  if (FreeNode* node = free_[c]) {
+    free_[c] = node->next;
+    ++freelist_hits_;
+    return node;
+  }
+  const std::size_t bytes = (c + 1) * kGranule;
+  if (bump_ + bytes > kSlabBytes) {
+    slabs_.emplace_back(new unsigned char[kSlabBytes]);
+    bump_ = 0;
+  }
+  void* p = slabs_.back().get() + bump_;
+  bump_ += bytes;
+  ++slab_allocations_;
+  return p;
+}
+
+void EventArena::deallocate(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  if (size == 0) size = 1;
+  --live_blocks_;
+  if (size > max_pooled_size()) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t c = class_of(size);
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_[c];
+  free_[c] = node;
+}
+
+}  // namespace hetis::sim

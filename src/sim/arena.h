@@ -1,0 +1,69 @@
+// Slab arena for event callables that spill out of EventTask's inline
+// buffer.
+//
+// The simulation hot path creates and destroys one callable per scheduled
+// event -- O(10^6) per million-request trace.  Small callables live inside
+// EventTask's small-buffer storage and never touch an allocator; the rest
+// land here.  The arena hands out size-class blocks carved from 64 KiB
+// slabs and recycles freed blocks through per-class free lists, so the
+// steady state performs no global-allocator calls at all: after warm-up
+// every event reuses a block freed by an earlier one.
+//
+// Not thread-safe by design: one arena belongs to one EventQueue, which
+// belongs to one Simulation, which runs on one thread (parallel sweeps run
+// one Simulation per worker).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hetis::sim {
+
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+  ~EventArena();
+
+  /// Returns a block of at least `size` bytes aligned for any fundamental
+  /// type.  Blocks above the largest size class fall through to the global
+  /// allocator (rare: an event callable that big indicates a fat capture
+  /// that should be slimmed instead).
+  void* allocate(std::size_t size);
+
+  /// Returns a block obtained from allocate(size) with the same `size`.
+  void deallocate(void* p, std::size_t size) noexcept;
+
+  // Introspection (tests + bench diagnostics).
+  std::size_t slab_bytes() const { return slabs_.size() * kSlabBytes; }
+  std::uint64_t slab_allocations() const { return slab_allocations_; }
+  std::uint64_t freelist_hits() const { return freelist_hits_; }
+  std::uint64_t oversize_allocations() const { return oversize_allocations_; }
+  std::int64_t live_blocks() const { return live_blocks_; }
+
+  static constexpr std::size_t kGranule = 64;   // size-class step (bytes)
+  static constexpr std::size_t kClasses = 16;   // largest pooled class: 1 KiB
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+  static constexpr std::size_t max_pooled_size() { return kGranule * kClasses; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t class_of(std::size_t size) { return (size - 1) / kGranule; }
+
+  FreeNode* free_[kClasses] = {};
+  std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+  std::size_t bump_ = kSlabBytes;  // consumed bytes of the newest slab
+
+  std::uint64_t slab_allocations_ = 0;
+  std::uint64_t freelist_hits_ = 0;
+  std::uint64_t oversize_allocations_ = 0;
+  std::int64_t live_blocks_ = 0;
+};
+
+}  // namespace hetis::sim

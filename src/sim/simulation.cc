@@ -4,10 +4,6 @@
 
 namespace hetis::sim {
 
-void Simulation::schedule_at(Seconds at, EventFn fn) {
-  queue_.push(at < now_ ? now_ : at, std::move(fn));
-}
-
 std::size_t Simulation::run_until(Seconds horizon) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon) {

@@ -1,6 +1,8 @@
 // Simulation clock + event loop built on EventQueue.
 #pragma once
 
+#include <utility>
+
 #include "sim/event_queue.h"
 
 namespace hetis::sim {
@@ -10,9 +12,15 @@ class Simulation {
   Seconds now() const { return now_; }
 
   /// Schedules fn `delay` seconds from now.
-  void schedule_in(Seconds delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+  template <class F>
+  void schedule_in(Seconds delay, F&& fn) {
+    queue_.push(now_ + delay, std::forward<F>(fn));
+  }
   /// Schedules fn at absolute time `at` (clamped to now if in the past).
-  void schedule_at(Seconds at, EventFn fn);
+  template <class F>
+  void schedule_at(Seconds at, F&& fn) {
+    queue_.push(at < now_ ? now_ : at, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains or `horizon` is passed.  Events
   /// scheduled exactly at the horizon still run.  Returns the number of
@@ -25,6 +33,9 @@ class Simulation {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
+
+  /// The underlying queue (introspection for tests + benches).
+  const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

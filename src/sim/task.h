@@ -1,0 +1,147 @@
+// EventTask: the simulator's event callable.
+//
+// A move-only replacement for std::function<void()> tuned for the event
+// hot path:
+//  * small-buffer optimized -- callables up to kInlineSize bytes (which
+//    covers every steady-state event the engines schedule) are stored
+//    inline in the task, so scheduling them performs zero allocations;
+//  * larger callables are placed in the owning queue's EventArena, whose
+//    size-class free lists recycle blocks so the steady state never calls
+//    the global allocator either;
+//  * move-only -- a scheduled event fires exactly once, so there is
+//    nothing a copy could mean.  This also lets events capture move-only
+//    state, which std::function (copyable by contract) forbids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/arena.h"
+
+namespace hetis::sim {
+
+class EventTask {
+ public:
+  /// Inline storage size.  Sized so the common engine events ([this, &sim]
+  /// plus a moved-in vector or a couple of scalars) stay allocation-free
+  /// while keeping EventQueue::Event inside two cache lines.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventTask() = default;
+
+  /// Wraps `f`, spilling to `arena` when it does not fit inline.  The
+  /// arena must outlive the task (EventQueue owns both).
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, EventTask>>>
+  EventTask(F&& f, EventArena* arena) : arena_(arena) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "EventTask: over-aligned callables are not supported");
+    if constexpr (sizeof(Fn) <= kInlineSize && std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      void* p = arena_->allocate(sizeof(Fn));
+      ::new (p) Fn(std::forward<F>(f));
+      ptr_slot() = p;
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventTask(const EventTask&) = delete;
+  EventTask& operator=(const EventTask&) = delete;
+
+  EventTask(EventTask&& other) noexcept { move_from(other); }
+
+  EventTask& operator=(EventTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~EventTask() { reset(); }
+
+  /// Invokes the callable.  Undefined when empty (the queue never hands
+  /// out empty tasks).
+  void operator()() { ops_->invoke(object()); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable spilled to the arena (tests + diagnostics).
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap_size > 0; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    /// Moves the object from src storage into dst storage and destroys the
+    /// source (inline case only; heap objects move by pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    std::uint32_t heap_size;  // 0 => stored inline
+  };
+
+  template <class Fn>
+  static const Ops* inline_ops() {
+    static const Ops ops = {
+        [](void* obj) { (*static_cast<Fn*>(obj))(); },
+        [](void* dst, void* src) noexcept {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* obj) noexcept { static_cast<Fn*>(obj)->~Fn(); },
+        0,
+    };
+    return &ops;
+  }
+
+  template <class Fn>
+  static const Ops* heap_ops() {
+    static const Ops ops = {
+        [](void* obj) { (*static_cast<Fn*>(obj))(); },
+        nullptr,  // heap objects relocate by pointer
+        [](void* obj) noexcept { static_cast<Fn*>(obj)->~Fn(); },
+        static_cast<std::uint32_t>(sizeof(Fn)),
+    };
+    return &ops;
+  }
+
+  void*& ptr_slot() { return *reinterpret_cast<void**>(storage_); }
+  void* object() { return ops_->heap_size > 0 ? ptr_slot() : storage_; }
+
+  void reset() noexcept {
+    if (ops_ == nullptr) return;
+    if (ops_->heap_size > 0) {
+      void* p = ptr_slot();
+      ops_->destroy(p);
+      arena_->deallocate(p, ops_->heap_size);
+    } else {
+      ops_->destroy(storage_);
+    }
+    ops_ = nullptr;
+  }
+
+  void move_from(EventTask& other) noexcept {
+    ops_ = other.ops_;
+    arena_ = other.arena_;
+    if (ops_ != nullptr) {
+      if (ops_->heap_size > 0) {
+        ptr_slot() = other.ptr_slot();
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  EventArena* arena_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace hetis::sim

@@ -179,7 +179,7 @@ TEST(SplitwiseEngine, TtftIncludesMigration) {
   SplitwiseEngine eng(cluster, model::llama_13b());
   auto trace = small_trace(1.0, 10.0);
   engine::run_trace(eng, trace);
-  for (const auto& [id, rec] : eng.metrics().records()) {
+  for (const auto& rec : eng.metrics().records()) {
     if (rec.output_len > 1 && rec.finished()) {
       EXPECT_GT(rec.ttft(), 0.0);
     }

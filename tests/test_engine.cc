@@ -28,7 +28,7 @@ TEST(Metrics, RequestLifecycleDerivedQuantities) {
   m.on_arrival(make_req(1, 10.0, 100, 11));
   m.on_first_token(1, 10.5);
   m.on_finish(1, 12.5);
-  const RequestRecord& rec = m.records().at(1);
+  const RequestRecord& rec = m.record(1);
   EXPECT_DOUBLE_EQ(rec.ttft(), 0.5);
   EXPECT_DOUBLE_EQ(rec.tpot(), 0.2);            // 2.0s / 10 remaining tokens
   EXPECT_DOUBLE_EQ(rec.norm_latency(), 2.5 / 11.0);
@@ -54,7 +54,7 @@ TEST(Metrics, PreemptionKeepsOriginalFirstToken) {
   m.on_first_token(1, 1.0);
   m.on_preemption(1, 2.0);
   m.on_first_token(1, 3.0);  // re-prefill after preemption
-  EXPECT_DOUBLE_EQ(m.records().at(1).ttft(), 1.0);
+  EXPECT_DOUBLE_EQ(m.record(1).ttft(), 1.0);
   EXPECT_EQ(m.total_preemptions(), 1);
 }
 
@@ -75,6 +75,93 @@ TEST(Metrics, ModuleSamples) {
   m.add_decode_module_sample(3e-3, 4e-3);
   EXPECT_DOUBLE_EQ(m.mlp_module_time().mean(), 2e-3);
   EXPECT_DOUBLE_EQ(m.attn_module_time().max(), 4e-3);
+}
+
+// --- MetricsBatch ---
+
+struct CountingObserver : RunObserver {
+  int prefill_done = 0;
+  std::vector<workload::RequestId> finishes;
+  void on_prefill_done(workload::RequestId, Seconds) override { ++prefill_done; }
+  void on_finish(workload::RequestId id, Seconds) override { finishes.push_back(id); }
+};
+
+TEST(MetricsBatch, ObserverOnStreamsImmediately) {
+  // With an observer installed every event must reach the collector on the
+  // spot (the control plane consumes lifecycle events on the sim clock);
+  // nothing may sit in the batch buffer.
+  MetricsCollector m;
+  CountingObserver obs;
+  m.set_observer(&obs);
+  MetricsBatch batch(&m);
+  m.on_arrival(make_req(1, 0.0, 10, 5));
+  batch.on_first_token(1, 1.0);
+  EXPECT_EQ(batch.buffered(), 0u);
+  EXPECT_EQ(obs.prefill_done, 1);
+  batch.on_preemption(1, 2.0);
+  batch.on_first_token(1, 3.0);  // re-prefill: must not re-signal
+  EXPECT_EQ(obs.prefill_done, 1);
+  batch.on_finish(1, 4.0);
+  EXPECT_EQ(obs.finishes, (std::vector<workload::RequestId>{1}));
+  EXPECT_DOUBLE_EQ(m.record(1).ttft(), 1.0);  // original prefill kept
+  m.set_observer(nullptr);
+}
+
+TEST(MetricsBatch, BatchedAccumulationMatchesPerEvent) {
+  // The same lifecycle sequence -- including preempt -> re-prefill and
+  // requests whose events split across two instances (migration) -- applied
+  // per-event to one collector and through iteration-boundary-flushed
+  // batches to another.  Every record and every aggregate must match.
+  MetricsCollector direct;
+  MetricsCollector buffered;
+  MetricsBatch inst_a(&buffered);
+  MetricsBatch inst_b(&buffered);
+  const int n = 64;
+  for (int id = 0; id < n; ++id) {
+    const auto t0 = static_cast<Seconds>(id);
+    const workload::Request r = make_req(id, t0, 100 + id, 4 + id % 7);
+    direct.on_arrival(r);
+    buffered.on_arrival(r);  // arrivals are engine-level, never batched
+    MetricsBatch& inst = (id % 3 == 0) ? inst_b : inst_a;
+    direct.on_first_token(id, t0 + 0.5);
+    inst.on_first_token(id, t0 + 0.5);
+    if (id % 5 == 0) {
+      direct.on_preemption(id, t0 + 1.0);
+      inst.on_preemption(id, t0 + 1.0);
+      direct.on_first_token(id, t0 + 2.0);  // re-prefill: TTFT unchanged
+      inst.on_first_token(id, t0 + 2.0);
+      // Migration: the request finishes on the other instance.
+      MetricsBatch& other = (id % 3 == 0) ? inst_a : inst_b;
+      direct.on_finish(id, t0 + 3.0);
+      other.on_finish(id, t0 + 3.0);
+    } else if (id % 2 == 0) {
+      direct.on_finish(id, t0 + 2.5);
+      inst.on_finish(id, t0 + 2.5);
+    }
+    if (id % 8 == 7) {  // iteration boundary
+      inst_a.flush();
+      inst_b.flush();
+    }
+  }
+  inst_a.flush();
+  inst_b.flush();
+  EXPECT_EQ(inst_a.buffered(), 0u);
+
+  ASSERT_EQ(buffered.records().size(), direct.records().size());
+  for (std::size_t i = 0; i < direct.records().size(); ++i) {
+    const RequestRecord& d = direct.records()[i];
+    const RequestRecord& b = buffered.records()[i];
+    EXPECT_EQ(b.id, d.id);
+    EXPECT_EQ(b.first_token, d.first_token);
+    EXPECT_EQ(b.finish, d.finish);
+    EXPECT_EQ(b.preemptions, d.preemptions);
+  }
+  EXPECT_EQ(buffered.finished(), direct.finished());
+  EXPECT_EQ(buffered.total_preemptions(), direct.total_preemptions());
+  EXPECT_EQ(buffered.norm_latency().mean(), direct.norm_latency().mean());
+  EXPECT_EQ(buffered.norm_latency().p95(), direct.norm_latency().p95());
+  EXPECT_EQ(buffered.ttft().p95(), direct.ttft().p95());
+  EXPECT_EQ(buffered.tpot().p95(), direct.tpot().p95());
 }
 
 // --- ExecModel ---
@@ -188,7 +275,7 @@ TEST_F(InstanceFixture, SingleRequestLifecycle) {
   sim.run_until(60.0);
   EXPECT_EQ(metrics_.finished(), 1u);
   EXPECT_TRUE(inst.idle());
-  const RequestRecord& rec = metrics_.records().at(0);
+  const RequestRecord& rec = metrics_.record(0);
   EXPECT_GT(rec.ttft(), 0);
   EXPECT_GT(rec.finish, rec.first_token);
   // All memory released.
@@ -215,7 +302,7 @@ TEST_F(InstanceFixture, SingleTokenOutputFinishesAtPrefill) {
   metrics_.on_arrival(r);
   inst.submit(sim, r);
   sim.run_until(30.0);
-  const RequestRecord& rec = metrics_.records().at(0);
+  const RequestRecord& rec = metrics_.record(0);
   EXPECT_EQ(metrics_.finished(), 1u);
   EXPECT_DOUBLE_EQ(rec.first_token, rec.finish);
 }
@@ -278,6 +365,37 @@ class EchoEngine : public Engine {
   }
   Bytes usable_kv_capacity() const override { return 42; }
 };
+
+// EchoEngine routed through a MetricsBatch instead of direct collector
+// calls -- the two must produce byte-identical reports.
+class BatchedEchoEngine : public Engine {
+ public:
+  std::string name() const override { return "echo"; }
+  void submit(sim::Simulation& sim, const workload::Request& r) override {
+    metrics_.on_arrival(r);
+    batch_.on_first_token(r.id, sim.now() + 0.1);
+    batch_.on_finish(r.id, sim.now() + 0.1 + 0.01 * static_cast<double>(r.output_len));
+    batch_.flush();
+  }
+  Bytes usable_kv_capacity() const override { return 42; }
+
+ private:
+  MetricsBatch batch_{&metrics_};
+};
+
+TEST(RunTrace, BatchedReportByteIdenticalToStreaming) {
+  std::vector<workload::Request> trace;
+  for (int i = 0; i < 50; ++i) trace.push_back(make_req(i, 0.5 * i, 10, 20 + i % 40));
+  RunOptions opts(60.0);
+  opts.warmup = 3.0;
+  opts.slo = SloSpec{/*ttft=*/0.15, /*tpot=*/0.0105};  // some requests miss TPOT
+  EchoEngine direct;
+  BatchedEchoEngine buffered;
+  RunReport a = run_trace(direct, trace, opts);
+  RunReport b = run_trace(buffered, trace, opts);
+  EXPECT_GT(a.slo_attainment, 0.0);
+  EXPECT_EQ(a.to_csv_row(), b.to_csv_row());
+}
 
 TEST(RunTrace, ReportAggregation) {
   EchoEngine eng;

@@ -1,9 +1,12 @@
 // Unit + behavioural tests: the full Hetis engine.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "engine/engine.h"
 #include "hetis/hetis_engine.h"
 #include "model/llm.h"
+#include "workload/scenarios.h"
 #include "workload/trace.h"
 
 namespace hetis::core {
@@ -32,6 +35,32 @@ TEST(HetisEngine, ServesTraceToCompletion) {
   engine::RunReport rep = engine::run_trace(eng, trace);
   EXPECT_EQ(rep.finished, trace.size());
   EXPECT_GT(rep.norm_latency_mean, 0);
+}
+
+// Regression: a rescue redispatch could suspend a request that was still
+// mid-prefill.  If that request then finished at prefill (output_len <= 1),
+// its suspended_until_ entry was orphaned; once the decode set drained the
+// pump rescheduled itself at the orphan's (past, clamped-to-now) wake time
+// every event, and the simulation never terminated.  This trace drives the
+// engine through 16 rescues and wedged it before the fix -- ctest's timeout
+// is the failure detector should the leak ever come back.
+TEST(HetisEngine, RescueOfPrefillOnlyRequestTerminates) {
+  const double rate = 2.0;
+  const std::size_t n = 8500;
+  const Seconds horizon =
+      (static_cast<double>(n) + 6.0 * std::sqrt(static_cast<double>(n))) / rate;
+  workload::ScenarioSpec spec =
+      workload::scenario_preset(workload::Scenario::kPoisson, rate, horizon, /*seed=*/10);
+  std::vector<workload::Request> trace = workload::generate_scenario(spec);
+  ASSERT_GE(trace.size(), n);
+  trace.resize(n);
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  HetisOptions opts = default_opts();
+  opts.workload.mean_context = 512;
+  HetisEngine eng(cluster, model::llama_13b(), opts);
+  engine::RunReport rep = engine::run_trace(eng, trace, engine::RunOptions(600.0));
+  EXPECT_EQ(rep.finished, trace.size());
+  EXPECT_GT(eng.rescue_redispatches(), 0);
 }
 
 TEST(HetisEngine, PlanAssignsP100sAsAttentionWorkers) {

@@ -62,8 +62,8 @@ TEST_F(PipelinedExec, ConsecutivePrefillsOverlapAcrossStages) {
   }
   sim.run_until(120.0);
   ASSERT_EQ(metrics.finished(), 2u);
-  Seconds t0 = metrics.records().at(0).finish;
-  Seconds t1 = metrics.records().at(1).finish;
+  Seconds t0 = metrics.record(0).finish;
+  Seconds t1 = metrics.record(1).finish;
   std::vector<std::int64_t> lens{6000};
   engine::IterationTime it = exec_.iteration_time(two_stage_, lens, true);
   // Second prompt completes one *interval* (slowest stage), not one full
@@ -83,7 +83,7 @@ TEST_F(PipelinedExec, DecodeIterationsSerialize) {
   inst.submit(sim, r);
   sim.run_until(120.0);
   ASSERT_EQ(metrics.finished(), 1u);
-  const auto& rec = metrics.records().at(0);
+  const auto& rec = metrics.record(0);
   std::vector<std::int64_t> ctx{101};
   Seconds decode_latency = exec_.iteration_time(two_stage_, ctx, false).latency();
   EXPECT_GE(rec.finish - rec.first_token, 19 * decode_latency * 0.9);

@@ -253,7 +253,7 @@ TEST(ScenarioServing, TenantsFlowThroughObserverAndRecords) {
   EXPECT_EQ(counter.counts(), expected);
   // ...and the records keep the tag for post-hoc attribution.
   std::map<int, std::size_t> recorded;
-  for (const auto& [id, rec] : eng->metrics().records()) recorded[rec.tenant]++;
+  for (const auto& rec : eng->metrics().records()) recorded[rec.tenant]++;
   EXPECT_EQ(recorded, expected);
 
   const auto summaries = harness::tenant_summaries(eng->metrics(), spec, /*warmup=*/0.0);

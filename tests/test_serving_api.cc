@@ -404,9 +404,9 @@ TEST(TenantPriority, HighPriorityTenantJumpsTheAdmissionQueue) {
     engine::RunReport rep = engine::run_trace(*eng, trace, engine::RunOptions(900.0));
     EXPECT_EQ(rep.finished, trace.size());
     if (fcfs_sum) {
-      for (const auto& [id, rec] : eng->metrics().records()) *fcfs_sum += rec.ttft();
+      for (const auto& rec : eng->metrics().records()) *fcfs_sum += rec.ttft();
     }
-    return eng->metrics().records().at(12).ttft();
+    return eng->metrics().record(12).ttft();
   };
 
   const Seconds fcfs = ttft_of_vip(false);

@@ -1,10 +1,17 @@
 // Unit tests: discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <random>
+#include <set>
+#include <tuple>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
+#include "sim/task.h"
 
 namespace hetis::sim {
 namespace {
@@ -120,6 +127,198 @@ TEST(Simulation, IdleReflectsQueue) {
   EXPECT_FALSE(sim.idle());
   sim.run_all();
   EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulation, PastScheduleAtOrdersAfterExistingSameTimeEvents) {
+  // A clamped-to-now event gets a fresh sequence number, so it fires after
+  // everything already queued at the current instant.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(5.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(3); });  // past; clamps to 5.0
+  });
+  sim.schedule_in(5.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, MoveOnlyEventCallable) {
+  // EventTask is move-only, so events may own move-only state -- which
+  // std::function (copyable by contract) forbade.
+  Simulation sim;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  sim.schedule_in(1.0, [p = std::move(payload), &seen] { seen = *p + 1; });
+  sim.run_all();
+  EXPECT_EQ(seen, 42);
+}
+
+// --- Differential and property tests: calendar tier vs the (time, seq)
+// --- contract.
+
+// Reference model: a std::set ordered by (time, seq) pops its begin() --
+// trivially correct (time, seq)-ascending order.
+using RefEvent = std::tuple<Seconds, std::uint64_t, int>;
+
+TEST(EventQueueDifferential, RandomizedInterleavingsMatchReference) {
+  // 10k seeded events per round -- enough to cross kCalendarOn -- with
+  // half the timestamps on a coarse grid to force duplicates, then a drain
+  // loop that keeps pushing (including zero-delay re-pushes at the
+  // just-popped instant, the binary-insert path of the current bucket).
+  for (std::uint64_t seed : {1ull, 42ull, 20251116ull}) {
+    EventQueue q;
+    std::set<RefEvent> ref;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> wide(0.0, 512.0);
+    std::uniform_int_distribution<int> grid(0, 63);
+    std::uniform_int_distribution<int> action(0, 99);
+
+    std::uint64_t seq = 0;
+    int next_label = 0;
+    std::vector<int> fired;
+    auto push_both = [&](Seconds t) {
+      const int label = next_label++;
+      q.push(t, [&fired, label] { fired.push_back(label); });
+      ref.emplace(t, seq++, label);
+    };
+
+    for (int i = 0; i < 10000; ++i) {
+      push_both(action(rng) < 50 ? static_cast<Seconds>(grid(rng)) * 8.0 : wide(rng));
+    }
+    EXPECT_TRUE(q.calendar_active());
+
+    while (!q.empty()) {
+      ASSERT_EQ(q.size(), ref.size());
+      const RefEvent expect = *ref.begin();
+      ref.erase(ref.begin());
+      ASSERT_EQ(q.next_time(), std::get<0>(expect));
+      q.pop().fn();
+      ASSERT_FALSE(fired.empty());
+      ASSERT_EQ(fired.back(), std::get<2>(expect));
+      const Seconds now = std::get<0>(expect);
+      const int a = action(rng);
+      if (a < 10) {
+        push_both(now);  // zero-delay reschedule at the popped instant
+      } else if (a < 25 && next_label < 14000) {
+        push_both(now + wide(rng));
+      }
+    }
+    EXPECT_TRUE(ref.empty());
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(next_label));
+  }
+}
+
+TEST(EventQueue, CalendarTierEngagesAndFallsBackWhenSparse) {
+  EventQueue q;
+  std::vector<Seconds> popped;
+  auto record = [&q, &popped](Seconds t) {
+    q.push(t, [&popped, t] { popped.push_back(t); });
+  };
+  // A dense burst activates the calendar tier.
+  for (int i = 0; i < 10000; ++i) record(static_cast<Seconds>(i) * 1e-4);
+  EXPECT_TRUE(q.calendar_active());
+  // Drain past the first window (rebuild #1 re-windows over the dense
+  // remainder, which is still above kCalendarOff) into the second window.
+  for (int i = 0; i < 9000; ++i) q.pop().fn();
+  EXPECT_TRUE(q.calendar_active());
+  // A sparse far tail pushed now lands past the second window's end, so it
+  // pools in overflow; when the window exhausts, rebuild #2 finds only
+  // 500 pending events -- below kCalendarOff -- and drops back to the heap.
+  for (int i = 0; i < 500; ++i) record(1e6 + static_cast<Seconds>(i));
+  for (int i = 0; i < 1000; ++i) q.pop().fn();
+  ASSERT_EQ(q.size(), 500u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1e6);
+  EXPECT_FALSE(q.calendar_active());
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(popped.size(), 10500u);
+  for (std::size_t i = 1; i < popped.size(); ++i) EXPECT_LE(popped[i - 1], popped[i]);
+}
+
+TEST(Simulation, CalendarSameInstantFifoSurvivesReschedules) {
+  // 10k events at one instant land in a single calendar bucket; the first
+  // 100 self-reschedule at the same instant mid-drain.  FIFO (seq) order
+  // must hold across both generations.
+  Simulation sim;
+  constexpr int kN = 10000;
+  std::vector<int> order;
+  order.reserve(kN + 100);
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule_at(1.0, [&sim, &order, i] {
+      order.push_back(i);
+      if (i < 100) sim.schedule_at(1.0, [&order, i] { order.push_back(kN + i); });
+    });
+  }
+  sim.run_all();
+  std::vector<int> want;
+  want.reserve(kN + 100);
+  for (int i = 0; i < kN; ++i) want.push_back(i);
+  for (int i = 0; i < 100; ++i) want.push_back(kN + i);
+  EXPECT_EQ(order, want);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+// --- EventTask + EventArena ---
+
+TEST(EventTask, LargeCaptureSpillsToArenaAndRecycles) {
+  EventQueue q;
+  struct Big {
+    double pad[16];  // 128 bytes > EventTask::kInlineSize
+  };
+  Big big{};
+  big.pad[0] = 7.0;
+  double seen = 0;
+  q.push(1.0, [big, &seen] { seen = big.pad[0]; });
+  EXPECT_EQ(q.arena().live_blocks(), 1);
+  {
+    EventQueue::Event ev = q.pop();
+    ev.fn();
+  }
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+  EXPECT_EQ(q.arena().live_blocks(), 0);
+  // The freed block recycles through the size-class free list: the second
+  // spill performs no slab carve and no global allocation.
+  q.push(2.0, [big, &seen] { seen = big.pad[0] * 2; });
+  EXPECT_GE(q.arena().freelist_hits(), 1u);
+  EXPECT_EQ(q.arena().oversize_allocations(), 0u);
+  q.clear();
+  EXPECT_EQ(q.arena().live_blocks(), 0);
+}
+
+TEST(EventTask, SmallCaptureStaysInline) {
+  EventQueue q;
+  int hits = 0;
+  q.push(1.0, [&hits] { ++hits; });
+  EXPECT_EQ(q.arena().live_blocks(), 0);  // inline storage, no arena block
+  q.pop().fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventArena, RecyclesBlocksThroughFreeLists) {
+  EventArena a;
+  void* p = a.allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.live_blocks(), 1);
+  a.deallocate(p, 100);
+  EXPECT_EQ(a.live_blocks(), 0);
+  // 80 bytes maps to the same 64-byte-granule class as 100: the freed
+  // block comes straight back off the free list.
+  void* p2 = a.allocate(80);
+  EXPECT_EQ(p2, p);
+  EXPECT_EQ(a.freelist_hits(), 1u);
+  a.deallocate(p2, 80);
+}
+
+TEST(EventArena, OversizeFallsThroughToGlobalAllocator) {
+  EventArena a;
+  ASSERT_GT(4096u, EventArena::max_pooled_size());
+  void* p = a.allocate(4096);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.oversize_allocations(), 1u);
+  EXPECT_EQ(a.live_blocks(), 1);
+  a.deallocate(p, 4096);
+  EXPECT_EQ(a.live_blocks(), 0);
 }
 
 }  // namespace
