@@ -27,8 +27,8 @@
 #include "workload/trace.h"
 
 // Entry point shared by the google-benchmark-based microbenches
-// (bench_micro_core, bench_fig15b_head_mgmt, bench_search_overhead).  When
-// google-benchmark is absent CMake skips those three targets entirely, so
+// (bench_micro_core, bench_fig15b_head_mgmt).  When
+// google-benchmark is absent CMake skips those targets entirely, so
 // this only ever expands with the library present.  Plain benches define
 // their own main() and print their figure directly.
 #define HETIS_BENCH_MAIN() BENCHMARK_MAIN()

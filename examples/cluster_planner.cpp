@@ -5,15 +5,19 @@
 // ShareGPT trace through the registry front-end with the plan pinned via
 // EngineOptions.
 //
-//   build/examples/cluster_planner [--objective NAME] [model] [gpu=count ...]
+//   build/examples/cluster_planner [--objective NAME] [--planner NAME]
+//                                  [model] [gpu=count ...]
 //   e.g. build/examples/cluster_planner Llama-70B A100=4 3090=4 P100=4
 //        build/examples/cluster_planner OPT-30B  H100=2 V100=8 T4=8
 //        build/examples/cluster_planner --objective latency Llama-13B
+//        build/examples/cluster_planner --planner flow Llama-70B H100=64 A100=96
 //
 // Without GPU arguments, plans the paper cluster.  --objective selects the
 // search policy (throughput | latency | goodput_per_device, see
 // parallel/objective.h); the default reproduces the paper's cheapest-cost
-// search.
+// search.  --planner selects the placement tier (exhaustive | flow | auto,
+// see planner/planner.h); the default "auto" searches exhaustively on
+// small clusters and switches to the LP/flow tier at datacenter scale.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 #include "hw/topology.h"
 #include "model/llm.h"
 #include "parallel/parallelizer.h"
+#include "planner/planner.h"
 #include "workload/trace.h"
 
 namespace {
@@ -50,8 +55,9 @@ hetis::hw::GpuType gpu_by_name(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace hetis;
 
-  // Pull --objective out of argv; the remaining arguments stay positional.
+  // Pull --objective/--planner out of argv; the rest stays positional.
   std::string objective_name = "throughput";
+  std::string planner_name = "auto";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--objective") {
@@ -61,6 +67,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       objective_name = argv[++i];
+      continue;
+    }
+    if (std::string(argv[i]) == "--planner") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--planner expects a name (exhaustive | flow | auto)\n");
+        return 1;
+      }
+      planner_name = argv[++i];
       continue;
     }
     args.emplace_back(argv[i]);
@@ -110,12 +124,14 @@ int main(int argc, char** argv) {
 
   parallel::ParallelizerOptions popts;
   popts.objective.name = objective_name;  // make_objective validates below
-  parallel::Parallelizer planner(cluster, model, popts);
-  parallel::ParallelPlan plan = planner.plan(profile);
-  const parallel::SearchDiagnostics& diag = planner.diagnostics();
-  const parallel::PlanEstimate estimate = planner.evaluator().evaluate(plan, profile);
+  popts.planner = planner_name;
+  auto planner = planner::make(planner_name, cluster, model, popts);
+  parallel::ParallelPlan plan = planner->plan(profile);
+  const parallel::SearchDiagnostics& diag = planner->diagnostics();
+  const parallel::PlanEvaluator evaluator(cluster, model);
+  const parallel::PlanEstimate estimate = evaluator.evaluate(plan, profile);
 
-  std::printf("objective: %s\n", diag.objective.c_str());
+  std::printf("objective: %s, planner: %s\n", diag.objective.c_str(), diag.planner.c_str());
   std::printf("selected plan: %s\n\n", plan.to_string(cluster, &diag).c_str());
   for (std::size_t i = 0; i < plan.instances.size(); ++i) {
     const auto& inst = plan.instances[i];

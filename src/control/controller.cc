@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "parallel/objective.h"
+#include "planner/planner.h"
 
 namespace hetis::control {
 
@@ -28,6 +29,7 @@ Controller::Controller(ControlSpec spec, const hw::Cluster& cluster)
     parallel::make_objective(spec_.replan_objective);  // typo -> throw at build
                                                        // time, not mid-churn
   }
+  planner::validate(spec_.replan_planner);  // "" = keep the engine's planner
 }
 
 std::function<void(sim::Simulation&, engine::Engine&)> Controller::starter() {
@@ -55,6 +57,9 @@ void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
   if (replan_objective_.empty() && spec_.policy == "slo") replan_objective_ = "latency";
   if (!replan_objective_.empty() && reconfigurable_) {
     reconfigurable_->set_plan_objective({replan_objective_, spec_.slo});
+  }
+  if (!spec_.replan_planner.empty() && reconfigurable_) {
+    reconfigurable_->set_planner(spec_.replan_planner);
   }
 
   // Chain in front of whatever observer run_trace installed.

@@ -67,6 +67,11 @@ struct ControlSpec {
   /// under the "slo" policy, which defaults to "latency": a controller
   /// scaling FOR SLO attainment should not replan FOR raw throughput.
   std::string replan_objective;
+  /// Placement tier replanning engines use for controller-triggered
+  /// re-deploys (planner::make name: "exhaustive" | "flow" | "auto").
+  /// Empty keeps the engine's configured planner.  Validated at
+  /// construction so typos fail before any churn fires.
+  std::string replan_planner;
 };
 
 struct ControllerStats {
@@ -101,6 +106,9 @@ class Controller final : public engine::RunObserver {
   /// The objective this controller instructs replanning engines to use
   /// ("" when the engine keeps its own; see ControlSpec::replan_objective).
   const std::string& replan_objective() const { return replan_objective_; }
+  /// The placement tier this controller instructs replanning engines to use
+  /// ("" when the engine keeps its own; see ControlSpec::replan_planner).
+  const std::string& replan_planner() const { return spec_.replan_planner; }
   /// Integral of the assigned device count over sim time [0, until] --
   /// the device-seconds this deployment occupied, the denominator of the
   /// harness's cost-efficiency columns.  `until` is typically the run's

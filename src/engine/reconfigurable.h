@@ -24,6 +24,7 @@
 // on_preempt, and on_prefill_done never fires twice for the same request.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -64,6 +65,13 @@ class Reconfigurable {
   virtual void set_plan_objective(const parallel::ObjectiveSpec& objective) {
     (void)objective;
   }
+
+  /// Selects the placement tier subsequent replans run through (a
+  /// planner::make name: "exhaustive" | "flow" | "auto").  The control
+  /// plane sets this when churn pushes the surviving cluster past the
+  /// scale the exhaustive search handles.  Default no-op for engines
+  /// without a planner.
+  virtual void set_planner(const std::string& planner) { (void)planner; }
 
   virtual const ReconfigStats& reconfig_stats() const = 0;
 };

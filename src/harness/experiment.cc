@@ -12,6 +12,7 @@
 #include "engine/registry.h"
 #include "harness/presets.h"
 #include "model/llm.h"
+#include "planner/planner.h"
 #include "workload/trace.h"
 
 namespace hetis::harness {
@@ -174,6 +175,7 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
         "run_sweep: a shared RunOptions::on_start requires jobs == 1; use "
         "ExperimentSpec::control for per-cell controllers under parallel sweeps");
   }
+  planner::validate(spec.planner);  // "" = engine defaults; typos fail here
   hw::Cluster cluster = cluster_by_name(spec.cluster);
 
   // Traces depend only on (spec, point): build each once, shared read-only
@@ -208,13 +210,17 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     const std::string& engine_name = spec.engines[ei];
     const std::string& objective_name = objectives[oi];
     engine::EngineOptions options = options_for(spec, engine_name);
-    if (!objective_name.empty() && engine::ascii_lower(engine_name) == "hetis") {
-      // Plan under the requested objective; the run's SLO targets become
-      // the objective's targets.  Replacing only the system config keeps
-      // tenant priorities and every other knob intact.
+    if ((!objective_name.empty() || !spec.planner.empty()) &&
+        engine::ascii_lower(engine_name) == "hetis") {
+      // Plan under the requested objective and/or planner tier; the run's
+      // SLO targets become the objective's targets.  Replacing only the
+      // system config keeps tenant priorities and every other knob intact.
       engine::HetisConfig cfg = options.get_or_default<engine::HetisConfig>(engine_name);
-      cfg.search.objective.name = objective_name;
-      if (spec.run.slo) cfg.search.objective.slo = *spec.run.slo;
+      if (!objective_name.empty()) {
+        cfg.search.objective.name = objective_name;
+        if (spec.run.slo) cfg.search.objective.slo = *spec.run.slo;
+      }
+      if (!spec.planner.empty()) cfg.search.planner = spec.planner;
       options.system = std::move(cfg);
     }
     if (options.tenant_priorities.empty()) {

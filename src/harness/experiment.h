@@ -89,6 +89,14 @@ struct ExperimentSpec {
   /// identically and merely record the objective column.
   std::vector<std::string> objectives{""};
 
+  /// Placement tier for every cell (planner::make name: "exhaustive" |
+  /// "flow" | "auto").  The default "" keeps each engine's configured
+  /// planner (ParallelizerOptions defaults to "auto") -- and the
+  /// historical row bytes, since no CSV column is added.  A scalar rather
+  /// than a sweep dimension: planners produce plans, not serving
+  /// behaviours, so comparing them is bench_search_overhead's job.
+  std::string planner;
+
   /// Per-engine configuration, keyed by registry name (matched
   /// case-insensitively, like the registry itself); engines without an
   /// entry get defaults.

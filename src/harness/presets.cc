@@ -1,9 +1,47 @@
 #include "harness/presets.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 namespace hetis::harness {
+
+namespace {
+
+// Interconnect tiers for the datacenter presets.  NVLink hosts carry the
+// flagships; PCIe 4.0 is the cluster default; the T4 inference boxes sit on
+// PCIe 3.0.  Numbers are per-direction effective bandwidths.
+constexpr hw::Link kNvLink{micros(2), 150e9};
+constexpr hw::Link kPcie3{micros(8), 8e9};
+
+// Datacenter slice: `h100 + a100 + v100 (+ t4)` GPUs, 8 per host.  H100
+// hosts get NVLink, T4 hosts get PCIe 3.0, everything else stays on the
+// PCIe 4.0 default.  Counts share a large gcd so data-parallel grouping
+// has room to split.
+constexpr int kGpusPerHost = 8;
+
+hw::Cluster dc_cluster(int h100, int a100, int v100, int t4) {
+  hw::Cluster c;
+  c.set_intra_host_link(hw::Link{micros(5), 16e9});   // PCIe 4.0
+  c.set_inter_host_link(hw::Link{micros(20), 25e9});  // 200 Gbps fabric
+  auto add = [&c](const char* tag, hw::GpuType t, int count,
+                  const hw::Link* intra) {
+    int host_idx = 0;
+    for (int left = count; left > 0; left -= kGpusPerHost) {
+      std::ostringstream name;
+      name << "host-" << tag << "-" << host_idx++;
+      int host = c.add_host(name.str(), t, std::min(kGpusPerHost, left));
+      if (intra) c.set_host_intra_link(host, *intra);
+    }
+  };
+  add("h100", hw::GpuType::kH100_80G, h100, &kNvLink);
+  add("a100", hw::GpuType::kA100_80G, a100, nullptr);
+  add("v100", hw::GpuType::kV100_32G, v100, nullptr);
+  if (t4 > 0) add("t4", hw::GpuType::kT4, t4, &kPcie3);
+  return c;
+}
+
+}  // namespace
 
 hw::Cluster cluster_by_name(const std::string& name) {
   if (name == "paper") return hw::Cluster::paper_cluster();
@@ -17,12 +55,17 @@ hw::Cluster cluster_by_name(const std::string& name) {
     c.add_host("host-t4", hw::GpuType::kT4, 4);
     return c;
   }
+  if (name == "dc64") return dc_cluster(16, 32, 16, 0);
+  if (name == "dc128") return dc_cluster(32, 48, 32, 16);
+  if (name == "dc256") return dc_cluster(64, 96, 64, 32);
   std::ostringstream oss;
   oss << "cluster_by_name: unknown cluster preset '" << name << "'; known presets:";
   for (const auto& known : cluster_preset_names()) oss << " '" << known << "'";
   throw std::invalid_argument(oss.str());
 }
 
-std::vector<std::string> cluster_preset_names() { return {"ablation", "budget", "paper"}; }
+std::vector<std::string> cluster_preset_names() {
+  return {"ablation", "budget", "dc128", "dc256", "dc64", "paper"};
+}
 
 }  // namespace hetis::harness

@@ -14,6 +14,15 @@ namespace hetis::harness {
 ///   "ablation" -- one A100 + two 3090s (Fig. 14 / Fig. 15a ablations)
 ///   "budget"   -- no-flagship tier: 4xV100-32G + 4xT4 across two hosts,
 ///                 the mid/low-end mix the objective benches price plans on
+///   "dc64"     -- datacenter slice, 64 GPUs: 16xH100 (NVLink hosts) +
+///                 32xA100 + 16xV100-32G, 8 GPUs/host
+///   "dc128"    -- datacenter slice, 128 GPUs: 32xH100 + 48xA100 +
+///                 32xV100-32G + 16xT4 (T4 hosts on PCIe 3.0)
+///   "dc256"    -- datacenter pod, 256 GPUs: 64xH100 + 96xA100 +
+///                 64xV100-32G + 32xT4; the flow-planner scale target
+/// The dc* presets mix three interconnect tiers (NVLink, PCIe 4.0, PCIe
+/// 3.0) via per-host intra-link overrides, so placement must price both
+/// compute and fabric heterogeneity.
 /// Throws std::invalid_argument listing the known names otherwise.
 hw::Cluster cluster_by_name(const std::string& name);
 

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "planner/planner.h"
 
 namespace hetis::core {
 
@@ -42,9 +43,9 @@ HetisEngine::HetisEngine(const hw::Cluster& cluster, const model::ModelSpec& mod
   if (opts_.plan) {
     plan_ = *opts_.plan;
   } else {
-    parallel::Parallelizer parallelizer(cluster, model, opts_.search);
-    plan_ = parallelizer.plan(opts_.workload);
-    search_diag_ = parallelizer.diagnostics();
+    auto planner = planner::make(opts_.search.planner, cluster, model, opts_.search);
+    plan_ = planner->plan(opts_.workload);
+    search_diag_ = planner->diagnostics();
   }
   costmodel::ProfilerOptions popts;
   popts.seed = opts_.profile_seed;
@@ -82,6 +83,11 @@ void HetisEngine::set_plan_objective(const parallel::ObjectiveSpec& objective) {
   parallel::make_objective(objective);  // validate eagerly: a typo must fail
                                         // here, not mid-churn on a replan
   opts_.search.objective = objective;
+}
+
+void HetisEngine::set_planner(const std::string& planner) {
+  planner::validate(planner);  // same eager-failure contract as objectives
+  opts_.search.planner = planner;
 }
 
 void HetisEngine::set_tenant_priorities(std::vector<int> priorities) {
@@ -150,14 +156,14 @@ void HetisEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devi
   std::sort(live.begin(), live.end(),
             [](const Carried& a, const Carried& b) { return a.lr.req.id < b.lr.req.id; });
 
-  // §5.3 applied to churn: re-run the Parallelizer over the new device set
-  // (the search itself is sub-second and off the serving critical path; the
-  // run pays only the KV movement below).
+  // §5.3 applied to churn: re-plan over the new device set through the
+  // configured planner tier (the search itself is sub-second and off the
+  // serving critical path; the run pays only the KV movement below).
   std::vector<int> original_ids;
   hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
-  parallel::Parallelizer parallelizer(sub, exec_.model_spec(), opts_.search);
-  parallel::ParallelPlan plan = parallelizer.plan(opts_.workload);
-  search_diag_ = parallelizer.diagnostics();
+  auto planner = planner::make(opts_.search.planner, sub, exec_.model_spec(), opts_.search);
+  parallel::ParallelPlan plan = planner->plan(opts_.workload);
+  search_diag_ = planner->diagnostics();
   parallel::remap_device_ids(plan, original_ids);
   plan_ = std::move(plan);
   build_instances(exec_.cluster(), exec_.model_spec());

@@ -61,14 +61,19 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   /// torn down) search under this objective; the control plane's
   /// SLO-attainment policy passes the latency objective here.
   void set_plan_objective(const parallel::ObjectiveSpec& objective) override;
+  /// Selects the placement tier ("exhaustive" | "flow" | "auto") subsequent
+  /// replans run through.  Validates eagerly: a typo fails here, not
+  /// mid-churn on a replan.
+  void set_planner(const std::string& planner) override;
   const engine::ReconfigStats& reconfig_stats() const override { return stats_; }
 
   const parallel::ParallelPlan& plan() const { return plan_; }
   /// The objective the next plan search would use (construction value until
   /// set_plan_objective overrides it).
   const parallel::ObjectiveSpec& plan_objective() const { return opts_.search.objective; }
-  /// Diagnostics of the most recent Parallelizer search; default-constructed
-  /// when the engine serves on an externally pinned plan.
+  /// Diagnostics of the most recent plan search (whichever planner tier ran
+  /// it); default-constructed when the engine serves on an externally
+  /// pinned plan.
   const parallel::SearchDiagnostics& search_diagnostics() const { return search_diag_; }
   const costmodel::ProfileResult& profile() const { return profile_; }
   Bytes migrated_bytes() const { return hauler_.total_bytes(); }

@@ -50,7 +50,22 @@ bool Cluster::same_host(int a, int b) const { return device(a).host == device(b)
 
 Link Cluster::link(int a, int b) const {
   if (a == b) return Link{0.0, std::numeric_limits<double>::infinity()};
-  return same_host(a, b) ? intra_ : inter_;
+  return same_host(a, b) ? host_intra_link(device(a).host) : inter_;
+}
+
+void Cluster::set_host_intra_link(int host, Link l) {
+  if (host < 0 || static_cast<std::size_t>(host) >= hosts_.size()) {
+    throw std::invalid_argument("Cluster::set_host_intra_link: host id out of range");
+  }
+  host_intra_[host] = l;
+}
+
+const Link& Cluster::host_intra_link(int host) const {
+  if (host < 0 || static_cast<std::size_t>(host) >= hosts_.size()) {
+    throw std::invalid_argument("Cluster::host_intra_link: host id out of range");
+  }
+  auto it = host_intra_.find(host);
+  return it == host_intra_.end() ? intra_ : it->second;
 }
 
 Bytes Cluster::total_memory() const {
@@ -89,7 +104,9 @@ Cluster Cluster::subcluster(const std::vector<int>& device_ids,
       }
     }
     if (kept_types.empty()) continue;
-    sub.add_host(host.name, kept_types);
+    int new_host = sub.add_host(host.name, kept_types);
+    auto it = host_intra_.find(host.id);
+    if (it != host_intra_.end()) sub.host_intra_[new_host] = it->second;
     new_ids.insert(new_ids.end(), kept_ids.begin(), kept_ids.end());
   }
   if (original_ids) *original_ids = new_ids;

@@ -5,6 +5,7 @@
 // on PCIe.  `Cluster::paper_cluster()` builds exactly that.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,15 @@ class Cluster {
   const Link& intra_host_link() const { return intra_; }
   const Link& inter_host_link() const { return inter_; }
 
+  /// Per-host intra-host fabric override: host `host` uses `l` for its
+  /// device-to-device links instead of the cluster-wide default.  Real
+  /// heterogeneous fleets mix NVLink flagships with PCIe boxes; the `dc*`
+  /// presets use this so the planner prices interconnect heterogeneity, not
+  /// just compute heterogeneity.  Preserved by subcluster().
+  void set_host_intra_link(int host, Link l);
+  /// The intra-host link host `host` actually uses (override or default).
+  const Link& host_intra_link(int host) const;
+
   /// Total memory across all devices.
   Bytes total_memory() const;
 
@@ -97,6 +107,7 @@ class Cluster {
   std::vector<Host> hosts_;
   Link intra_{micros(5), 16e9};
   Link inter_{micros(20), 12.5e9};
+  std::map<int, Link> host_intra_;  // per-host overrides (see set_host_intra_link)
 };
 
 }  // namespace hetis::hw

@@ -24,7 +24,24 @@ void MinMaxProblem::validate() const {
   }
 }
 
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  return std::all_of(v.begin(), v.end(), [](double x) { return std::isfinite(x); });
+}
+
+}  // namespace
+
 MinMaxSolution solve_relaxed(const MinMaxProblem& p) {
+  // Non-finite numeric inputs (a profiler fit gone wrong, an impossible
+  // cost-model query) come back as a typed kMalformed status before the
+  // shape validation below, which throws only on API misuse.
+  if (!all_finite(p.base_time) || !all_finite(p.head_cost) || !all_finite(p.cache_cost) ||
+      !all_finite(p.mem_free) || !all_finite(p.demand) || !all_finite(p.cache_per_head)) {
+    MinMaxSolution bad;
+    bad.status = Status::kMalformed;
+    return bad;
+  }
   p.validate();
   const std::size_t d = p.num_devices();
   const std::size_t j = p.num_requests();

@@ -13,6 +13,7 @@ const char* to_string(Status s) {
     case Status::kInfeasible: return "infeasible";
     case Status::kUnbounded: return "unbounded";
     case Status::kIterLimit: return "iteration-limit";
+    case Status::kMalformed: return "malformed";
   }
   return "?";
 }
@@ -67,6 +68,7 @@ struct SimplexCore {
   std::size_t m;                   // constraint rows
   std::size_t total_cols;          // structural + slack + artificial + rhs
   double eps;
+  std::size_t pivots = 0;          // across every iterate() call
 
   SimplexCore(std::size_t m_, std::size_t cols_, double eps_)
       : tab(m_ + 1, cols_), basis(m_, 0), m(m_), total_cols(cols_), eps(eps_) {}
@@ -105,6 +107,7 @@ struct SimplexCore {
       if (leave == m) return Status::kUnbounded;
       tab.pivot(leave, enter);
       basis[leave] = enter;
+      ++pivots;
     }
     return Status::kIterLimit;
   }
@@ -122,6 +125,29 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
     if (c.coeffs.size() != n) {
       throw std::invalid_argument("lp::solve: constraint size != num_vars");
     }
+  }
+  // Numerical sanity: a NaN or infinite coefficient anywhere poisons every
+  // pivot after it.  Automatically-generated formulations (the flow planner
+  // derives coefficients from cost-model output) can produce these, so they
+  // are a typed solver outcome, not an exception.
+  auto finite = [](double v) { return std::isfinite(v); };
+  bool malformed = !std::all_of(problem.objective.begin(), problem.objective.end(), finite);
+  for (const auto& c : problem.constraints) {
+    malformed = malformed || !finite(c.rhs) ||
+                !std::all_of(c.coeffs.begin(), c.coeffs.end(), finite);
+  }
+  if (malformed) return Solution{Status::kMalformed, 0.0, {}, 0};
+
+  // Degenerate shell: no variables.  Each constraint reduces to 0 rel rhs;
+  // report infeasibility instead of building an empty tableau.
+  if (n == 0) {
+    for (const auto& c : problem.constraints) {
+      const bool holds = c.rel == Relation::kLe   ? 0.0 <= c.rhs + opts.eps
+                         : c.rel == Relation::kGe ? 0.0 >= c.rhs - opts.eps
+                                                  : std::abs(c.rhs) <= opts.eps;
+      if (!holds) return Solution{Status::kInfeasible, 0.0, {}, 0};
+    }
+    return Solution{Status::kOptimal, 0.0, {}, 0};
   }
 
   // Count auxiliary columns.  After normalizing rhs >= 0:
@@ -188,9 +214,9 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
       }
     }
     Status st = core.iterate(opts.max_iterations);
-    if (st == Status::kIterLimit) return Solution{Status::kIterLimit, 0.0, {}};
+    if (st == Status::kIterLimit) return Solution{Status::kIterLimit, 0.0, {}, core.pivots};
     double phase1 = -tab.at(obj, core.rhs_col());
-    if (phase1 > 1e-6) return Solution{Status::kInfeasible, 0.0, {}};
+    if (phase1 > 1e-6) return Solution{Status::kInfeasible, 0.0, {}, core.pivots};
     // Drive any artificial still basic (at zero level) out of the basis.
     for (std::size_t r = 0; r < m; ++r) {
       bool is_art = std::find(art_cols.begin(), art_cols.end(), core.basis[r]) != art_cols.end();
@@ -205,6 +231,7 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
       if (enter != cols) {
         tab.pivot(r, enter);
         core.basis[r] = enter;
+        ++core.pivots;
       }
       // Else the row is all-zero (redundant constraint); leave it.
     }
@@ -225,11 +252,12 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
       for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) -= coeff * tab.at(r, c);
     }
     Status st = core.iterate(opts.max_iterations);
-    if (st != Status::kOptimal) return Solution{st, 0.0, {}};
+    if (st != Status::kOptimal) return Solution{st, 0.0, {}, core.pivots};
   }
 
   Solution sol;
   sol.status = Status::kOptimal;
+  sol.iterations = core.pivots;
   sol.x.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     if (core.basis[r] < n) sol.x[core.basis[r]] = tab.at(r, core.rhs_col());

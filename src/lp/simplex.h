@@ -33,7 +33,12 @@ struct Problem {
   void add_eq(std::vector<double> coeffs, double rhs);
 };
 
-enum class Status : std::uint8_t { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+/// Solver outcome.  kMalformed reports numerically-broken inputs (NaN or
+/// infinite coefficients) that a structurally-valid formulation can still
+/// produce -- e.g. a flow-planner cost term derived from an impossible
+/// configuration -- so callers branch on a typed status instead of chasing
+/// poisoned arithmetic through the tableau.
+enum class Status : std::uint8_t { kOptimal, kInfeasible, kUnbounded, kIterLimit, kMalformed };
 
 const char* to_string(Status s);
 
@@ -41,6 +46,7 @@ struct Solution {
   Status status = Status::kIterLimit;
   double objective = 0.0;
   std::vector<double> x;
+  std::size_t iterations = 0;  // simplex pivots across both phases
 
   bool ok() const { return status == Status::kOptimal; }
 };
@@ -51,7 +57,9 @@ struct SolverOptions {
 };
 
 /// Solves the LP; never throws on solver-status outcomes (they are reported
-/// via Solution::status), throws std::invalid_argument on malformed input.
+/// via Solution::status, including kMalformed for non-finite coefficients),
+/// throws std::invalid_argument on shape errors (wrong vector sizes), which
+/// are API misuse rather than problem-instance pathologies.
 Solution solve(const Problem& problem, const SolverOptions& opts = {});
 
 }  // namespace hetis::lp

@@ -39,10 +39,16 @@ std::string ParallelPlan::to_string(const hw::Cluster& cluster,
     }
   }
   if (diag) {
-    oss << "; search{objective=" << diag->objective << ", evaluated="
-        << diag->configurations_evaluated << ", groupings=" << diag->instances_considered
-        << ", pruned=" << diag->pruned_devices << ", best_score=" << diag->best_cost
-        << ", wall=" << diag->wall_time << "s}";
+    oss << "; search{planner=" << diag->planner << ", objective=" << diag->objective
+        << ", evaluated=" << diag->configurations_evaluated
+        << ", groupings=" << diag->instances_considered << ", pruned=" << diag->pruned_devices
+        << ", best_score=" << diag->best_cost << ", wall=" << diag->wall_time << "s";
+    if (diag->lp_solves > 0) {
+      oss << ", lp_solves=" << diag->lp_solves << ", pivots=" << diag->solver_iterations
+          << ", relaxation_gap=" << diag->relaxation_gap;
+    }
+    if (!diag->fallback_reason.empty()) oss << ", fallback=" << diag->fallback_reason;
+    oss << "}";
   }
   oss << "}";
   return oss.str();

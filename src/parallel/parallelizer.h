@@ -57,9 +57,17 @@ struct ParallelizerOptions {
   /// What the search optimizes (parallel/objective.h).  The default
   /// "throughput" spec keeps the legacy cheapest-cost plans byte-identical.
   ObjectiveSpec objective;
+  /// Which placement tier produces the plan (planner/planner.h):
+  ///   "exhaustive" -- the hierarchical search below, always
+  ///   "flow"       -- the LP/flow planner (datacenter scale)
+  ///   "auto"       -- exhaustive up to planner::kAutoExhaustiveMaxDevices
+  ///                   devices, flow beyond (default; keeps small-cluster
+  ///                   plans byte-identical)
+  std::string planner = "auto";
 };
 
 struct SearchDiagnostics {
+  std::string planner = "exhaustive";    // tier that produced the plan
   std::string objective = "throughput";  // objective the search ranked by
   int configurations_evaluated = 0;
   int instances_considered = 0;
@@ -67,6 +75,11 @@ struct SearchDiagnostics {
   double best_cost = 0;  // best objective score (negative for maximizing
                          // objectives like goodput_per_device)
   Seconds wall_time = 0;
+  // Flow-planner extras (zero / empty on the exhaustive path).
+  std::size_t lp_solves = 0;          // feasibility LPs solved
+  std::size_t solver_iterations = 0;  // simplex pivots across all LPs
+  double relaxation_gap = 0;          // (exact score - LP bound) / LP bound
+  std::string fallback_reason;        // why flow deferred to the oracle ("" = it didn't)
 };
 
 class Parallelizer {

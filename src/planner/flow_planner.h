@@ -1,0 +1,60 @@
+// FlowPlanner: datacenter-scale placement via LP relaxation + exact
+// re-scoring.
+//
+// The exhaustive search's cost is a product over device-grouping, pruning
+// depth and per-stage TP x PP choices -- fine at testbed scale, hopeless at
+// hundreds of GPUs.  Helix's observation (PAPERS.md) is that heterogeneous
+// placement is a max-flow problem over *device types*: what matters is how
+// many primaries of each type serve a pipeline and how many layers they
+// carry, not which identical GPU gets which slot.  The flow planner adopts
+// that framing against our own cost model:
+//
+//   1. Aggregate: per GPU type t, a per-instance share of n_t devices, a
+//      profiled per-layer cost tau_t (one device, prefill + weighted
+//      decode -- the same perfect-scaling cost the exhaustive pruning phase
+//      uses) and a per-device parameter budget.
+//   2. Bisect on the bottleneck stage cost C.  Feasibility of a given C is
+//      one small LP over f_t (primaries of type t) and l_t (layers on type
+//      t): layers sum to L, tau_t * l_t <= C * f_t (perfect scaling),
+//      f_t <= n_t, parameters must fit, at least one primary; minimize
+//      sum tau_t * f_t so slow types are shed first (the LP analogue of the
+//      paper's Delta-pruning, which demotes weak GPUs to Attention
+//      workers).  LP size is O(#types), independent of #devices.
+//   3. Round a ladder of primal solutions -- C* relaxed by 0%..100% -- into
+//      integer per-type primary counts; each in two placements (demoted
+//      devices kept as Attention workers, or dropped from the deployment).
+//      Two oracle-anchor candidates (all primaries; the paper's Delta walk)
+//      keep the small-cluster behaviour honest.
+//   4. Score every candidate EXACTLY through the PlanEvaluator under the
+//      configured PlanObjective, with the same KV-capacity filter as the
+//      exhaustive search; refine the per-grouping winner's TP x PP split.
+//      The LP only proposes; measured cost disposes.
+//
+// When no candidate survives, the planner falls back to the exhaustive
+// oracle and records why in SearchDiagnostics::fallback_reason.
+#pragma once
+
+#include "planner/planner.h"
+
+namespace hetis::planner {
+
+class FlowPlanner : public Planner {
+ public:
+  FlowPlanner(const hw::Cluster& cluster, const model::ModelSpec& model,
+              parallel::ParallelizerOptions opts);
+
+  parallel::ParallelPlan plan(const parallel::WorkloadProfile& profile) override;
+  const parallel::SearchDiagnostics& diagnostics() const override { return diag_; }
+  std::string name() const override { return "flow"; }
+
+ private:
+  const hw::Cluster* cluster_;
+  const model::ModelSpec* model_;
+  parallel::ParallelizerOptions opts_;
+  // Shares the cost model (perfect_scaling_cost, PlanEvaluator) and serves
+  // as the fallback oracle.
+  parallel::Parallelizer oracle_;
+  parallel::SearchDiagnostics diag_;
+};
+
+}  // namespace hetis::planner

@@ -1,0 +1,43 @@
+#include "planner/planner.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "planner/flow_planner.h"
+
+namespace hetis::planner {
+
+ExhaustivePlanner::ExhaustivePlanner(const hw::Cluster& cluster, const model::ModelSpec& model,
+                                     parallel::ParallelizerOptions opts)
+    : search_(cluster, model, std::move(opts)) {}
+
+parallel::ParallelPlan ExhaustivePlanner::plan(const parallel::WorkloadProfile& profile) {
+  return search_.plan(profile);
+}
+
+std::vector<std::string> planner_names() { return {"auto", "exhaustive", "flow"}; }
+
+void validate(const std::string& name) {
+  if (name.empty()) return;  // "" means "auto" (the ParallelizerOptions default)
+  for (const auto& known : planner_names()) {
+    if (name == known) return;
+  }
+  std::ostringstream oss;
+  oss << "planner: unknown planner '" << name << "'; known planners:";
+  for (const auto& known : planner_names()) oss << " '" << known << "'";
+  throw std::invalid_argument(oss.str());
+}
+
+std::unique_ptr<Planner> make(const std::string& name, const hw::Cluster& cluster,
+                              const model::ModelSpec& model,
+                              const parallel::ParallelizerOptions& opts) {
+  validate(name);
+  std::string which = name.empty() ? "auto" : name;
+  if (which == "auto") {
+    which = cluster.num_devices() <= kAutoExhaustiveMaxDevices ? "exhaustive" : "flow";
+  }
+  if (which == "exhaustive") return std::make_unique<ExhaustivePlanner>(cluster, model, opts);
+  return std::make_unique<FlowPlanner>(cluster, model, opts);
+}
+
+}  // namespace hetis::planner

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "lp/minmax.h"
@@ -108,6 +109,62 @@ TEST(Simplex, StatusStrings) {
   EXPECT_STREQ(to_string(Status::kOptimal), "optimal");
   EXPECT_STREQ(to_string(Status::kInfeasible), "infeasible");
   EXPECT_STREQ(to_string(Status::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(Status::kMalformed), "malformed");
+}
+
+// Non-finite inputs come back as a typed kMalformed status (never an
+// assert or NaN-poisoned tableau): the flow planner legitimately produces
+// infinite cost coefficients for impossible configurations and branches on
+// the status.
+TEST(Simplex, MalformedInputsReported) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int where = 0; where < 3; ++where) {
+    for (double bad : {nan, inf, -inf}) {
+      Problem p;
+      p.num_vars = 2;
+      p.objective = {1, 1};
+      p.add_le({1, 1}, 4);
+      if (where == 0) p.objective[1] = bad;
+      if (where == 1) p.constraints[0].coeffs[0] = bad;
+      if (where == 2) p.constraints[0].rhs = bad;
+      Solution s = solve(p);
+      EXPECT_EQ(s.status, Status::kMalformed) << "where=" << where << " bad=" << bad;
+      EXPECT_FALSE(s.ok());
+      EXPECT_TRUE(s.x.empty());
+    }
+  }
+}
+
+TEST(Simplex, IterationsCountPivots) {
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-3, -2};
+  p.add_le({1, 1}, 4);
+  p.add_le({1, 0}, 2);
+  Solution s = solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s.iterations, 0u);  // reaching this optimum needs real pivots
+  // Statuses short of optimal still report the work done getting there.
+  Problem q;
+  q.num_vars = 1;
+  q.objective = {1};
+  q.add_le({1}, 1);
+  q.add_ge({1}, 2);
+  EXPECT_EQ(solve(q).status, Status::kInfeasible);
+}
+
+TEST(Simplex, ZeroVariableShell) {
+  // A degenerate n == 0 problem is vacuously optimal when every constraint
+  // holds at x = {} and infeasible otherwise -- it must not index into an
+  // empty tableau.
+  Problem p;
+  p.num_vars = 0;
+  Solution s = solve(p);
+  EXPECT_EQ(s.status, Status::kOptimal);
+  EXPECT_EQ(s.objective, 0.0);
+  p.constraints.push_back(Constraint{{}, Relation::kGe, 1.0});  // 0 >= 1
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
 }
 
 // Property: on random feasible bounded LPs the simplex solution must be
@@ -189,6 +246,20 @@ TEST(MinMax, RelaxedSolutionMeetsDemand) {
   double total = s.heads[0][0] + s.heads[1][0];
   EXPECT_NEAR(total, 32.0, 1e-6);
   EXPECT_GT(s.objective, 0.0);
+}
+
+TEST(MinMax, MalformedInputsReported) {
+  // NaN/inf cost terms (a division by a zero bandwidth upstream, say) are
+  // reported as kMalformed, not fed into the tableau -- and checked before
+  // shape validation so a poisoned value never throws.
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    MinMaxProblem p = two_device_problem();
+    p.head_cost[1] = bad;
+    MinMaxSolution s = solve_relaxed(p);
+    EXPECT_EQ(s.status, Status::kMalformed);
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(s.heads.empty());
+  }
 }
 
 TEST(MinMax, RelaxedOptimumIsLowerBoundOfGreedy) {

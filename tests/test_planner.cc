@@ -1,0 +1,241 @@
+// Planner-tier tests: registry semantics, flow-vs-exhaustive oracle
+// equivalence on every small preset x objective, remap round-trips and the
+// datacenter presets the flow tier exists for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/presets.h"
+#include "model/llm.h"
+#include "parallel/evaluator.h"
+#include "parallel/objective.h"
+#include "parallel/parallelizer.h"
+#include "planner/flow_planner.h"
+#include "planner/planner.h"
+
+namespace hetis {
+namespace {
+
+const std::vector<std::string> kSmallPresets = {"ablation", "budget", "paper"};
+const std::vector<std::string> kObjectives = {"throughput", "latency", "goodput_per_device"};
+
+parallel::WorkloadProfile default_profile() { return parallel::WorkloadProfile{}; }
+
+double plan_score(const hw::Cluster& cluster, const model::ModelSpec& model,
+                  const parallel::ParallelPlan& plan, const std::string& objective) {
+  parallel::PlanEvaluator evaluator(cluster, model);
+  std::unique_ptr<parallel::PlanObjective> obj = parallel::make_objective(objective);
+  return obj->score(evaluator.evaluate(plan, default_profile()));
+}
+
+// --- registry -----------------------------------------------------------
+
+TEST(PlannerRegistry, NamesSortedAndValidated) {
+  const auto names = planner::planner_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"auto", "exhaustive", "flow"}));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& n : names) EXPECT_NO_THROW(planner::validate(n));
+  EXPECT_NO_THROW(planner::validate(""));  // "" = the options default ("auto")
+  try {
+    planner::validate("simulated-annealing");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("simulated-annealing"), std::string::npos);
+    for (const auto& n : names) EXPECT_NE(msg.find("'" + n + "'"), std::string::npos);
+  }
+}
+
+TEST(PlannerRegistry, AutoPicksByDeviceCount) {
+  const model::ModelSpec& model = model::llama_13b();
+  parallel::ParallelizerOptions opts;
+  hw::Cluster small = harness::cluster_by_name("paper");
+  ASSERT_LE(small.num_devices(), planner::kAutoExhaustiveMaxDevices);
+  EXPECT_EQ(planner::make("auto", small, model, opts)->name(), "exhaustive");
+  EXPECT_EQ(planner::make("", small, model, opts)->name(), "exhaustive");
+
+  hw::Cluster big = harness::cluster_by_name("dc64");
+  ASSERT_GT(big.num_devices(), planner::kAutoExhaustiveMaxDevices);
+  EXPECT_EQ(planner::make("auto", big, model::llama_70b(), opts)->name(), "flow");
+  EXPECT_EQ(planner::make("exhaustive", big, model::llama_70b(), opts)->name(), "exhaustive");
+  EXPECT_EQ(planner::make("flow", small, model, opts)->name(), "flow");
+  EXPECT_THROW(planner::make("nope", small, model, opts), std::invalid_argument);
+}
+
+// --- oracle equivalence -------------------------------------------------
+
+// The flow tier must stay within 5% of the exhaustive oracle on every
+// small preset under every objective, judged by the SAME PlanEvaluator
+// both planners score candidates with (the ISSUE's acceptance bound).
+TEST(FlowPlannerOracle, WithinFivePercentOnEverySmallPreset) {
+  for (const std::string& preset : kSmallPresets) {
+    hw::Cluster cluster = harness::cluster_by_name(preset);
+    ASSERT_LE(cluster.num_devices(), 12) << preset;
+    const model::ModelSpec& model = model::llama_13b();
+    for (const std::string& objective : kObjectives) {
+      parallel::ParallelizerOptions opts;
+      opts.objective.name = objective;
+
+      planner::ExhaustivePlanner oracle(cluster, model, opts);
+      parallel::ParallelPlan oracle_plan = oracle.plan(default_profile());
+      planner::FlowPlanner flow(cluster, model, opts);
+      parallel::ParallelPlan flow_plan = flow.plan(default_profile());
+
+      const double oracle_score = plan_score(cluster, model, oracle_plan, objective);
+      const double flow_score = plan_score(cluster, model, flow_plan, objective);
+      // Lower is better (goodput scores are negative); 5% of |oracle|.
+      EXPECT_LE(flow_score, oracle_score + 0.05 * std::abs(oracle_score) + 1e-12)
+          << preset << " x " << objective << ": flow=" << flow_score
+          << " oracle=" << oracle_score;
+    }
+  }
+}
+
+TEST(FlowPlannerOracle, DiagnosticsDescribeTheSearch) {
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::llama_13b();
+  parallel::ParallelizerOptions opts;
+  planner::FlowPlanner flow(cluster, model, opts);
+  parallel::ParallelPlan plan = flow.plan(default_profile());
+  const parallel::SearchDiagnostics& diag = flow.diagnostics();
+  EXPECT_EQ(diag.planner, "flow");
+  EXPECT_EQ(diag.objective, "throughput");
+  EXPECT_GT(diag.lp_solves, 0u);
+  EXPECT_GT(diag.solver_iterations, 0u);
+  EXPECT_GT(diag.configurations_evaluated, 0);
+  EXPECT_GE(diag.relaxation_gap, 0.0);
+  EXPECT_TRUE(diag.fallback_reason.empty()) << diag.fallback_reason;
+
+  const std::string s = plan.to_string(cluster, &diag);
+  EXPECT_NE(s.find("planner=flow"), std::string::npos) << s;
+  EXPECT_NE(s.find("lp_solves="), std::string::npos) << s;
+  EXPECT_NE(s.find("relaxation_gap="), std::string::npos) << s;
+  // No fallback fired, so the reason must stay out of the summary.
+  EXPECT_EQ(s.find("fallback="), std::string::npos) << s;
+
+  planner::ExhaustivePlanner exhaustive(cluster, model, opts);
+  EXPECT_EQ(exhaustive.diagnostics().planner, "exhaustive");
+}
+
+// --- device-id remapping ------------------------------------------------
+
+// A flow plan computed on a subcluster must remap cleanly onto the parent:
+// forward through original_ids, then back through the inverse, recovering
+// the sub-cluster plan exactly (the elastic replan path does the forward
+// half on every churn event).
+TEST(FlowPlannerRemap, RoundTripsThroughSubcluster) {
+  hw::Cluster parent = harness::cluster_by_name("paper");
+  // Drop one device of each host tier: a churn-shaped survivor set.
+  std::vector<int> survivors;
+  for (int id = 0; id < parent.num_devices(); ++id) {
+    if (id % 4 != 1) survivors.push_back(id);
+  }
+  std::vector<int> original_ids;
+  hw::Cluster sub = parent.subcluster(survivors, &original_ids);
+
+  parallel::ParallelizerOptions opts;
+  planner::FlowPlanner flow(sub, model::llama_13b(), opts);
+  parallel::ParallelPlan plan = flow.plan(default_profile());
+
+  parallel::ParallelPlan mapped = plan;
+  parallel::remap_device_ids(mapped, original_ids);
+  std::map<int, int> inverse;  // parent id -> sub id
+  for (std::size_t i = 0; i < original_ids.size(); ++i) {
+    inverse[original_ids[i]] = static_cast<int>(i);
+  }
+  ASSERT_EQ(mapped.instances.size(), plan.instances.size());
+  for (std::size_t i = 0; i < mapped.instances.size(); ++i) {
+    const auto& m = mapped.instances[i];
+    const auto& p = plan.instances[i];
+    ASSERT_EQ(m.stages.size(), p.stages.size());
+    for (std::size_t k = 0; k < m.stages.size(); ++k) {
+      ASSERT_EQ(m.stages[k].devices.size(), p.stages[k].devices.size());
+      EXPECT_EQ(m.stages[k].layers, p.stages[k].layers);
+      for (std::size_t j = 0; j < m.stages[k].devices.size(); ++j) {
+        const int parent_id = m.stages[k].devices[j];
+        // Same silicon on both sides of the mapping...
+        EXPECT_EQ(parent.device(parent_id).type, sub.device(p.stages[k].devices[j]).type);
+        // ...and the inverse map recovers the sub-cluster id exactly.
+        EXPECT_EQ(inverse.at(parent_id), p.stages[k].devices[j]);
+      }
+    }
+    ASSERT_EQ(m.attention_workers.size(), p.attention_workers.size());
+    for (std::size_t j = 0; j < m.attention_workers.size(); ++j) {
+      EXPECT_EQ(inverse.at(m.attention_workers[j]), p.attention_workers[j]);
+    }
+  }
+}
+
+// --- datacenter scale ---------------------------------------------------
+
+TEST(FlowPlannerScale, PlansDatacenterPresets) {
+  for (const std::string& preset : {std::string("dc64"), std::string("dc128")}) {
+    hw::Cluster cluster = harness::cluster_by_name(preset);
+    parallel::ParallelizerOptions opts;
+    planner::FlowPlanner flow(cluster, model::llama_70b(), opts);
+    parallel::ParallelPlan plan = flow.plan(default_profile());
+    ASSERT_FALSE(plan.instances.empty()) << preset;
+    std::vector<bool> used(static_cast<std::size_t>(cluster.num_devices()), false);
+    for (const auto& inst : plan.instances) {
+      EXPECT_EQ(inst.total_layers(), model::llama_70b().layers);
+      for (int dev : inst.primary_devices()) {
+        ASSERT_GE(dev, 0);
+        ASSERT_LT(dev, cluster.num_devices());
+        EXPECT_FALSE(used[static_cast<std::size_t>(dev)]) << "device " << dev << " reused";
+        used[static_cast<std::size_t>(dev)] = true;
+      }
+      for (int dev : inst.attention_workers) {
+        ASSERT_GE(dev, 0);
+        ASSERT_LT(dev, cluster.num_devices());
+        EXPECT_FALSE(used[static_cast<std::size_t>(dev)]) << "device " << dev << " reused";
+        used[static_cast<std::size_t>(dev)] = true;
+      }
+    }
+    EXPECT_TRUE(flow.diagnostics().fallback_reason.empty());
+  }
+}
+
+// The dc* presets mix interconnect tiers through per-host overrides; the
+// planner's cost model must see NVLink on the H100 hosts and PCIe 3.0 on
+// the T4 hosts, and subcluster() must carry the overrides along.
+TEST(DatacenterPresets, HeterogeneousFabrics) {
+  hw::Cluster dc = harness::cluster_by_name("dc128");
+  EXPECT_EQ(dc.num_devices(), 128);
+  double nvlink_bw = 0, pcie3_bw = 0, default_bw = 0;
+  for (const auto& host : dc.hosts()) {
+    const hw::Link& l = dc.host_intra_link(host.id);
+    const hw::GpuType t = dc.device(host.device_ids.front()).type;
+    if (t == hw::GpuType::kH100_80G) {
+      nvlink_bw = l.bandwidth;
+    } else if (t == hw::GpuType::kT4) {
+      pcie3_bw = l.bandwidth;
+    } else {
+      default_bw = l.bandwidth;
+    }
+  }
+  EXPECT_GT(nvlink_bw, default_bw);
+  EXPECT_GT(default_bw, pcie3_bw);
+
+  // link() consults the override for same-host pairs.
+  const auto h100s = dc.devices_of_type(hw::GpuType::kH100_80G);
+  ASSERT_GE(h100s.size(), 2u);
+  EXPECT_DOUBLE_EQ(dc.link(h100s[0], h100s[1]).bandwidth, nvlink_bw);
+
+  // Overrides survive subcluster() under renumbered host ids.
+  const auto t4s = dc.devices_of_type(hw::GpuType::kT4);
+  std::vector<int> keep = {h100s[0], h100s[1], t4s[0], t4s[1]};
+  hw::Cluster sub = dc.subcluster(keep);
+  EXPECT_DOUBLE_EQ(sub.link(0, 1).bandwidth, nvlink_bw);
+  EXPECT_DOUBLE_EQ(sub.link(2, 3).bandwidth, pcie3_bw);
+  EXPECT_THROW(dc.host_intra_link(-1), std::invalid_argument);
+  EXPECT_THROW(dc.set_host_intra_link(10'000, hw::Link{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetis

@@ -2,6 +2,8 @@
 // tagged EngineOptions plumbing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine/registry.h"
 #include "harness/presets.h"
 #include "model/llm.h"
@@ -118,12 +120,31 @@ TEST(Registry, FixedPlanViaOptionsSkipsTheSearch) {
 }
 
 TEST(Registry, ClusterPresetUnknownNameThrows) {
-  EXPECT_THROW(harness::cluster_by_name("nonexistent"), std::invalid_argument);
-  EXPECT_EQ(harness::cluster_preset_names().size(), 3u);
+  const auto names = harness::cluster_preset_names();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* dc : {"dc64", "dc128", "dc256"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), dc), names.end()) << dc;
+  }
+  // The unknown-name error names every preset, sorted, so the datacenter
+  // additions surface in the message a typo provokes.
+  try {
+    harness::cluster_by_name("nonexistent");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'nonexistent'"), std::string::npos) << msg;
+    for (const std::string& name : names) {
+      EXPECT_NE(msg.find("'" + name + "'"), std::string::npos) << msg;
+    }
+  }
   // Every advertised preset must actually build.
-  for (const std::string& name : harness::cluster_preset_names()) {
+  for (const std::string& name : names) {
     EXPECT_GT(harness::cluster_by_name(name).num_devices(), 0) << name;
   }
+  EXPECT_EQ(harness::cluster_by_name("dc64").num_devices(), 64);
+  EXPECT_EQ(harness::cluster_by_name("dc128").num_devices(), 128);
+  EXPECT_EQ(harness::cluster_by_name("dc256").num_devices(), 256);
 }
 
 }  // namespace
