@@ -1,6 +1,7 @@
-// Elastic serving under cluster churn and autoscaling policies.
+// Elastic serving under cluster churn, autoscaling policies and degraded
+// hardware.
 //
-// Two experiments, both on the paper cluster with an interactive SLO:
+// Three experiments, all on the paper cluster with an interactive SLO:
 //
 //  A. CHURN  -- all three engines serve the same bursty trace while a
 //     gpu_leave + gpu_join script (dip: the lowest-power devices vanish
@@ -14,11 +15,26 @@
 //     decides how to use the idle reserve as bursts arrive.  Reactive
 //     scaling must beat the static posture on SLO attainment.
 //
-// Writes BENCH_elastic.json (both row sets + wall clock) as the canonical
-// artifact for the perf trajectory; committed at the repo root.
+//  C. DEGRADED -- the devices never leave; they get WORSE.  Two scripts,
+//     each served by all three engines:
+//       straggler   -- an anchor A100 silently drops to 35% speed mid-run
+//                      and recovers late.  Hetis crosses the controller's
+//                      straggler threshold, replans on the measured
+//                      hardware and DEMOTES the straggler to an Attention
+//                      worker (§4.1's Delta-pruning applied online); the
+//                      baselines keep their static layout and simply run
+//                      slower.
+//       spot_notice -- spot-style leaves announced `notice_lead` seconds
+//                      ahead.  Hetis pre-migrates KV off the doomed device
+//                      through the Hauler during the lead window (zero
+//                      restarts); the baselines ignore the warning and
+//                      checkpoint-restart when the device actually dies.
+//
+// Writes BENCH_elastic.json (all three row sets + wall clock) as the
+// canonical artifact for the perf trajectory; committed at the repo root.
 //
 // Flags:
-//   --csv         dump aligned sweep rows (A then B) instead of the tables
+//   --csv         dump aligned sweep rows (A, B, then C) instead of tables
 //   --csv-header  print the sweep CSV header and exit (CI diffs this
 //                 against the emitted CSV)
 //   --jobs N      sweep worker threads (0 = hardware concurrency; rows are
@@ -27,6 +43,10 @@
 //   --out PATH    JSON artifact path (default BENCH_elastic.json; "-" off)
 //   --rate R      base aggregate rate in req/s (default 18)
 //   --horizon S   arrival window in seconds (default 24)
+//   --check       degradation acceptance guard: exit 2 unless, under BOTH
+//                 Part C scripts, Hetis finishes every request (nothing
+//                 dropped), reconfigures at least once, and beats both
+//                 baselines on SLO attainment
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -108,6 +128,24 @@ int main(int argc, char** argv) {
   const auto churn_rows = run_part(churn_spec, jobs, progress);
   bench::warn_truncated(churn_rows);
 
+  // --- Part C: degraded hardware, all engines, static policy ------------
+  // The latency replan objective makes Hetis's degradation response search
+  // depth-exploring plans (the demote-the-straggler layout); the static
+  // policy keeps elective scaling out of the comparison so the only
+  // difference between engines is how they react to the SAME degradation.
+  std::vector<harness::SweepRow> degradation_rows;
+  std::vector<control::ChurnSpec> degradation_churns;
+  for (const control::Churn kind : {control::Churn::kStraggler, control::Churn::kSpotNotice}) {
+    harness::ExperimentSpec spec = base_spec("elastic_degraded", rate, horizon);
+    control::ControlSpec cs = control_for("static", *spec.run.slo);
+    cs.churn = control::churn_preset(kind, horizon, spec.seed);
+    cs.replan_objective = "latency";
+    spec.set_control(cs);
+    degradation_churns.push_back(spec.control->churn);
+    for (auto& row : run_part(spec, jobs, progress)) degradation_rows.push_back(std::move(row));
+  }
+  bench::warn_truncated(degradation_rows);
+
   // --- Part B: scale policies on Hetis from a small initial deployment --
   std::vector<harness::SweepRow> policy_rows;
   for (const std::string policy : {"static", "threshold", "slo"}) {
@@ -134,9 +172,10 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   if (out_path != "-") {
-    std::ostringstream churn_json, policy_json;
+    std::ostringstream churn_json, policy_json, degradation_json;
     harness::write_json(churn_json, churn_rows);
     harness::write_json(policy_json, policy_rows);
+    harness::write_json(degradation_json, degradation_rows);
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "ERROR: cannot write %s\n", out_path.c_str());
@@ -146,14 +185,66 @@ int main(int argc, char** argv) {
         << ",\"seed\":" << churn_spec.seed << ",\"rate\":" << rate
         << ",\"horizon\":" << horizon << ",\"jobs\":" << jobs
         << ",\"wall_seconds\":" << wall << ",\"churn_rows\":" << churn_json.str()
-        << ",\"policy_rows\":" << policy_json.str() << "}\n";
+        << ",\"policy_rows\":" << policy_json.str()
+        << ",\"degradation_rows\":" << degradation_json.str() << "}\n";
+  }
+
+  // Degradation acceptance guard (see header comment).  Checked before any
+  // printing mode returns so `--csv --check` also guards.
+  int check_failures = 0;
+  if (bench::flag_requested(argc, argv, "--check")) {
+    for (const auto& churn : degradation_churns) {
+      const std::string script = control::to_string(churn.kind);
+      const harness::SweepRow* hetis = nullptr;
+      std::vector<const harness::SweepRow*> baselines;
+      for (const auto& row : degradation_rows) {
+        if (row.control != script) continue;
+        if (row.report.engine == "Hetis") {
+          hetis = &row;
+        } else {
+          baselines.push_back(&row);
+        }
+      }
+      if (hetis == nullptr || baselines.empty()) {
+        std::fprintf(stderr, "CHECK FAIL [%s]: missing Hetis or baseline rows\n",
+                     script.c_str());
+        ++check_failures;
+        continue;
+      }
+      if (hetis->report.finished != hetis->trace_requests) {
+        std::fprintf(stderr, "CHECK FAIL [%s]: Hetis dropped %zu of %zu requests\n",
+                     script.c_str(), hetis->trace_requests - hetis->report.finished,
+                     hetis->trace_requests);
+        ++check_failures;
+      }
+      if (hetis->reconfigurations <= 0) {
+        std::fprintf(stderr, "CHECK FAIL [%s]: Hetis never reconfigured\n", script.c_str());
+        ++check_failures;
+      }
+      for (const auto* b : baselines) {
+        if (hetis->report.slo_attainment <= b->report.slo_attainment) {
+          std::fprintf(stderr,
+                       "CHECK FAIL [%s]: Hetis slo_attainment %.4f does not beat %s's %.4f\n",
+                       script.c_str(), hetis->report.slo_attainment, b->report.engine.c_str(),
+                       b->report.slo_attainment);
+          ++check_failures;
+        }
+      }
+    }
+    if (check_failures == 0) {
+      std::fprintf(stderr, "degradation check OK: %zu rows over %zu scripts\n",
+                   degradation_rows.size(), degradation_churns.size());
+    }
   }
 
   if (csv) {
     std::printf("%s\n", harness::sweep_csv_header().c_str());
     for (const auto& row : churn_rows) std::printf("%s\n", harness::to_csv_row(row).c_str());
     for (const auto& row : policy_rows) std::printf("%s\n", harness::to_csv_row(row).c_str());
-    return 0;
+    for (const auto& row : degradation_rows) {
+      std::printf("%s\n", harness::to_csv_row(row).c_str());
+    }
+    return check_failures == 0 ? 0 : 2;
   }
 
   std::printf("=== Elastic control plane: Llama-13B, paper cluster, bursty %.1f req/s, %.0fs "
@@ -165,6 +256,16 @@ int main(int argc, char** argv) {
   std::printf("--- B. policies on Hetis: start on 2/12 devices, %s ---\n",
               workload::describe(*churn_spec.workloads[0].scenario).c_str());
   print_rows(policy_rows);
+  for (std::size_t i = 0; i < degradation_churns.size(); ++i) {
+    const std::string script = control::to_string(degradation_churns[i].kind);
+    std::printf("--- C.%zu degraded: %s; static policy, latency replans ---\n", i + 1,
+                control::describe(degradation_churns[i]).c_str());
+    std::vector<harness::SweepRow> group;
+    for (const auto& row : degradation_rows) {
+      if (row.control == script) group.push_back(row);
+    }
+    print_rows(group);
+  }
   if (out_path != "-") std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return check_failures == 0 ? 0 : 2;
 }

@@ -1,17 +1,29 @@
-// Elastic serving example: watch the control plane react to cluster churn.
+// Elastic serving example: watch the control plane react to cluster churn
+// and degrading hardware.
 //
 // Serves one bursty trace on a chosen engine while a churn script replays
-// (devices leave and rejoin) and a scale policy decides how much of the
-// cluster to use.  A live observer prints every control-plane decision the
-// engines make visible: reconfigurations, migrations, restarts.
+// (devices leave, rejoin, slow down, or announce preemption) and a scale
+// policy decides how much of the cluster to use.  A live observer prints
+// every control-plane decision the engines make visible: reconfigurations,
+// migrations, restarts.
 //
 //   elastic_serving                      # hetis, dip churn, threshold policy
 //   elastic_serving splitwise            # watch checkpoint-and-restart pay
 //   elastic_serving hetis spot slo       # spot churn under the SLO policy
+//   elastic_serving --churn straggler    # an A100 drops to 35% speed and
+//                                        # Hetis demotes it to an Attention
+//                                        # worker instead of dropping it
+//   elastic_serving --churn spot_notice  # preemption warnings: KV leaves
+//                                        # the doomed device BEFORE it dies
 //
-// Usage: elastic_serving [engine] [churn] [policy] [--rate R] [--horizon S]
+// Unknown engine / churn / policy names exit 2 with the valid names listed.
+//
+// Usage: elastic_serving [engine] [churn] [policy] [--engine E] [--churn C]
+//                        [--policy P] [--rate R] [--horizon S]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "control/controller.h"
@@ -34,9 +46,16 @@ int main(int argc, char** argv) {
       rate = std::atof(argv[++i]);
     } else if (arg == "--horizon" && i + 1 < argc) {
       horizon = std::atof(argv[++i]);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else if (arg == "--churn" && i + 1 < argc) {
+      churn_name = argv[++i];
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: elastic_serving [engine] [churn] [policy] [--rate R] [--horizon S]\n");
+                   "usage: elastic_serving [engine] [churn] [policy] [--engine E] [--churn C] "
+                   "[--policy P] [--rate R] [--horizon S]\n");
       return 2;
     } else {
       (positional == 0 ? engine_name : positional == 1 ? churn_name : policy) = arg;
@@ -51,36 +70,62 @@ int main(int argc, char** argv) {
   auto trace = workload::generate_scenario(scenario);
 
   control::ControlSpec cs;
-  cs.churn = control::churn_preset(control::churn_by_name(churn_name), horizon, 20251116);
-  cs.policy = policy;
-  cs.min_devices = 4;
-  cs.horizon = horizon + 30.0;
-  cs.slo.ttft = 2.0;
-  cs.slo.tpot = 0.15;
-  control::Controller controller(cs, cluster);
+  // churn_by_name / make_policy list every valid name (sorted) on a typo;
+  // surface that instead of an uncaught-exception abort.
+  std::unique_ptr<control::Controller> controller;
+  try {
+    cs.churn = control::churn_preset(control::churn_by_name(churn_name), horizon, 20251116);
+    cs.policy = policy;
+    cs.min_devices = 4;
+    cs.horizon = horizon + 30.0;
+    cs.slo.ttft = 2.0;
+    cs.slo.tpot = 0.15;
+    // Non-const cluster: binds the mutable-overload Controller, so
+    // degradation scripts (straggler / throttle_wave / flaky_link /
+    // spot_notice) replay onto the same cluster the engine serves on.
+    controller = std::make_unique<control::Controller>(cs, cluster);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "elastic_serving: %s\n", e.what());
+    return 2;
+  }
 
   std::printf("cluster : %s\n", cluster.to_string().c_str());
   std::printf("workload: %s (%zu requests)\n", workload::describe(scenario).c_str(),
               trace.size());
   std::printf("churn   : %s\n", control::describe(cs.churn).c_str());
-  for (const auto& ev : controller.events()) {
-    std::printf("          t=%6.2fs %-10s device=%d\n", ev.time,
-                control::to_string(ev.kind), ev.device);
+  for (const auto& ev : controller->events()) {
+    if (control::mutates_cluster(ev.kind) || ev.kind == control::ClusterEventKind::kPreemptNotice) {
+      std::printf("          t=%6.2fs %-14s device=%d factor=%.2f\n", ev.time,
+                  control::to_string(ev.kind), ev.device, ev.factor);
+    } else {
+      std::printf("          t=%6.2fs %-14s device=%d\n", ev.time,
+                  control::to_string(ev.kind), ev.device);
+    }
   }
   std::printf("policy  : %s\n\n", policy.c_str());
 
-  auto eng = engine::make(engine_name, cluster, model);
+  std::unique_ptr<engine::Engine> eng;
+  try {
+    eng = engine::make(engine_name, cluster, model);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "elastic_serving: %s\n", e.what());
+    return 2;
+  }
   engine::RunOptions run(900.0);
   run.slo = cs.slo;
-  run.on_start = controller.starter();
+  run.on_start = controller->starter();
   engine::RunReport report = engine::run_trace(*eng, trace, run);
 
   std::printf("%s\n", report.to_json().c_str());
-  const auto& cst = controller.stats();
+  const auto& cst = controller->stats();
   std::printf("\ncontroller: %d forced + %d elective re-deploys over %d ticks "
               "(active %d..%d devices)\n",
               cst.forced_reconfigs, cst.elective_reconfigs, cst.ticks, cst.min_active,
               cst.peak_active);
+  if (cst.degradation_events > 0 || cst.preempt_notices > 0) {
+    std::printf("            %d degradation events applied, %d preemption notices forwarded\n",
+                cst.degradation_events, cst.preempt_notices);
+  }
   if (const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get())) {
     const engine::ReconfigStats& rs = rc->reconfig_stats();
     std::printf("engine    : %d reconfigurations, %d live-migrated (%.2f GB KV), %d restarted, "

@@ -10,10 +10,29 @@
 namespace hetis::control {
 
 Controller::Controller(ControlSpec spec, const hw::Cluster& cluster)
-    : spec_(std::move(spec)), cluster_(&cluster) {
+    : Controller(std::move(spec), cluster, nullptr) {}
+
+Controller::Controller(ControlSpec spec, hw::Cluster& cluster)
+    : Controller(std::move(spec), cluster, &cluster) {}
+
+Controller::Controller(ControlSpec spec, const hw::Cluster& cluster,
+                       hw::Cluster* mutable_cluster)
+    : spec_(std::move(spec)), cluster_(&cluster), mutable_cluster_(mutable_cluster) {
   policy_ = make_policy(spec_.policy, spec_.threshold, spec_.slo_policy);
   policy_name_ = policy_->name();
   events_ = generate_churn(spec_.churn, cluster);
+  if (!mutable_cluster_) {
+    // Degradation events mutate the cluster's condition overlay; replaying
+    // them against a const cluster would silently serve at nameplate speed.
+    for (const ClusterEvent& ev : events_) {
+      if (mutates_cluster(ev.kind)) {
+        throw std::invalid_argument(
+            "Controller: churn script '" + std::string(to_string(spec_.churn.kind)) +
+            "' contains degradation events (" + to_string(ev.kind) +
+            "); construct the Controller with a mutable hw::Cluster&");
+      }
+    }
+  }
   for (const auto& d : cluster.devices()) available_.insert(d.id);
   const int total = cluster.num_devices();
   if (spec_.min_devices < 1 || spec_.min_devices > total) {
@@ -21,6 +40,9 @@ Controller::Controller(ControlSpec spec, const hw::Cluster& cluster)
   }
   if (spec_.initial_devices < 0 || spec_.initial_devices > total) {
     throw std::invalid_argument("Controller: initial_devices must be in [0, cluster size]");
+  }
+  if (!(spec_.straggler_threshold > 0) || spec_.straggler_threshold > 1) {
+    throw std::invalid_argument("Controller: straggler_threshold must be in (0, 1]");
   }
   target_count_ = spec_.initial_devices == 0 ? total : spec_.initial_devices;
   target_count_ = clamp_target(target_count_);
@@ -92,13 +114,17 @@ int Controller::clamp_target(int target) const {
 }
 
 std::vector<int> Controller::pick_active() const {
-  // Rank available devices by compute power (desc, id asc on ties) and keep
-  // the strongest `target_count_`: churn takes whatever it takes, elective
-  // scaling always sheds the weakest devices first.
+  // Rank available devices by EFFECTIVE compute power -- nameplate scaled
+  // by the live degradation overlay (desc, id asc on ties) -- and keep the
+  // strongest `target_count_`: churn takes whatever it takes, elective
+  // scaling always sheds the weakest devices first, where "weakest" means
+  // measured, not nameplate (a straggling A100 at 35% ranks below a
+  // healthy 3090).  On healthy clusters every ratio is 1.0 and the
+  // ranking is byte-identical to the historical nameplate order.
   std::vector<int> ranked(available_.begin(), available_.end());
   std::sort(ranked.begin(), ranked.end(), [this](int a, int b) {
-    const double pa = cluster_->device(a).spec().compute_power();
-    const double pb = cluster_->device(b).spec().compute_power();
+    const double pa = cluster_->device(a).spec().compute_power() * cluster_->device_speed(a);
+    const double pb = cluster_->device(b).spec().compute_power() * cluster_->device_speed(b);
     if (pa != pb) return pa > pb;
     return a < b;
   });
@@ -162,7 +188,51 @@ void Controller::handle_event(sim::Simulation& sim, const ClusterEvent& ev) {
     case ClusterEventKind::kLoadShift:
       signals_.load_forecast = ev.factor;
       break;
+    case ClusterEventKind::kDeviceSlow:
+    case ClusterEventKind::kLinkDegrade: {
+      // Apply the measured condition to the shared cluster: the engine's
+      // cost model prices it from the next iteration on.  The engine is
+      // nudged to REPLAN only when the device crosses the straggler
+      // threshold (either direction); sub-threshold wobble changes serving
+      // speed but never triggers a re-deploy storm.
+      const bool is_speed = ev.kind == ClusterEventKind::kDeviceSlow;
+      const double before = is_speed ? mutable_cluster_->device_speed(ev.device)
+                                     : mutable_cluster_->device_link_scale(ev.device);
+      if (is_speed) {
+        mutable_cluster_->set_device_speed(ev.device, ev.factor);
+      } else {
+        mutable_cluster_->set_device_link_scale(ev.device, ev.factor);
+      }
+      ++stats_.degradation_events;
+      signals_.degraded_devices = count_degraded();
+      const bool was = before < spec_.straggler_threshold;
+      const bool now = ev.factor < spec_.straggler_threshold;
+      if (was != now && reconfigurable_) {
+        HETIS_INFO("Controller: device " << ev.device << " " << to_string(ev.kind) << " -> "
+                                         << ev.factor << " at t=" << sim.now()
+                                         << (now ? " (degraded)" : " (recovered)"));
+        reconfigurable_->on_degradation(sim);
+      }
+      break;
+    }
+    case ClusterEventKind::kPreemptNotice:
+      ++stats_.preempt_notices;
+      if (reconfigurable_) {
+        reconfigurable_->on_preempt_notice(sim, ev.device, ev.time + ev.factor);
+      }
+      break;
   }
+}
+
+int Controller::count_degraded() const {
+  int n = 0;
+  for (const auto& d : cluster_->devices()) {
+    if (cluster_->device_speed(d.id) < spec_.straggler_threshold ||
+        cluster_->device_link_scale(d.id) < spec_.straggler_threshold) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 void Controller::tick(sim::Simulation& sim) {
@@ -177,6 +247,7 @@ void Controller::tick(sim::Simulation& sim) {
   signals_.kv_pressure = engine_ ? engine_->kv_fill_fraction() : 0.0;
   signals_.active_devices = static_cast<int>(active_.size());
   signals_.available_devices = static_cast<int>(available_.size());
+  signals_.degraded_devices = count_degraded();
   const double inst_rate =
       static_cast<double>(arrived_ - arrived_at_last_tick_) / spec_.tick;
   arrived_at_last_tick_ = arrived_;

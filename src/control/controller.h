@@ -72,6 +72,12 @@ struct ControlSpec {
   /// Empty keeps the engine's configured planner.  Validated at
   /// construction so typos fail before any churn fires.
   std::string replan_planner;
+  /// A device whose speed ratio or link scale crosses BELOW this counts as
+  /// degraded (Hetu's straggler_threshold): crossing it -- in either
+  /// direction -- notifies the engine through Reconfigurable::
+  /// on_degradation so it may replan on the measured hardware.  Sub-
+  /// threshold wobble (0.9 -> 0.95) never triggers a replan storm.
+  double straggler_threshold = 0.85;
 };
 
 struct ControllerStats {
@@ -80,14 +86,25 @@ struct ControllerStats {
   int ticks = 0;
   int peak_active = 0;
   int min_active = 0;
+  int degradation_events = 0;  // kDeviceSlow + kLinkDegrade applied
+  int preempt_notices = 0;     // kPreemptNotice forwarded to the engine
 };
 
 class Controller final : public engine::RunObserver {
  public:
   /// `cluster` must be the cluster the engine was built on (the event
   /// script and device ranking are resolved against it) and must outlive
-  /// the controller.
+  /// the controller.  This overload cannot replay degradation events
+  /// (kDeviceSlow / kLinkDegrade mutate the cluster's condition overlay):
+  /// a script containing any throws std::invalid_argument at construction.
   Controller(ControlSpec spec, const hw::Cluster& cluster);
+
+  /// Mutable-cluster overload: additionally replays degradation events by
+  /// updating `cluster`'s speed/link overlay live, so the engine's cost
+  /// model (which shares the cluster) immediately serves at measured
+  /// speed, and notifies the engine via Reconfigurable::on_degradation
+  /// when a device crosses the straggler threshold.
+  Controller(ControlSpec spec, hw::Cluster& cluster);
 
   /// RunOptions::on_start adapter; keeps `this` alive only by reference,
   /// so the Controller must outlive the run_trace call.
@@ -125,6 +142,9 @@ class Controller final : public engine::RunObserver {
   void on_preempt(workload::RequestId id, Seconds t) override;
 
  private:
+  /// Shared constructor; `mutable_cluster` is null for the const overload.
+  Controller(ControlSpec spec, const hw::Cluster& cluster, hw::Cluster* mutable_cluster);
+
   void handle_event(sim::Simulation& sim, const ClusterEvent& ev);
   void tick(sim::Simulation& sim);
   /// Re-deploys onto the target active set when it differs from the
@@ -135,8 +155,13 @@ class Controller final : public engine::RunObserver {
   int clamp_target(int target) const;
   void ewma(double& slot, double sample);
 
+  /// Count of devices currently below the straggler threshold (speed or
+  /// link), feeding ControlSignals::degraded_devices.
+  int count_degraded() const;
+
   ControlSpec spec_;
   const hw::Cluster* cluster_;
+  hw::Cluster* mutable_cluster_ = nullptr;  // non-null: may replay degradation
   std::unique_ptr<ScalePolicy> policy_;
   std::string policy_name_;
   std::vector<ClusterEvent> events_;

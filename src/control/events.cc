@@ -37,6 +37,36 @@ void validate(const ChurnSpec& s) {
       require(s.surge_to >= s.surge_from && s.surge_to <= 1,
               "surge_to must be in [surge_from, 1]");
       break;
+    case Churn::kStraggler:
+      require(s.straggler_count >= 0, "straggler_count must be >= 0");
+      require(s.straggler_ratio > 0 && s.straggler_ratio < 1,
+              "straggler_ratio must be in (0, 1)");
+      require(s.slow_frac >= 0 && s.slow_frac <= 1, "slow_frac must be in [0, 1]");
+      require(s.recover_frac >= s.slow_frac && s.recover_frac <= 1,
+              "recover_frac must be in [slow_frac, 1]");
+      break;
+    case Churn::kThrottleWave:
+      require(s.throttle_ratio > 0 && s.throttle_ratio < 1,
+              "throttle_ratio must be in (0, 1)");
+      require(s.throttle_dwell > 0, "throttle_dwell must be > 0");
+      require(s.wave_frac >= 0 && s.wave_frac <= 1, "wave_frac must be in [0, 1]");
+      require(s.wave_stagger >= 0, "wave_stagger must be >= 0");
+      break;
+    case Churn::kFlakyLink:
+      require(s.flaky_count >= 0, "flaky_count must be >= 0");
+      require(s.link_degrade_scale > 0 && s.link_degrade_scale < 1,
+              "link_degrade_scale must be in (0, 1)");
+      require(s.mean_healthy > 0 && s.mean_flaky > 0, "flaky dwell times must be > 0");
+      require(s.horizon / std::min(s.mean_healthy, s.mean_flaky) <= 1e6,
+              "flaky dwell times too small for the horizon (would generate > ~1e6 events)");
+      break;
+    case Churn::kSpotNotice:
+      require(s.spot_count >= 0, "spot_count must be >= 0");
+      require(s.mean_up > 0 && s.mean_down > 0, "spot dwell times must be > 0");
+      require(s.notice_lead > 0, "notice_lead must be > 0");
+      require(s.horizon / std::min(s.mean_up, s.mean_down) <= 1e6,
+              "spot dwell times too small for the horizon (would generate > ~1e6 events)");
+      break;
     case Churn::kNone:
       break;
   }
@@ -58,8 +88,15 @@ const char* to_string(ClusterEventKind k) {
     case ClusterEventKind::kGpuLeave: return "gpu_leave";
     case ClusterEventKind::kGpuJoin: return "gpu_join";
     case ClusterEventKind::kLoadShift: return "load_shift";
+    case ClusterEventKind::kDeviceSlow: return "device_slow";
+    case ClusterEventKind::kLinkDegrade: return "link_degrade";
+    case ClusterEventKind::kPreemptNotice: return "preempt_notice";
   }
   return "?";
+}
+
+bool mutates_cluster(ClusterEventKind k) {
+  return k == ClusterEventKind::kDeviceSlow || k == ClusterEventKind::kLinkDegrade;
 }
 
 const char* to_string(Churn c) {
@@ -68,6 +105,10 @@ const char* to_string(Churn c) {
     case Churn::kDip: return "dip";
     case Churn::kSpot: return "spot";
     case Churn::kSurge: return "surge";
+    case Churn::kStraggler: return "straggler";
+    case Churn::kThrottleWave: return "throttle_wave";
+    case Churn::kFlakyLink: return "flaky_link";
+    case Churn::kSpotNotice: return "spot_notice";
   }
   return "?";
 }
@@ -77,6 +118,10 @@ Churn churn_by_name(const std::string& name) {
   if (name == "dip") return Churn::kDip;
   if (name == "spot") return Churn::kSpot;
   if (name == "surge") return Churn::kSurge;
+  if (name == "straggler") return Churn::kStraggler;
+  if (name == "throttle_wave") return Churn::kThrottleWave;
+  if (name == "flaky_link") return Churn::kFlakyLink;
+  if (name == "spot_notice") return Churn::kSpotNotice;
   throw std::out_of_range("churn_by_name: unknown churn script '" + name + "' (known: " + [] {
                             std::string all;
                             for (const auto& n : churn_names()) {
@@ -87,7 +132,10 @@ Churn churn_by_name(const std::string& name) {
                           }() + ")");
 }
 
-std::vector<std::string> churn_names() { return {"dip", "none", "spot", "surge"}; }
+std::vector<std::string> churn_names() {
+  return {"dip", "flaky_link", "none", "spot", "spot_notice",
+          "straggler", "surge", "throttle_wave"};
+}
 
 std::vector<int> preemptible_devices(const hw::Cluster& cluster) {
   std::vector<int> ids;
@@ -122,7 +170,13 @@ std::vector<ClusterEvent> generate_churn(const ChurnSpec& spec, const hw::Cluste
       }
       break;
     }
-    case Churn::kSpot: {
+    case Churn::kSpot:
+    case Churn::kSpotNotice: {
+      // Shared dwell walk (same seed -> same leave/join schedule for both
+      // scripts); kSpotNotice additionally announces each leave
+      // notice_lead seconds ahead, clamped to after the device's previous
+      // rejoin so the warning never predates the capacity it warns about.
+      const bool notice = spec.kind == Churn::kSpotNotice;
       Rng rng(spec.seed);
       const std::size_t n =
           std::min<std::size_t>(spot.size(), static_cast<std::size_t>(spec.spot_count));
@@ -131,12 +185,18 @@ std::vector<ClusterEvent> generate_churn(const ChurnSpec& spec, const hw::Cluste
         // sub-streams unchanged (mirrors the multi-tenant generator).
         Rng dev_rng = rng.fork(100 + i);
         Seconds t = 0;
+        Seconds prev = 0;  // time of the device's previous state change
         bool up = true;
         for (;;) {
           t += dev_rng.exponential(1.0 / (up ? spec.mean_up : spec.mean_down));
           if (t >= spec.horizon) break;
+          if (up && notice) {
+            const Seconds at = std::max(prev, t - spec.notice_lead);
+            events.push_back({at, ClusterEventKind::kPreemptNotice, spot[i], t - at});
+          }
           events.push_back({t, up ? ClusterEventKind::kGpuLeave : ClusterEventKind::kGpuJoin,
                             spot[i], 1.0});
+          prev = t;
           up = !up;
         }
       }
@@ -149,6 +209,62 @@ std::vector<ClusterEvent> generate_churn(const ChurnSpec& spec, const hw::Cluste
       // would land on the horizon itself, which the contract forbids.
       if (spec.surge_to < 1.0) {
         events.push_back({spec.surge_to * spec.horizon, ClusterEventKind::kLoadShift, -1, 1.0});
+      }
+      break;
+    }
+    case Churn::kStraggler: {
+      // The ANCHORS straggle: preemptible_devices is lowest-power first,
+      // so take from the back.  Onsets are jittered into the first fifth
+      // of the slow window (seeded, per-device), recovery is synchronized.
+      Rng rng(spec.seed);
+      const std::size_t n =
+          std::min<std::size_t>(spot.size(), static_cast<std::size_t>(spec.straggler_count));
+      const Seconds recover_at = spec.recover_frac * spec.horizon;
+      for (std::size_t i = 0; i < n; ++i) {
+        const int dev = spot[spot.size() - 1 - i];
+        Rng dev_rng = rng.fork(200 + i);
+        const double window = spec.recover_frac - spec.slow_frac;
+        const Seconds onset =
+            (spec.slow_frac + 0.2 * window * dev_rng.uniform()) * spec.horizon;
+        if (onset >= spec.horizon) continue;
+        events.push_back({onset, ClusterEventKind::kDeviceSlow, dev, spec.straggler_ratio});
+        if (recover_at < spec.horizon) {
+          events.push_back({recover_at, ClusterEventKind::kDeviceSlow, dev, 1.0});
+        }
+      }
+      break;
+    }
+    case Churn::kThrottleWave: {
+      // Deterministic (like kDip): the wave crosses devices in id order.
+      for (const auto& d : cluster.devices()) {
+        const Seconds onset =
+            spec.wave_frac * spec.horizon + static_cast<double>(d.id) * spec.wave_stagger;
+        if (onset >= spec.horizon) continue;
+        events.push_back({onset, ClusterEventKind::kDeviceSlow, d.id, spec.throttle_ratio});
+        const Seconds recover = onset + spec.throttle_dwell;
+        if (recover < spec.horizon) {
+          events.push_back({recover, ClusterEventKind::kDeviceSlow, d.id, 1.0});
+        }
+      }
+      break;
+    }
+    case Churn::kFlakyLink: {
+      // kSpot's alternating-dwell structure applied to link health: the
+      // cheap devices' NICs flake (lowest-power first, like spot capacity).
+      Rng rng(spec.seed);
+      const std::size_t n =
+          std::min<std::size_t>(spot.size(), static_cast<std::size_t>(spec.flaky_count));
+      for (std::size_t i = 0; i < n; ++i) {
+        Rng dev_rng = rng.fork(300 + i);
+        Seconds t = 0;
+        bool healthy = true;
+        for (;;) {
+          t += dev_rng.exponential(1.0 / (healthy ? spec.mean_healthy : spec.mean_flaky));
+          if (t >= spec.horizon) break;
+          events.push_back({t, ClusterEventKind::kLinkDegrade, spot[i],
+                            healthy ? spec.link_degrade_scale : 1.0});
+          healthy = !healthy;
+        }
       }
       break;
     }
@@ -184,6 +300,32 @@ std::string describe(const ChurnSpec& spec) {
       std::snprintf(buf, sizeof(buf), "surge: %.1fx load forecast over [%.0fs, %.0fs)",
                     spec.surge_factor, spec.surge_from * spec.horizon,
                     spec.surge_to * spec.horizon);
+      break;
+    case Churn::kStraggler:
+      std::snprintf(buf, sizeof(buf),
+                    "straggler: %d anchors at %.0f%% speed over [%.0fs, %.0fs)",
+                    spec.straggler_count, spec.straggler_ratio * 100.0,
+                    spec.slow_frac * spec.horizon, spec.recover_frac * spec.horizon);
+      break;
+    case Churn::kThrottleWave:
+      std::snprintf(buf, sizeof(buf),
+                    "throttle_wave: every device at %.0f%% speed for %.0fs, wave from %.0fs "
+                    "(stagger %.1fs)",
+                    spec.throttle_ratio * 100.0, spec.throttle_dwell,
+                    spec.wave_frac * spec.horizon, spec.wave_stagger);
+      break;
+    case Churn::kFlakyLink:
+      std::snprintf(buf, sizeof(buf),
+                    "flaky_link: %d devices' links at %.0f%% bandwidth, dwell %.0fs healthy / "
+                    "%.0fs flaky",
+                    spec.flaky_count, spec.link_degrade_scale * 100.0, spec.mean_healthy,
+                    spec.mean_flaky);
+      break;
+    case Churn::kSpotNotice:
+      std::snprintf(buf, sizeof(buf),
+                    "spot_notice: %d preemptible devices, dwell %.0fs up / %.0fs down, "
+                    "%.0fs notice",
+                    spec.spot_count, spec.mean_up, spec.mean_down, spec.notice_lead);
       break;
   }
   return buf;

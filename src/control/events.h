@@ -9,13 +9,23 @@
 // alone, presets back the README table, and churn_by_name drives the
 // benches' CLI.
 //
-//   none   empty script (elective autoscaling only)
-//   dip    the k lowest-power devices leave together and rejoin later
-//          (planned maintenance / reclaimed spot block)
-//   spot   each preemptible device independently alternates exponential
-//          up/down dwells (spot-instance churn)
-//   surge  load-forecast shift events (no device change; predictive
-//          policies may scale ahead of the announced surge)
+//   none           empty script (elective autoscaling only)
+//   dip            the k lowest-power devices leave together and rejoin
+//                  later (planned maintenance / reclaimed spot block)
+//   spot           each preemptible device independently alternates
+//                  exponential up/down dwells (spot-instance churn)
+//   surge          load-forecast shift events (no device change;
+//                  predictive policies may scale ahead of the surge)
+//   straggler      the k highest-power devices slow to a fraction of
+//                  nameplate speed mid-run and recover later (the Hetis
+//                  premise: measured != nameplate hardware)
+//   throttle_wave  a staggered thermal-throttle wave crosses every device
+//                  (each dips to throttle_ratio for a dwell, then recovers)
+//   flaky_link     preemptible devices' links alternate between healthy
+//                  and degraded bandwidth on exponential dwells
+//   spot_notice    the spot script, but every reclamation is announced
+//                  notice_lead seconds ahead (preemption warnings -- the
+//                  realistic cloud failure mode)
 #pragma once
 
 #include <cstdint>
@@ -33,22 +43,55 @@ namespace hetis::control {
 /// HetisEngine may live-migrate KV off a leaving device.  Hard failures
 /// (KV lost with the device) are deliberately out of scope here and named
 /// as future work in the ROADMAP.
-enum class ClusterEventKind : std::uint8_t { kGpuLeave, kGpuJoin, kLoadShift };
+///
+/// The degradation kinds model CONTINUOUS hardware condition changes --
+/// a device keeps serving, just worse:
+///   kDeviceSlow     device runs at `factor` of nameplate speed (a
+///                   straggler / thermal throttle; 1.0 restores health)
+///   kLinkDegrade    links incident to `device` run at `factor` of
+///                   nameplate bandwidth (flaky NIC; 1.0 restores)
+///   kPreemptNotice  advisory: `device` will be reclaimed `factor`
+///                   seconds from this event (the paired kGpuLeave is a
+///                   separate event) -- engines may pre-migrate KV
+enum class ClusterEventKind : std::uint8_t {
+  kGpuLeave,
+  kGpuJoin,
+  kLoadShift,
+  kDeviceSlow,
+  kLinkDegrade,
+  kPreemptNotice,
+};
 
 const char* to_string(ClusterEventKind k);
+
+/// True for event kinds that mutate the cluster's degradation overlay
+/// (kDeviceSlow / kLinkDegrade) -- replaying them requires a mutable
+/// hw::Cluster (the Controller's mutable-cluster constructor).
+bool mutates_cluster(ClusterEventKind k);
 
 struct ClusterEvent {
   Seconds time = 0;
   ClusterEventKind kind = ClusterEventKind::kGpuLeave;
-  int device = -1;      // kGpuLeave / kGpuJoin: cluster device id
-  double factor = 1.0;  // kLoadShift: announced load multiplier
+  int device = -1;      // kGpuLeave / kGpuJoin / degradation: device id
+  double factor = 1.0;  // kLoadShift: load multiplier; kDeviceSlow: speed
+                        // ratio; kLinkDegrade: bandwidth scale;
+                        // kPreemptNotice: lead time in seconds
 };
 
-enum class Churn : std::uint8_t { kNone, kDip, kSpot, kSurge };
+enum class Churn : std::uint8_t {
+  kNone,
+  kDip,
+  kSpot,
+  kSurge,
+  kStraggler,
+  kThrottleWave,
+  kFlakyLink,
+  kSpotNotice,
+};
 
 const char* to_string(Churn c);
-/// Accepts the canonical names ("none", "dip", "spot", "surge"); throws
-/// std::out_of_range otherwise.
+/// Accepts the canonical names (see churn_names()); throws
+/// std::out_of_range listing every valid name otherwise.
 Churn churn_by_name(const std::string& name);
 /// Canonical names accepted by churn_by_name, sorted.
 std::vector<std::string> churn_names();
@@ -75,6 +118,39 @@ struct ChurnSpec {
   double surge_factor = 3.0;
   double surge_from = 0.4;
   double surge_to = 0.7;
+
+  // kStraggler: the `straggler_count` HIGHEST-power devices (the anchors --
+  // a straggling flagship hurts most) slow to straggler_ratio of nameplate
+  // speed.  Each device's onset lands in the first fifth of
+  // [slow_frac, recover_frac] * horizon (seeded per-device jitter, so
+  // onsets are staggered but always precede recovery); all recover
+  // together at recover_frac * horizon.
+  int straggler_count = 1;
+  double straggler_ratio = 0.35;
+  double slow_frac = 0.25;
+  double recover_frac = 0.75;
+
+  // kThrottleWave: a deterministic thermal wave crosses every device in id
+  // order -- device i throttles to throttle_ratio at
+  // wave_frac * horizon + i * wave_stagger for throttle_dwell seconds.
+  double throttle_ratio = 0.6;
+  Seconds throttle_dwell = 6.0;
+  double wave_frac = 0.2;
+  Seconds wave_stagger = 1.0;
+
+  // kFlakyLink: the `flaky_count` lowest-power devices' links
+  // independently alternate exponential healthy/degraded dwells (starting
+  // healthy); degraded links run at link_degrade_scale of nameplate
+  // bandwidth.
+  int flaky_count = 2;
+  double link_degrade_scale = 0.25;
+  Seconds mean_healthy = 12.0;
+  Seconds mean_flaky = 5.0;
+
+  // kSpotNotice: the kSpot schedule (same seed -> same leaves/joins), with
+  // every reclamation announced by a kPreemptNotice `notice_lead` seconds
+  // ahead (clamped to after the device's previous rejoin).
+  Seconds notice_lead = 3.0;
 };
 
 /// Devices a churn script may take away, ordered lowest-power first (ties

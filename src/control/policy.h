@@ -39,6 +39,9 @@ struct ControlSignals {
   int active_devices = 0;
   int available_devices = 0;
   int min_devices = 1;
+  // Devices whose speed ratio or link scale sits below the controller's
+  // straggler threshold right now (ControlSpec::straggler_threshold).
+  int degraded_devices = 0;
 };
 
 class ScalePolicy {

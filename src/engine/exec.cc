@@ -29,6 +29,13 @@ Seconds IterationTime::attn_module_latency() const {
   return worst * static_cast<double>(stages.size());
 }
 
+double ExecModel::stage_speed(const parallel::StageConfig& stage) const {
+  if (!cluster_->degraded()) return 1.0;
+  double speed = 1.0;
+  for (int dev : stage.devices) speed = std::min(speed, cluster_->device_speed(dev));
+  return speed;
+}
+
 Seconds ExecModel::stage_dense_time(const parallel::StageConfig& stage,
                                     std::int64_t tokens) const {
   if (stage.devices.empty() || stage.layers == 0 || tokens <= 0) return 0.0;
@@ -40,7 +47,12 @@ Seconds ExecModel::stage_dense_time(const parallel::StageConfig& stage,
     // Two all-reduces per layer (post-attention projection, post-MLP).
     collectives = 2.0 * comm_.allreduce(stage.devices, hidden_bytes);
   }
-  return (per_layer + collectives) * stage.layers;
+  Seconds t = (per_layer + collectives) * stage.layers;
+  const double speed = stage_speed(stage);
+  // Exact no-op when healthy: x / 1.0 == x bit-for-bit, but the branch
+  // documents (and the golden tests enforce) the byte-identity contract.
+  if (speed != 1.0) t /= speed;
+  return t;
 }
 
 Seconds ExecModel::stage_attention_decode(const parallel::StageConfig& stage,
@@ -50,7 +62,10 @@ Seconds ExecModel::stage_attention_decode(const parallel::StageConfig& stage,
   const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
   int heads_per_dev = std::max(1, heads / stage.tp());
   Seconds per_layer = kernel_.decode_attention_time(gpu, *model_, ctxs, heads_per_dev);
-  return per_layer * stage.layers;
+  Seconds t = per_layer * stage.layers;
+  const double speed = stage_speed(stage);
+  if (speed != 1.0) t /= speed;
+  return t;
 }
 
 Seconds ExecModel::stage_attention_prefill(const parallel::StageConfig& stage,
@@ -60,7 +75,10 @@ Seconds ExecModel::stage_attention_prefill(const parallel::StageConfig& stage,
   const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
   int heads_per_dev = std::max(1, heads / stage.tp());
   Seconds per_layer = kernel_.prefill_attention_time(gpu, *model_, lens, heads_per_dev);
-  return per_layer * stage.layers;
+  Seconds t = per_layer * stage.layers;
+  const double speed = stage_speed(stage);
+  if (speed != 1.0) t /= speed;
+  return t;
 }
 
 Seconds ExecModel::interstage_comm(const parallel::StageConfig& from,

@@ -46,6 +46,12 @@ class ExecModel {
   /// projection and after MLP).
   Seconds stage_dense_time(const parallel::StageConfig& stage, std::int64_t tokens) const;
 
+  /// The stage's effective speed under the cluster's degradation overlay:
+  /// a TP group advances in lock-step, so the slowest member gates every
+  /// collective and the whole stage runs at min(device_speed) of its
+  /// members.  1.0 on healthy clusters (the common fast path).
+  double stage_speed(const parallel::StageConfig& stage) const;
+
   /// Stage-local attention: each TP member computes heads/tp query heads
   /// for every sequence.  `ctxs` are per-sequence KV lengths.
   Seconds stage_attention_decode(const parallel::StageConfig& stage,

@@ -73,6 +73,28 @@ class Reconfigurable {
   /// without a planner.
   virtual void set_planner(const std::string& planner) { (void)planner; }
 
+  /// The cluster's degradation overlay changed materially (a device
+  /// crossed the controller's straggler threshold, in either direction).
+  /// HetisEngine replans over its CURRENT device set -- the cost model now
+  /// prices the degraded hardware, so the search may DEMOTE a straggling
+  /// primary to an Attention worker -- and re-deploys only when the plan
+  /// actually changes.  The checkpoint-restart baselines keep the default
+  /// no-op: they serve on (and suffer) the degraded hardware as-is, which
+  /// is the "degrade naively" half of the benchmark's asymmetry.
+  virtual void on_degradation(sim::Simulation& sim) { (void)sim; }
+
+  /// Advance warning: `device` will be reclaimed at `leave_time` (a
+  /// kPreemptNotice event; the kGpuLeave itself arrives separately).
+  /// HetisEngine uses the lead time to re-deploy WITHOUT the doomed device
+  /// and pre-migrate its KV through the Hauler while the device is still
+  /// up; engines that cannot act early keep the default no-op and pay the
+  /// full restart at the actual leave.
+  virtual void on_preempt_notice(sim::Simulation& sim, int device, Seconds leave_time) {
+    (void)sim;
+    (void)device;
+    (void)leave_time;
+  }
+
   virtual const ReconfigStats& reconfig_stats() const = 0;
 };
 

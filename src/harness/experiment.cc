@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -226,7 +227,14 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     if (options.tenant_priorities.empty()) {
       options.tenant_priorities = point_priorities(point);
     }
-    auto eng = engine::make(engine_name, cluster, model, options);
+    // A controlled cell serves on its OWN cluster copy: degradation events
+    // (device_slow / link_degrade) mutate the condition overlay live, and
+    // parallel cells must never see each other's stragglers.  A copy of a
+    // healthy cluster is bit-identical, so uncontrolled rows are unchanged.
+    std::optional<hw::Cluster> cell_cluster;
+    if (spec.control) cell_cluster.emplace(cluster);
+    hw::Cluster& cell_hw = cell_cluster ? *cell_cluster : cluster;
+    auto eng = engine::make(engine_name, cell_hw, model, options);
 
     // Everything per-cell below owns private state, so controlled and
     // observed sweeps parallelize without cross-cell interleaving.
@@ -243,7 +251,10 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     }
     std::unique_ptr<control::Controller> controller;
     if (spec.control) {
-      controller = std::make_unique<control::Controller>(*spec.control, cluster);
+      // Binds the mutable-cluster overload (cell_hw is the cell's private
+      // copy here), so degradation scripts replay onto the same cluster the
+      // engine's cost model reads.
+      controller = std::make_unique<control::Controller>(*spec.control, cell_hw);
       run.on_start = controller->starter();
     }
 

@@ -136,7 +136,51 @@ std::vector<int> HetisEngine::active_devices() const {
   return devs;
 }
 
+parallel::ParallelPlan HetisEngine::compute_plan(const std::vector<int>& devices) {
+  // §5.3 applied to churn: re-plan over the device set through the
+  // configured planner tier (the search itself is sub-second and off the
+  // serving critical path).  subcluster() carries the degradation overlay,
+  // so the search prices measured -- not nameplate -- hardware.
+  std::vector<int> original_ids;
+  hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
+  auto planner = planner::make(opts_.search.planner, sub, exec_.model_spec(), opts_.search);
+  parallel::ParallelPlan plan = planner->plan(opts_.workload);
+  search_diag_ = planner->diagnostics();
+  parallel::remap_device_ids(plan, original_ids);
+  return plan;
+}
+
 void HetisEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devices) {
+  // Plan BEFORE draining: an infeasible device set throws here and leaves
+  // the running deployment untouched.
+  apply_plan(sim, compute_plan(devices));
+}
+
+void HetisEngine::on_degradation(sim::Simulation& sim) {
+  // The device set is unchanged -- only its measured condition moved.
+  // Replan over the same devices and commit only a genuine layout change
+  // (typically the straggler demoted from a primary stage to an Attention
+  // worker); an identical plan means the degradation was not worth a
+  // migration cycle.
+  parallel::ParallelPlan fresh = compute_plan(active_devices());
+  if (fresh == plan_) return;
+  apply_plan(sim, std::move(fresh));
+}
+
+void HetisEngine::on_preempt_notice(sim::Simulation& sim, int device, Seconds leave_time) {
+  (void)leave_time;  // the lead window is implicit: act NOW, leave later
+  std::vector<int> devices = active_devices();
+  auto it = std::find(devices.begin(), devices.end(), device);
+  if (it == devices.end()) return;  // not serving on it: nothing at risk
+  if (devices.size() <= 1) return;  // nowhere to evacuate to
+  devices.erase(it);
+  // Re-deploy without the doomed device while its KV is still readable:
+  // apply_plan's migrations ride the Hauler during the lead window, so the
+  // later kGpuLeave sees an idle device and costs nothing.
+  reconfigure(sim, devices);
+}
+
+void HetisEngine::apply_plan(sim::Simulation& sim, parallel::ParallelPlan plan) {
   // Drain the current deployment.  Prefilled requests keep their decode
   // progress; each remembers its old primary device as the KV source.
   struct Carried {
@@ -156,15 +200,6 @@ void HetisEngine::reconfigure(sim::Simulation& sim, const std::vector<int>& devi
   std::sort(live.begin(), live.end(),
             [](const Carried& a, const Carried& b) { return a.lr.req.id < b.lr.req.id; });
 
-  // §5.3 applied to churn: re-plan over the new device set through the
-  // configured planner tier (the search itself is sub-second and off the
-  // serving critical path; the run pays only the KV movement below).
-  std::vector<int> original_ids;
-  hw::Cluster sub = exec_.cluster().subcluster(devices, &original_ids);
-  auto planner = planner::make(opts_.search.planner, sub, exec_.model_spec(), opts_.search);
-  parallel::ParallelPlan plan = planner->plan(opts_.workload);
-  search_diag_ = planner->diagnostics();
-  parallel::remap_device_ids(plan, original_ids);
   plan_ = std::move(plan);
   build_instances(exec_.cluster(), exec_.model_spec());
   ++stats_.reconfigurations;
@@ -239,12 +274,26 @@ dispatch::DispatcherConfig HetisInstance::make_dispatcher_config(
   dc.theta = opts.theta;
   dc.use_lp = opts.use_lp;
 
+  // Condition overlay: a degraded device's attention really runs at
+  // speed s < 1, so the LP must price its heads 1/s more expensive or it
+  // will keep loading the straggler as if it were healthy.
+  const auto degraded_attn = [this, &profile](int dev, double speed) {
+    costmodel::AttnParams a = profile.attn(dev);
+    if (speed != 1.0) {
+      const double err = 1.0 / speed - 1.0;
+      a = a.perturbed(err, err, err);
+    }
+    return a;
+  };
+
   for (std::size_t k = 0; k < cfg.stages.size(); ++k) {
     const auto& s = cfg.stages[k];
     dispatch::StageDesc sd;
     sd.devices = s.devices;
     sd.layers = s.layers;
-    sd.attn = profile.attn(s.devices.front());
+    double speed = 1.0;
+    for (int dev : s.devices) speed = std::min(speed, exec_->cluster().device_speed(dev));
+    sd.attn = degraded_attn(s.devices.front(), speed);
     Bytes params =
         engine::stage_param_bytes_per_device(m, s, k == 0, k + 1 == cfg.stages.size());
     Bytes cap = 0;
@@ -255,7 +304,7 @@ dispatch::DispatcherConfig HetisInstance::make_dispatcher_config(
   for (int dev : cfg.attention_workers) {
     dispatch::WorkerDesc wd;
     wd.device = dev;
-    wd.attn = profile.attn(dev);
+    wd.attn = degraded_attn(dev, exec_->cluster().device_speed(dev));
     // Worst-case link to any stage representative (conservative).
     costmodel::TransferParams worst{};
     for (const auto& s : cfg.stages) {

@@ -65,6 +65,17 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   /// replans run through.  Validates eagerly: a typo fails here, not
   /// mid-churn on a replan.
   void set_planner(const std::string& planner) override;
+  /// Degradation response (§4.1's Delta-pruning applied online): replan
+  /// over the CURRENT device set -- the shared cluster's condition overlay
+  /// makes the cost model price measured hardware -- and re-deploy only if
+  /// the layout changed.  A straggling primary is typically DEMOTED to an
+  /// Attention worker (memory-bound attention tolerates a slow device far
+  /// better than the dense pipeline does), never dropped.
+  void on_degradation(sim::Simulation& sim) override;
+  /// Preemption warning: re-deploys without the doomed device while its KV
+  /// is still readable, so the Hauler pre-migrates during the lead window
+  /// and the actual gpu_leave finds nothing left to rescue.
+  void on_preempt_notice(sim::Simulation& sim, int device, Seconds leave_time) override;
   const engine::ReconfigStats& reconfig_stats() const override { return stats_; }
 
   const parallel::ParallelPlan& plan() const { return plan_; }
@@ -85,6 +96,14 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   void build_instances(const hw::Cluster& cluster, const model::ModelSpec& model);
   /// Least-filled-instance routing shared by submit and re-admission.
   HetisInstance* least_filled();
+  /// Runs the configured planner tier over the subcluster of `devices` and
+  /// remaps the result back onto construction-cluster ids.  Pure planning:
+  /// does not touch the running deployment (so on_degradation can compare
+  /// before committing).
+  parallel::ParallelPlan compute_plan(const std::vector<int>& devices);
+  /// Tears down the current instances, installs `plan`, live-migrates what
+  /// it can (see reconfigure's contract).
+  void apply_plan(sim::Simulation& sim, parallel::ParallelPlan plan);
 
   HetisOptions opts_;
   engine::ExecModel exec_;

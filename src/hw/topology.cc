@@ -50,7 +50,59 @@ bool Cluster::same_host(int a, int b) const { return device(a).host == device(b)
 
 Link Cluster::link(int a, int b) const {
   if (a == b) return Link{0.0, std::numeric_limits<double>::infinity()};
-  return same_host(a, b) ? host_intra_link(device(a).host) : inter_;
+  Link l = same_host(a, b) ? host_intra_link(device(a).host) : inter_;
+  if (!link_scale_.empty()) {
+    // A transfer is gated by its worse endpoint; healthy clusters skip this
+    // entirely so undegraded runs keep their exact historical link values.
+    const double scale = std::min(device_link_scale(a), device_link_scale(b));
+    if (scale != 1.0) l.bandwidth *= scale;
+  }
+  return l;
+}
+
+namespace {
+
+void check_ratio(double ratio, const char* what) {
+  if (!(ratio > 0.0) || ratio > 1.0) {
+    throw std::invalid_argument(std::string("Cluster::") + what +
+                                ": ratio must be in (0, 1], got " + std::to_string(ratio));
+  }
+}
+
+}  // namespace
+
+void Cluster::set_device_speed(int id, double ratio) {
+  if (id < 0 || static_cast<std::size_t>(id) >= devices_.size()) {
+    throw std::invalid_argument("Cluster::set_device_speed: device id out of range");
+  }
+  check_ratio(ratio, "set_device_speed");
+  if (ratio == 1.0) {
+    speed_ratio_.erase(id);
+  } else {
+    speed_ratio_[id] = ratio;
+  }
+}
+
+double Cluster::device_speed(int id) const {
+  auto it = speed_ratio_.find(id);
+  return it == speed_ratio_.end() ? 1.0 : it->second;
+}
+
+void Cluster::set_device_link_scale(int id, double scale) {
+  if (id < 0 || static_cast<std::size_t>(id) >= devices_.size()) {
+    throw std::invalid_argument("Cluster::set_device_link_scale: device id out of range");
+  }
+  check_ratio(scale, "set_device_link_scale");
+  if (scale == 1.0) {
+    link_scale_.erase(id);
+  } else {
+    link_scale_[id] = scale;
+  }
+}
+
+double Cluster::device_link_scale(int id) const {
+  auto it = link_scale_.find(id);
+  return it == link_scale_.end() ? 1.0 : it->second;
 }
 
 void Cluster::set_host_intra_link(int host, Link l) {
@@ -108,6 +160,16 @@ Cluster Cluster::subcluster(const std::vector<int>& device_ids,
     auto it = host_intra_.find(host.id);
     if (it != host_intra_.end()) sub.host_intra_[new_host] = it->second;
     new_ids.insert(new_ids.end(), kept_ids.begin(), kept_ids.end());
+  }
+  // Carry the degradation overlay onto the renumbered ids: a replan over
+  // the surviving devices must see the same measured hardware the parent
+  // cluster does, or the planner would price a straggler at nameplate.
+  for (std::size_t new_id = 0; new_id < new_ids.size(); ++new_id) {
+    const int old_id = new_ids[new_id];
+    auto sp = speed_ratio_.find(old_id);
+    if (sp != speed_ratio_.end()) sub.speed_ratio_[static_cast<int>(new_id)] = sp->second;
+    auto ls = link_scale_.find(old_id);
+    if (ls != link_scale_.end()) sub.link_scale_[static_cast<int>(new_id)] = ls->second;
   }
   if (original_ids) *original_ids = new_ids;
   return sub;

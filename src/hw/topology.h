@@ -31,8 +31,13 @@ struct Host {
   std::vector<int> device_ids;  // indices into Cluster::devices()
 };
 
-/// An immutable description of the hardware.  Build once, share by
-/// reference everywhere.
+/// A description of the hardware: topology (hosts, devices, fabric) plus a
+/// live CONDITION overlay.  The topology is immutable after construction --
+/// build once, share by reference everywhere -- while the condition overlay
+/// (per-device speed ratios, per-device link scales) tracks measured
+/// degradation: stragglers, thermal throttling, flaky links.  The overlay
+/// defaults to healthy (every ratio 1.0) and is mutated only by the elastic
+/// control plane, so uncontrolled runs never observe it changing.
 class Cluster {
  public:
   Cluster() = default;
@@ -78,10 +83,32 @@ class Cluster {
   /// Total memory across all devices.
   Bytes total_memory() const;
 
+  /// Live condition overlay: device `id` currently runs at `ratio` of its
+  /// nameplate speed (1.0 = healthy, 0.35 = a straggler at 35%).  The cost
+  /// model divides compute times by this ratio; the planners consume it so
+  /// mid-run plans reflect measured -- not nameplate -- hardware.  Ratios
+  /// must be in (0, 1]; setting 1.0 erases the entry (restores health).
+  /// Throws std::invalid_argument on out-of-range id or ratio.
+  void set_device_speed(int id, double ratio);
+  /// The current speed ratio of device `id` (1.0 when healthy).
+  double device_speed(int id) const;
+
+  /// Live condition overlay for the fabric: every link incident to device
+  /// `id` runs at `scale` of its nameplate bandwidth (a flaky NIC or PCIe
+  /// riser degrades all of that device's traffic).  link() applies the
+  /// worse endpoint's scale.  Same (0, 1] contract as set_device_speed.
+  void set_device_link_scale(int id, double scale);
+  /// The current link bandwidth scale of device `id` (1.0 when healthy).
+  double device_link_scale(int id) const;
+
+  /// True when any device carries a speed ratio or link scale below 1.0.
+  bool degraded() const { return !speed_ratio_.empty() || !link_scale_.empty(); }
+
   /// Builds the sub-cluster containing exactly `device_ids` of this
-  /// cluster, renumbered 0..n-1 in the given order.  Host structure and
-  /// fabric parameters are preserved (hosts that lose every device are
-  /// dropped).  When `original_ids` is non-null it receives the new-id ->
+  /// cluster, renumbered 0..n-1 in the given order.  Host structure,
+  /// fabric parameters and the degradation overlay (speed ratios / link
+  /// scales of the kept devices) are preserved (hosts that lose every
+  /// device are dropped).  When `original_ids` is non-null it receives the new-id ->
   /// original-id mapping, so plans computed on the sub-cluster can be
   /// remapped back onto this cluster's device ids.  Used by the elastic
   /// control plane to replan over the surviving device set after churn.
@@ -108,6 +135,11 @@ class Cluster {
   Link intra_{micros(5), 16e9};
   Link inter_{micros(20), 12.5e9};
   std::map<int, Link> host_intra_;  // per-host overrides (see set_host_intra_link)
+  // Degradation overlay, sparse: only devices below 1.0 carry an entry, so
+  // the healthy fast path (every run without degradation churn) stays a
+  // pair of empty-map checks.
+  std::map<int, double> speed_ratio_;
+  std::map<int, double> link_scale_;
 };
 
 }  // namespace hetis::hw

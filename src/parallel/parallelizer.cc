@@ -242,10 +242,23 @@ ParallelPlan Parallelizer::plan(const WorkloadProfile& profile, const PlanObject
   diag_ = SearchDiagnostics{};
   diag_.objective = objective.name();
 
-  // Group devices by type, ordered high-end -> low-end.
+  // Group devices by type, ordered high-end -> low-end.  Within a type,
+  // degraded devices (condition overlay, hw/topology.h) sort FIRST so the
+  // Delta-walk prunes a straggler before its healthy siblings -- i.e. a
+  // slowed A100 is the first A100 demoted to an Attention worker.  Stable
+  // sort keeps id order on a healthy cluster, so plans are byte-identical
+  // when no degradation is present.
   std::vector<hw::GpuType> types = cluster_->types_by_power_desc();
   std::map<hw::GpuType, std::vector<int>> by_type;
-  for (hw::GpuType t : types) by_type[t] = cluster_->devices_of_type(t);
+  for (hw::GpuType t : types) {
+    std::vector<int> devs = cluster_->devices_of_type(t);
+    if (cluster_->degraded()) {
+      std::stable_sort(devs.begin(), devs.end(), [&](int a, int b) {
+        return cluster_->device_speed(a) < cluster_->device_speed(b);
+      });
+    }
+    by_type[t] = std::move(devs);
+  }
 
   // DP instance counts d must divide every type's count evenly.
   std::vector<int> candidates_d{1};

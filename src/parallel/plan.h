@@ -45,6 +45,19 @@ struct InstanceConfig {
   }
 };
 
+/// Structural equality, used by the degradation path to decide whether a
+/// replan actually changed the layout (an unchanged plan must not trigger
+/// a retire-and-migrate cycle).
+inline bool operator==(const StageConfig& a, const StageConfig& b) {
+  return a.devices == b.devices && a.layers == b.layers && a.extra_reserved == b.extra_reserved;
+}
+inline bool operator!=(const StageConfig& a, const StageConfig& b) { return !(a == b); }
+
+inline bool operator==(const InstanceConfig& a, const InstanceConfig& b) {
+  return a.stages == b.stages && a.attention_workers == b.attention_workers;
+}
+inline bool operator!=(const InstanceConfig& a, const InstanceConfig& b) { return !(a == b); }
+
 /// A full cluster plan: data-parallel instances.
 struct ParallelPlan {
   std::vector<InstanceConfig> instances;
@@ -56,6 +69,11 @@ struct ParallelPlan {
   std::string to_string(const hw::Cluster& cluster,
                         const SearchDiagnostics* diag = nullptr) const;
 };
+
+inline bool operator==(const ParallelPlan& a, const ParallelPlan& b) {
+  return a.instances == b.instances;
+}
+inline bool operator!=(const ParallelPlan& a, const ParallelPlan& b) { return !(a == b); }
 
 namespace detail {
 

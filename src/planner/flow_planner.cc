@@ -149,9 +149,22 @@ parallel::ParallelPlan FlowPlanner::plan(const parallel::WorkloadProfile& profil
   const int L = model_->layers;
   const double layer_bytes = static_cast<double>(model_->layer_param_bytes());
 
+  // Within a type, degraded devices (condition overlay) sort first; the
+  // share layout below takes primaries from the END of the share and
+  // demotes from the FRONT, so a straggler is the first of its type to
+  // become an Attention worker -- mirroring the exhaustive tier's walk
+  // order.  Stable, so healthy clusters keep id order byte-for-byte.
   const std::vector<hw::GpuType> types = cluster_->types_by_power_desc();
   std::map<hw::GpuType, std::vector<int>> by_type;
-  for (hw::GpuType t : types) by_type[t] = cluster_->devices_of_type(t);
+  for (hw::GpuType t : types) {
+    std::vector<int> devs = cluster_->devices_of_type(t);
+    if (cluster_->degraded()) {
+      std::stable_sort(devs.begin(), devs.end(), [&](int a, int b) {
+        return cluster_->device_speed(a) < cluster_->device_speed(b);
+      });
+    }
+    by_type[t] = std::move(devs);
+  }
 
   // DP instance counts d that divide every type's count (as exhaustive).
   std::vector<int> candidates_d{1};

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "engine/registry.h"
 #include "harness/experiment.h"
 #include "harness/presets.h"
+#include "hetis/hetis_engine.h"
 #include "model/llm.h"
 #include "workload/scenarios.h"
 #include "workload/trace.h"
@@ -402,6 +404,375 @@ TEST(ObserverFactory, PerCellObserversLiftTheParallelRestriction) {
   spec.observer_factory = nullptr;
   spec.run.observer = &shared;
   EXPECT_THROW(harness::run_sweep(spec), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation churn generators
+// ---------------------------------------------------------------------------
+
+TEST(DegradationChurn, NamesCoverEveryScriptAndErrorsListThemSorted) {
+  const std::vector<std::string> want{"dip",         "flaky_link", "none",
+                                     "spot",        "spot_notice", "straggler",
+                                     "surge",       "throttle_wave"};
+  EXPECT_EQ(control::churn_names(), want);
+  EXPECT_TRUE(std::is_sorted(want.begin(), want.end()));
+  try {
+    control::churn_by_name("glacier");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("glacier"), std::string::npos);
+    for (const auto& n : want) EXPECT_NE(msg.find(n), std::string::npos) << n;
+  }
+  try {
+    control::make_policy("oracle");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("slo, static, threshold"), std::string::npos);
+  }
+}
+
+TEST(DegradationChurn, StragglerSlowsAnchorsThenRecovers) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kStraggler, 40.0, 9);
+  spec.straggler_count = 2;
+  auto events = control::generate_churn(spec, cluster);
+  ASSERT_EQ(events.size(), 4u);  // two onsets + one synchronized recovery each
+  int onsets = 0, recoveries = 0;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.kind, control::ClusterEventKind::kDeviceSlow);
+    EXPECT_TRUE(control::mutates_cluster(ev.kind));
+    // The ANCHORS straggle: highest-power devices, i.e. A100s on paper.
+    EXPECT_EQ(cluster.device(ev.device).type, hw::GpuType::kA100_80G);
+    if (ev.factor < 1.0) {
+      EXPECT_DOUBLE_EQ(ev.factor, spec.straggler_ratio);
+      // Onset jitter stays in the first fifth of the slow window, so it
+      // always precedes the recovery.
+      EXPECT_GE(ev.time, spec.slow_frac * spec.horizon);
+      EXPECT_LT(ev.time, spec.recover_frac * spec.horizon);
+      ++onsets;
+    } else {
+      EXPECT_DOUBLE_EQ(ev.time, spec.recover_frac * spec.horizon);
+      ++recoveries;
+    }
+  }
+  EXPECT_EQ(onsets, 2);
+  EXPECT_EQ(recoveries, 2);
+
+  // Determinism: same seed => identical stream; different seed => different.
+  auto again = control::generate_churn(spec, cluster);
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].time, events[i].time);
+    EXPECT_EQ(again[i].device, events[i].device);
+    EXPECT_EQ(again[i].factor, events[i].factor);
+  }
+  spec.seed = 10;
+  auto other = control::generate_churn(spec, cluster);
+  bool differs = other.size() != events.size();
+  for (std::size_t i = 0; !differs && i < events.size(); ++i) {
+    differs = other[i].time != events[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DegradationChurn, ThrottleWaveIsASeedlessIdOrderWave) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kThrottleWave, 40.0, 3);
+  auto events = control::generate_churn(spec, cluster);
+  // Every device throttles once and recovers once (horizon 40 fits all).
+  ASSERT_EQ(events.size(), 2u * static_cast<std::size_t>(cluster.num_devices()));
+  for (const auto& d : cluster.devices()) {
+    const Seconds onset = spec.wave_frac * spec.horizon + d.id * spec.wave_stagger;
+    bool found_onset = false, found_recover = false;
+    for (const auto& ev : events) {
+      if (ev.device != d.id) continue;
+      if (ev.factor < 1.0) {
+        EXPECT_DOUBLE_EQ(ev.time, onset);
+        EXPECT_DOUBLE_EQ(ev.factor, spec.throttle_ratio);
+        found_onset = true;
+      } else {
+        EXPECT_DOUBLE_EQ(ev.time, onset + spec.throttle_dwell);
+        found_recover = true;
+      }
+    }
+    EXPECT_TRUE(found_onset && found_recover) << "device " << d.id;
+  }
+  // The wave is deterministic: the seed plays no part.
+  spec.seed = 999;
+  auto reseeded = control::generate_churn(spec, cluster);
+  ASSERT_EQ(reseeded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(reseeded[i].time, events[i].time);
+    EXPECT_EQ(reseeded[i].device, events[i].device);
+  }
+}
+
+TEST(DegradationChurn, FlakyLinkAlternatesDegradeAndRecover) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kFlakyLink, 60.0, 17);
+  auto events = control::generate_churn(spec, cluster);
+  ASSERT_FALSE(events.empty());
+  std::map<int, std::vector<double>> factors_by_device;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.kind, control::ClusterEventKind::kLinkDegrade);
+    // The cheap capacity flakes: P100s churn first on the paper cluster.
+    EXPECT_EQ(cluster.device(ev.device).type, hw::GpuType::kP100);
+    factors_by_device[ev.device].push_back(ev.factor);
+  }
+  EXPECT_LE(factors_by_device.size(), static_cast<std::size_t>(spec.flaky_count));
+  for (const auto& [dev, factors] : factors_by_device) {
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      // Starts healthy, so the first event degrades; then alternates.
+      EXPECT_DOUBLE_EQ(factors[i], i % 2 == 0 ? spec.link_degrade_scale : 1.0)
+          << "device " << dev << " event " << i;
+    }
+  }
+  auto again = control::generate_churn(spec, cluster);
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) EXPECT_EQ(again[i].time, events[i].time);
+}
+
+TEST(DegradationChurn, SpotNoticeAnnouncesEveryLeaveWithinLead) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kSpotNotice, 60.0, 11);
+  auto events = control::generate_churn(spec, cluster);
+
+  // The underlying leave/join schedule is the kSpot one for the same seed:
+  // warnings are pure additions, never perturbations.
+  control::ChurnSpec plain = spec;
+  plain.kind = control::Churn::kSpot;
+  auto spot_events = control::generate_churn(plain, cluster);
+  std::vector<control::ClusterEvent> sans_notice;
+  for (const auto& ev : events) {
+    if (ev.kind != control::ClusterEventKind::kPreemptNotice) sans_notice.push_back(ev);
+  }
+  ASSERT_EQ(sans_notice.size(), spot_events.size());
+  for (std::size_t i = 0; i < spot_events.size(); ++i) {
+    EXPECT_EQ(sans_notice[i].time, spot_events[i].time);
+    EXPECT_EQ(sans_notice[i].kind, spot_events[i].kind);
+    EXPECT_EQ(sans_notice[i].device, spot_events[i].device);
+  }
+
+  // Every leave is announced: a prior kPreemptNotice for the same device
+  // whose time + factor equals the leave time, at most notice_lead ahead.
+  std::size_t leaves = 0, notices = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == control::ClusterEventKind::kPreemptNotice) {
+      ++notices;
+      EXPECT_GT(events[i].factor, 0.0);
+      EXPECT_LE(events[i].factor, spec.notice_lead + 1e-9);
+      continue;
+    }
+    if (events[i].kind != control::ClusterEventKind::kGpuLeave) continue;
+    ++leaves;
+    bool announced = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (events[j].kind == control::ClusterEventKind::kPreemptNotice &&
+          events[j].device == events[i].device &&
+          std::abs(events[j].time + events[j].factor - events[i].time) < 1e-9) {
+        announced = true;
+      }
+    }
+    EXPECT_TRUE(announced) << "unannounced leave of device " << events[i].device << " at t="
+                           << events[i].time;
+  }
+  ASSERT_GT(leaves, 0u);
+  EXPECT_EQ(notices, leaves);
+}
+
+TEST(DegradationChurn, ValidationRejectsBadDegradationParameters) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  control::ChurnSpec spec = control::churn_preset(control::Churn::kStraggler, 10.0, 1);
+  spec.straggler_ratio = 1.2;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+  spec = control::churn_preset(control::Churn::kStraggler, 10.0, 1);
+  spec.recover_frac = 0.1;
+  spec.slow_frac = 0.5;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+  spec = control::churn_preset(control::Churn::kThrottleWave, 10.0, 1);
+  spec.throttle_dwell = 0;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+  spec = control::churn_preset(control::Churn::kFlakyLink, 10.0, 1);
+  spec.link_degrade_scale = 0;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+  spec = control::churn_preset(control::Churn::kSpotNotice, 10.0, 1);
+  spec.notice_lead = 0;
+  EXPECT_THROW(control::generate_churn(spec, cluster), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Controller + engines under degradation
+// ---------------------------------------------------------------------------
+
+TEST(Degradation, ConstClusterControllerRejectsDegradationScripts) {
+  const hw::Cluster cluster = harness::cluster_by_name("paper");
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::Churn::kStraggler, 10.0, 5);
+  // The const overload cannot replay overlay mutations: fail at build time,
+  // not silently at nameplate speed mid-run.
+  EXPECT_THROW(control::Controller(cs, cluster), std::invalid_argument);
+  // The same spec on a mutable cluster is fine.
+  hw::Cluster mut = harness::cluster_by_name("paper");
+  EXPECT_NO_THROW(control::Controller(cs, mut));
+  // Threshold is validated either way.
+  control::ControlSpec bad;
+  bad.straggler_threshold = 0.0;
+  EXPECT_THROW(control::Controller(bad, mut), std::invalid_argument);
+}
+
+control::ControlSpec straggler_spec(Seconds horizon, double recover_frac) {
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::Churn::kStraggler, horizon, 5);
+  cs.churn.recover_frac = recover_frac;
+  cs.policy = "static";
+  cs.replan_objective = "latency";
+  cs.horizon = horizon + 30.0;
+  cs.min_devices = 4;
+  return cs;
+}
+
+TEST(Degradation, HetisDemotesTheStragglerInsteadOfDroppingIt) {
+  // Acceptance: under straggler churn the slowed device is REASSIGNED to
+  // Attention work (where a slow device costs least) -- never dropped from
+  // the deployment -- and every request still finishes.
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::TraceOptions topts;
+  topts.rate = 4.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto trace = workload::build_trace(topts);
+
+  // recover_frac = 1.0 puts the recovery AT the horizon (skipped by the
+  // generator contract), so the run ends with the straggler still slow and
+  // the final plan inspectable.
+  control::ControlSpec cs = straggler_spec(8.0, 1.0);
+  const auto script = control::generate_churn(cs.churn, cluster);
+  ASSERT_EQ(script.size(), 1u);
+  const int straggler = script[0].device;
+
+  auto eng = engine::make("hetis", cluster, model);
+  control::Controller ctl(cs, cluster);
+  engine::RunOptions run(900.0);
+  run.on_start = ctl.starter();
+  engine::RunReport rep = engine::run_trace(*eng, trace, run);
+
+  // Demote, not drop: zero lost requests, zero restarts, and the engine
+  // reconfigured in response to the threshold crossing.
+  EXPECT_EQ(rep.arrived, trace.size());
+  EXPECT_EQ(rep.finished, trace.size());
+  const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get());
+  ASSERT_NE(rc, nullptr);
+  EXPECT_GE(rc->reconfig_stats().reconfigurations, 1);
+  EXPECT_EQ(rc->reconfig_stats().restarted_requests, 0);
+  EXPECT_EQ(ctl.stats().degradation_events, 1);
+  EXPECT_EQ(ctl.signals().degraded_devices, 1);
+  // The overlay stuck (no recovery event fired).
+  EXPECT_DOUBLE_EQ(cluster.device_speed(straggler), cs.churn.straggler_ratio);
+
+  // The final plan serves WITH the straggler -- as an Attention worker,
+  // not a primary pipeline device.
+  const auto* hetis = dynamic_cast<const core::HetisEngine*>(eng.get());
+  ASSERT_NE(hetis, nullptr);
+  bool is_primary = false, is_worker = false, assigned = false;
+  for (const auto& inst : hetis->plan().instances) {
+    for (int dev : inst.primary_devices()) is_primary |= dev == straggler;
+    for (int dev : inst.attention_workers) is_worker |= dev == straggler;
+  }
+  assigned = is_primary || is_worker;
+  EXPECT_TRUE(assigned) << "straggler " << straggler << " was dropped from the plan";
+  EXPECT_FALSE(is_primary) << "straggler " << straggler << " still drives a primary stage";
+  EXPECT_TRUE(is_worker);
+}
+
+TEST(Degradation, StragglerRecoveryReplansBackAndRestoresHealth) {
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::TraceOptions topts;
+  topts.rate = 4.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto trace = workload::build_trace(topts);
+
+  control::ControlSpec cs = straggler_spec(8.0, 0.75);  // recovers mid-run
+  auto eng = engine::make("hetis", cluster, model);
+  control::Controller ctl(cs, cluster);
+  engine::RunOptions run(900.0);
+  run.on_start = ctl.starter();
+  engine::RunReport rep = engine::run_trace(*eng, trace, run);
+
+  EXPECT_EQ(rep.finished, trace.size());
+  // Slow + recover both crossed the threshold: two degradation events, two
+  // replans (demote, then restore), and a healthy cluster at the end.
+  EXPECT_EQ(ctl.stats().degradation_events, 2);
+  EXPECT_EQ(ctl.signals().degraded_devices, 0);
+  EXPECT_FALSE(cluster.degraded());
+  const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get());
+  EXPECT_GE(rc->reconfig_stats().reconfigurations, 2);
+}
+
+TEST(Degradation, PreemptNoticeLetsHetisEvacuateWithoutRestarts) {
+  // Acceptance: with warnings, Hetis pre-migrates KV off the doomed device
+  // during the lead window -- zero restarts where the same schedule
+  // without notices forces none either (Hetis live-migrates) but the
+  // notices must strictly reduce work done AT the leave.
+  hw::Cluster cluster = harness::cluster_by_name("paper");
+  const model::ModelSpec& model = model::model_by_name("Llama-13B");
+  workload::TraceOptions topts;
+  topts.rate = 4.0;
+  topts.horizon = 8.0;
+  topts.seed = 31;
+  auto trace = workload::build_trace(topts);
+
+  control::ControlSpec cs;
+  cs.churn = control::churn_preset(control::Churn::kSpotNotice, 8.0, 13);
+  cs.churn.spot_count = 2;
+  cs.policy = "static";
+  cs.horizon = 38.0;
+  cs.min_devices = 4;
+
+  auto eng = engine::make("hetis", cluster, model);
+  control::Controller ctl(cs, cluster);
+  engine::RunOptions run(900.0);
+  run.on_start = ctl.starter();
+  engine::RunReport rep = engine::run_trace(*eng, trace, run);
+
+  EXPECT_EQ(rep.finished, trace.size());
+  EXPECT_GT(ctl.stats().preempt_notices, 0);
+  const auto* rc = dynamic_cast<const engine::Reconfigurable*>(eng.get());
+  ASSERT_NE(rc, nullptr);
+  EXPECT_GT(rc->reconfig_stats().reconfigurations, 0);
+  EXPECT_EQ(rc->reconfig_stats().restarted_requests, 0);
+  EXPECT_EQ(rc->reconfig_stats().restart_dead_time, 0.0);
+}
+
+TEST(Degradation, ControlledSweepWithDegradationIsByteIdenticalAcrossJobs) {
+  // Each cell owns a private cluster copy, so degradation scripts compose
+  // with parallel sweeps deterministically.
+  auto csv_at = [](int jobs) {
+    harness::ExperimentSpec spec;
+    spec.name = "degraded";
+    spec.engines = {"hetis", "splitwise"};
+    spec.models = {"Llama-13B"};
+    spec.horizon = 6.0;
+    spec.seed = 29;
+    spec.run = engine::RunOptions(900.0);
+    spec.add_scenario(
+        workload::scenario_preset(workload::Scenario::kPoisson, 3.0, spec.horizon, spec.seed));
+    control::ControlSpec cs;
+    cs.churn = control::churn_preset(control::Churn::kStraggler, spec.horizon, spec.seed);
+    cs.policy = "static";
+    spec.set_control(cs);
+    spec.jobs = jobs;
+    std::ostringstream csv;
+    harness::write_csv(csv, harness::run_sweep(spec));
+    return csv.str();
+  };
+  const std::string serial = csv_at(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(csv_at(4), serial);
+  EXPECT_NE(serial.find("straggler,static,"), std::string::npos);
 }
 
 }  // namespace

@@ -193,5 +193,69 @@ TEST(Cluster, SubclusterRejectsBadDeviceSets) {
   EXPECT_THROW(c.subcluster({-1}), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Condition overlay (degradation)
+// ---------------------------------------------------------------------------
+
+TEST(ConditionOverlay, HealthyByDefaultAndRestorable) {
+  Cluster c = Cluster::paper_cluster();
+  EXPECT_FALSE(c.degraded());
+  for (const auto& d : c.devices()) {
+    EXPECT_DOUBLE_EQ(c.device_speed(d.id), 1.0);
+    EXPECT_DOUBLE_EQ(c.device_link_scale(d.id), 1.0);
+  }
+  c.set_device_speed(0, 0.35);
+  EXPECT_TRUE(c.degraded());
+  EXPECT_DOUBLE_EQ(c.device_speed(0), 0.35);
+  EXPECT_DOUBLE_EQ(c.device_speed(1), 1.0);  // sparse: only id 0 touched
+  // Setting 1.0 erases the entry entirely (back to the healthy fast path).
+  c.set_device_speed(0, 1.0);
+  EXPECT_FALSE(c.degraded());
+  EXPECT_DOUBLE_EQ(c.device_speed(0), 1.0);
+}
+
+TEST(ConditionOverlay, ValidatesRatioAndId) {
+  Cluster c = Cluster::paper_cluster();
+  EXPECT_THROW(c.set_device_speed(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.set_device_speed(0, -0.5), std::invalid_argument);
+  EXPECT_THROW(c.set_device_speed(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(c.set_device_speed(99, 0.5), std::invalid_argument);
+  EXPECT_THROW(c.set_device_link_scale(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.set_device_link_scale(-1, 0.5), std::invalid_argument);
+}
+
+TEST(ConditionOverlay, LinkScaleGatesBandwidthByWorseEndpoint) {
+  Cluster c = Cluster::paper_cluster();
+  const Link healthy = c.link(0, 4);
+  c.set_device_link_scale(0, 0.25);
+  const Link flaky = c.link(0, 4);
+  EXPECT_DOUBLE_EQ(flaky.bandwidth, 0.25 * healthy.bandwidth);
+  EXPECT_DOUBLE_EQ(flaky.latency, healthy.latency);  // latency untouched
+  // The worse endpoint governs: scaling the far side further drops it.
+  c.set_device_link_scale(4, 0.1);
+  EXPECT_DOUBLE_EQ(c.link(0, 4).bandwidth, 0.1 * healthy.bandwidth);
+  // Links between two healthy devices are untouched.
+  const Cluster pristine = Cluster::paper_cluster();
+  EXPECT_DOUBLE_EQ(c.link(1, 5).bandwidth, pristine.link(1, 5).bandwidth);
+  EXPECT_DOUBLE_EQ(c.link(2, 3).bandwidth, pristine.link(2, 3).bandwidth);
+}
+
+TEST(ConditionOverlay, SubclusterCarriesOverlayOntoRenumberedIds) {
+  Cluster c = Cluster::paper_cluster();
+  c.set_device_speed(3, 0.35);      // kept, renumbers to 2 below
+  c.set_device_speed(1, 0.5);       // dropped with its entry
+  c.set_device_link_scale(8, 0.25); // kept, renumbers to 3
+  std::vector<int> original;
+  Cluster sub = c.subcluster({0, 2, 3, 8}, &original);
+  EXPECT_TRUE(sub.degraded());
+  EXPECT_DOUBLE_EQ(sub.device_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(sub.device_speed(2), 0.35);
+  EXPECT_DOUBLE_EQ(sub.device_link_scale(3), 0.25);
+  // The dropped device's entry does not leak onto a renumbered id.
+  EXPECT_DOUBLE_EQ(sub.device_speed(1), 1.0);
+  // A healthy selection of a degraded cluster is itself healthy.
+  EXPECT_FALSE(c.subcluster({0, 2}).degraded());
+}
+
 }  // namespace
 }  // namespace hetis::hw

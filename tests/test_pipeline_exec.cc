@@ -118,6 +118,52 @@ TEST_F(PipelinedExec, MemoryConsistentUnderPipelinedChurn) {
   EXPECT_EQ(inst.kv_used(), 0);  // every byte released exactly once
 }
 
+// --- Degradation overlay in the cost model ---
+
+TEST(ExecDegradation, StageTimesScaleByTheSlowestMember) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  engine::ExecModel exec(cluster, model::llama_13b());
+  parallel::StageConfig stage;
+  stage.devices = {0, 1};  // A100 TP2
+  stage.layers = 40;
+  const std::vector<std::int64_t> ctxs{400, 700};
+
+  const Seconds dense = exec.stage_dense_time(stage, 256);
+  const Seconds attn = exec.stage_attention_decode(stage, ctxs, 40);
+  EXPECT_DOUBLE_EQ(exec.stage_speed(stage), 1.0);
+
+  // A TP group advances in lock-step: the slowest member gates the stage,
+  // so degrading ONE device halves-at-0.5 the whole stage.
+  cluster.set_device_speed(1, 0.5);
+  EXPECT_DOUBLE_EQ(exec.stage_speed(stage), 0.5);
+  EXPECT_DOUBLE_EQ(exec.stage_dense_time(stage, 256), dense / 0.5);
+  EXPECT_DOUBLE_EQ(exec.stage_attention_decode(stage, ctxs, 40), attn / 0.5);
+  // Degrading the OTHER member further is what now gates it.
+  cluster.set_device_speed(0, 0.25);
+  EXPECT_DOUBLE_EQ(exec.stage_dense_time(stage, 256), dense / 0.25);
+  // Restoring health restores the exact original times (byte-identity).
+  cluster.set_device_speed(0, 1.0);
+  cluster.set_device_speed(1, 1.0);
+  EXPECT_DOUBLE_EQ(exec.stage_dense_time(stage, 256), dense);
+  EXPECT_DOUBLE_EQ(exec.stage_attention_decode(stage, ctxs, 40), attn);
+}
+
+TEST(ExecDegradation, LinkScaleSlowsTransfers) {
+  hw::Cluster cluster = hw::Cluster::paper_cluster();
+  engine::ExecModel exec(cluster, model::llama_13b());
+  // Inter-host transfer A100 (0) -> 3090 (4).
+  const Seconds healthy = exec.comm().p2p(0, 4, 64 * MiB);
+  cluster.set_device_link_scale(4, 0.25);
+  const Seconds flaky = exec.comm().p2p(0, 4, 64 * MiB);
+  EXPECT_GT(flaky, healthy);
+  // The bandwidth term quadruples; latency is untouched, so the total is
+  // strictly less than 4x but well above 2x for a transfer this large.
+  EXPECT_LT(flaky, 4.0 * healthy + 1e-9);
+  EXPECT_GT(flaky, 2.0 * healthy);
+  cluster.set_device_link_scale(4, 1.0);
+  EXPECT_DOUBLE_EQ(exec.comm().p2p(0, 4, 64 * MiB), healthy);
+}
+
 // --- Splitwise reservation protocol ---
 
 TEST(SplitwiseProtocol, ReserveIncomingHoldsSpace) {
