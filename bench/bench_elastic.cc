@@ -43,6 +43,9 @@
 //   --out PATH    JSON artifact path (default BENCH_elastic.json; "-" off)
 //   --rate R      base aggregate rate in req/s (default 18)
 //   --horizon S   arrival window in seconds (default 24)
+//   --trace DIR   per-cell telemetry: every cell of every part writes a
+//                 Perfetto-loadable <cell>.trace.json (+ .metrics.csv and
+//                 .audit.json) into DIR; rows stay byte-identical
 //   --check       degradation acceptance guard: exit 2 unless, under BOTH
 //                 Part C scripts, Hetis finishes every request (nothing
 //                 dropped), reconfigures at least once, and beats both
@@ -80,8 +83,11 @@ control::ControlSpec control_for(const std::string& policy, engine::SloSpec slo)
   return cs;
 }
 
+std::string g_trace_dir;  // --trace DIR; empty = telemetry off
+
 std::vector<harness::SweepRow> run_part(harness::ExperimentSpec& spec, int jobs, bool progress) {
   spec.jobs = jobs;
+  spec.trace_dir = g_trace_dir;
   return harness::run_sweep(spec, progress ? bench::progress_printer(bench::cell_count(spec))
                                            : harness::RowCallback());
 }
@@ -112,6 +118,7 @@ int main(int argc, char** argv) {
   const bool csv = bench::csv_requested(argc, argv);
   const bool progress = bench::flag_requested(argc, argv, "--progress");
   const int jobs = bench::jobs_requested(argc, argv, /*fallback=*/0);
+  g_trace_dir = bench::arg_value(argc, argv, "--trace", "");
 
   const auto t0 = std::chrono::steady_clock::now();
 

@@ -9,6 +9,11 @@
 // reports wall-clock speed, committed as BENCH_simspeed.json so speedups
 // (or regressions) are tracked PR-over-PR like the other benches.
 //
+// The poisson trace is additionally replayed with a telemetry session
+// installed ("poisson_traced" rows, no artifact export): the tracing-off
+// rows guard the hot path itself, the traced rows price the observability
+// tax so a PR cannot quietly make tracing unaffordable.
+//
 // Flags:
 //   --csv           dump rows to stdout instead of the table
 //   --csv-header    print the CSV header and exit (CI diffs this)
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "telemetry/telemetry.h"
 #include "workload/scenarios.h"
 
 namespace {
@@ -78,16 +84,22 @@ std::string row_json(const SpeedRow& r) {
 /// Replays `trace` through a freshly built engine, mirroring
 /// engine::run_trace's scheduling exactly (arrivals pushed up front in
 /// trace order, run_until(last_arrival + drain)) but timing the event loop
-/// and counting executed events.
+/// and counting executed events.  When `telem` is non-null the session is
+/// installed exactly as RunOptions::telemetry would be (sink before start,
+/// sampler attached after), so the timed window includes the full tracing
+/// tax: span capture, registry sampling events, the lot.
 SpeedRow timed_run(const std::string& engine_name, const std::string& scenario,
                    const hw::Cluster& cluster, const model::ModelSpec& model,
                    const engine::EngineOptions& opts,
-                   const std::vector<workload::Request>& trace, Seconds drain) {
+                   const std::vector<workload::Request>& trace, Seconds drain,
+                   telemetry::Telemetry* telem = nullptr) {
   auto eng = engine::make(engine_name, cluster, model, opts);
   sim::Simulation sim;
 
   const auto t0 = std::chrono::steady_clock::now();
+  eng->metrics().set_telemetry(telem);
   eng->start(sim);
+  if (telem != nullptr) telem->attach(sim, *eng);
   for (const auto& r : trace) {
     sim.schedule_at(r.arrival, [&eng, &sim, &r] { eng->submit(sim, r); });
   }
@@ -190,7 +202,15 @@ int main(int argc, char** argv) {
     traces.emplace_back(name, std::move(trace));
   }
 
+  const std::size_t total_rows = traces.size() * 3 + 3;
   std::vector<SpeedRow> rows;
+  auto progress = [&rows, csv, total_rows] {
+    if (csv) return;
+    const SpeedRow& r = rows.back();
+    std::fprintf(stderr, "[%zu/%zu] %s/%s: %.0f req/s-wall (%.2fs wall, %zu events)\n",
+                 rows.size(), total_rows, r.engine.c_str(), r.scenario.c_str(),
+                 r.requests_per_wall_second, r.wall_seconds, r.events);
+  };
   for (const auto& [scenario, trace] : traces) {
     for (const std::string& engine_name : {std::string("splitwise"), std::string("hexgen"),
                                            std::string("hetis")}) {
@@ -198,13 +218,24 @@ int main(int argc, char** argv) {
           engine_name == "hetis" ? hetis_opts : default_opts;
       rows.push_back(timed_run(engine_name, scenario, cluster, model, opts, trace,
                                /*drain=*/600.0));
-      if (!csv) {
-        const SpeedRow& r = rows.back();
-        std::fprintf(stderr, "[%zu/6] %s/%s: %.0f req/s-wall (%.2fs wall, %zu events)\n",
-                     rows.size(), r.engine.c_str(), r.scenario.c_str(),
-                     r.requests_per_wall_second, r.wall_seconds, r.events);
-      }
+      progress();
     }
+  }
+
+  // Tracing-on rows: the poisson trace again, with a fresh telemetry
+  // session per run (spans + registry sampling; nothing exported -- the
+  // row prices capture, not serialization).  Engine options are identical
+  // to the tracing-off rows, so the req/s-wall delta IS the tracing tax.
+  const std::vector<workload::Request>& poisson_trace = traces.front().second;
+  for (const std::string& engine_name : {std::string("splitwise"), std::string("hexgen"),
+                                         std::string("hetis")}) {
+    const engine::EngineOptions& opts = engine_name == "hetis" ? hetis_opts : default_opts;
+    telemetry::TelemetryConfig tcfg;
+    tcfg.horizon = horizon;  // sample the whole span, not just until idle
+    telemetry::Telemetry telem(tcfg);
+    rows.push_back(timed_run(engine_name, "poisson_traced", cluster, model, opts,
+                             poisson_trace, /*drain=*/600.0, &telem));
+    progress();
   }
 
   if (out_path != "-") {

@@ -18,8 +18,12 @@
 //
 // Unknown engine / churn / policy names exit 2 with the valid names listed.
 //
+// --trace PATH records the whole run as a Perfetto-loadable Chrome trace
+// (plus <base>.metrics.csv and <base>.audit.json next to it) and prints a
+// five-line telemetry summary after the report.
+//
 // Usage: elastic_serving [engine] [churn] [policy] [--engine E] [--churn C]
-//                        [--policy P] [--rate R] [--horizon S]
+//                        [--policy P] [--rate R] [--horizon S] [--trace PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -27,9 +31,11 @@
 #include <string>
 
 #include "control/controller.h"
+#include "engine/options.h"
 #include "engine/registry.h"
 #include "harness/presets.h"
 #include "model/llm.h"
+#include "telemetry/telemetry.h"
 #include "workload/scenarios.h"
 
 int main(int argc, char** argv) {
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "hetis";
   std::string churn_name = "dip";
   std::string policy = "threshold";
+  std::string trace_path;
   double rate = 12.0;
   Seconds horizon = 20.0;
   int positional = 0;
@@ -52,10 +59,12 @@ int main(int argc, char** argv) {
       churn_name = argv[++i];
     } else if (arg == "--policy" && i + 1 < argc) {
       policy = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: elastic_serving [engine] [churn] [policy] [--engine E] [--churn C] "
-                   "[--policy P] [--rate R] [--horizon S]\n");
+                   "[--policy P] [--rate R] [--horizon S] [--trace PATH]\n");
       return 2;
     } else {
       (positional == 0 ? engine_name : positional == 1 ? churn_name : policy) = arg;
@@ -106,7 +115,17 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<engine::Engine> eng;
   try {
-    eng = engine::make(engine_name, cluster, model);
+    engine::EngineOptions options;
+    if (!trace_path.empty() && engine::ascii_lower(engine_name) == "hetis") {
+      // Traced Hetis runs sample per-device KV fill + assigned heads so the
+      // trace carries the occupancy tracks (UsageSamples never feed the
+      // RunReport, so the report below is unchanged).
+      engine::HetisConfig cfg;
+      cfg.sample_interval = 0.5;
+      cfg.sample_horizon = horizon;
+      options.system = std::move(cfg);
+    }
+    eng = engine::make(engine_name, cluster, model, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "elastic_serving: %s\n", e.what());
     return 2;
@@ -114,6 +133,14 @@ int main(int argc, char** argv) {
   engine::RunOptions run(900.0);
   run.slo = cs.slo;
   run.on_start = controller->starter();
+  std::unique_ptr<telemetry::Telemetry> telem;
+  if (!trace_path.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.horizon = horizon;
+    tcfg.slo = run.slo;
+    telem = std::make_unique<telemetry::Telemetry>(tcfg);
+    run.telemetry = telem.get();
+  }
   engine::RunReport report = engine::run_trace(*eng, trace, run);
 
   std::printf("%s\n", report.to_json().c_str());
@@ -136,5 +163,17 @@ int main(int argc, char** argv) {
   std::printf("result    : slo attainment %.2f, goodput %.2f req/s, ttft p95 %.3fs\n",
               report.slo_attainment, report.goodput, report.ttft_p95);
   if (!report.warning().empty()) std::printf("WARNING: %s\n", report.warning().c_str());
+  if (telem) {
+    try {
+      telem->write_artifacts(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "elastic_serving: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\ntelemetry :\n%s\n", telem->summary().c_str());
+    for (const std::string& p : telemetry::Telemetry::artifact_paths(trace_path)) {
+      std::printf("wrote     : %s\n", p.c_str());
+    }
+  }
   return 0;
 }

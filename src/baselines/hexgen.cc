@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <sstream>
 
 #include "costmodel/kernel_model.h"
 
@@ -124,6 +125,18 @@ void HexgenEngine::route(sim::Simulation& sim, const workload::Request& r) {
     if (inst->fill_fraction() < best->fill_fraction()) best = inst.get();
   }
   best->submit(sim, r);
+}
+
+std::string HexgenEngine::plan_digest() const {
+  std::ostringstream os;
+  os << "hexgen:" << plan_.instances.size() << "inst[";
+  for (std::size_t i = 0; i < plan_.instances.size(); ++i) {
+    const parallel::InstanceConfig& inst = plan_.instances[i];
+    os << (i ? "," : "") << "pp" << inst.stages.size() << "/dev"
+       << inst.primary_devices().size();
+  }
+  os << "]";
+  return os.str();
 }
 
 std::vector<int> HexgenEngine::active_devices() const {

@@ -52,6 +52,9 @@ class HexgenEngine : public engine::Engine, public engine::Reconfigurable {
   std::vector<int> active_devices() const override;
   void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
   const engine::ReconfigStats& reconfig_stats() const override { return restart_.stats(); }
+  /// "hexgen:<n>inst[pp<stages>/dev<count>,...]" -- the audit trail's plan
+  /// diff.
+  std::string plan_digest() const override;
 
   const parallel::ParallelPlan& plan() const { return plan_; }
 

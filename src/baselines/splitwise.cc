@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -255,6 +256,8 @@ void SplitwiseEngine::pump_migrations(sim::Simulation& sim) {
       done = std::max(done,
                       hauler_.migrate(src, stage.devices.front(), kv_bytes, sim.now()));
     }
+    metrics_.on_migrate(lr.req.id, sim.now(), done, src,
+                        plan_.decode[best].stages.front().devices.front());
     const int epoch = restart_.epoch();
     sim.schedule_at(done, [this, &sim, lr, best, epoch] {
       // A reconfigure retired this migration's endpoints; the request was
@@ -292,6 +295,17 @@ double SplitwiseEngine::kv_fill_fraction() const {
   double worst = 0;
   for (const auto& d : decode_) worst = std::max(worst, d->fill_fraction());
   return worst;
+}
+
+std::string SplitwiseEngine::plan_digest() const {
+  std::ostringstream os;
+  os << "splitwise:prefill[tp" << plan_.prefill.stages.front().devices.size() << "]+"
+     << plan_.decode.size() << "dec[";
+  for (std::size_t i = 0; i < plan_.decode.size(); ++i) {
+    os << (i ? "," : "") << "pp" << plan_.decode[i].stages.size();
+  }
+  os << "]";
+  return os.str();
 }
 
 std::vector<int> SplitwiseEngine::active_devices() const {

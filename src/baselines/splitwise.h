@@ -57,6 +57,9 @@ class SplitwiseEngine : public engine::Engine, public engine::Reconfigurable {
   std::vector<int> active_devices() const override;
   void reconfigure(sim::Simulation& sim, const std::vector<int>& devices) override;
   const engine::ReconfigStats& reconfig_stats() const override { return restart_.stats(); }
+  /// "splitwise:prefill[tp<n>]+<m>dec[pp<k>,...]" -- the audit trail's plan
+  /// diff.
+  std::string plan_digest() const override;
 
   const SplitwisePlan& plan() const { return plan_; }
   Bytes migrated_bytes() const { return hauler_.total_bytes(); }

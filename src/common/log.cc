@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 namespace hetis {
 
 namespace log_internal {
 
-LogLevel& global_level() {
-  static LogLevel level = LogLevel::kWarn;
+std::atomic<LogLevel>& global_level() {
+  // Seeded once, thread-safely (C++11 magic static), from HETIS_LOG_LEVEL;
+  // unset keeps the historical kWarn default.
+  static std::atomic<LogLevel> level = [] {
+    const char* env = std::getenv("HETIS_LOG_LEVEL");
+    return env != nullptr ? parse_log_level(env) : LogLevel::kWarn;
+  }();
   return level;
 }
 
@@ -25,9 +31,13 @@ void emit(LogLevel level, const char* file, int line, const std::string& msg) {
 
 }  // namespace log_internal
 
-void set_log_level(LogLevel level) { log_internal::global_level() = level; }
+void set_log_level(LogLevel level) {
+  log_internal::global_level().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return log_internal::global_level(); }
+LogLevel log_level() {
+  return log_internal::global_level().load(std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& s) {
   std::string lower = s;

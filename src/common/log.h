@@ -5,6 +5,7 @@
 // single branch.  Messages are formatted only when emitted.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -14,12 +15,16 @@ namespace hetis {
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
 namespace log_internal {
-LogLevel& global_level();
+std::atomic<LogLevel>& global_level();
 }  // namespace log_internal
 
-/// Sets the process-wide log level.  Not thread-safe; set before spawning.
+/// Sets the process-wide log level.  Thread-safe: the level is atomic, so a
+/// parallel sweep's workers may raise or lower it mid-run (relaxed ordering
+/// -- a racing HETIS_LOG may emit one message at the old level, never tear).
 void set_log_level(LogLevel level);
-/// Returns the current process-wide log level.
+/// Returns the current process-wide log level.  The first call seeds the
+/// level from the HETIS_LOG_LEVEL environment variable when set
+/// ("trace|debug|info|warn|error|off"; unset keeps the kWarn default).
 LogLevel log_level();
 
 /// Parses "trace|debug|info|warn|error|off" (case-insensitive); defaults to

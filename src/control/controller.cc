@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "parallel/objective.h"
 #include "planner/planner.h"
+#include "telemetry/telemetry.h"
 
 namespace hetis::control {
 
@@ -88,6 +89,11 @@ void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
   downstream_ = engine.metrics().observer();
   engine.metrics().set_observer(this);
 
+  // Traced run: every decision from here on lands in the session's audit
+  // trail (run_trace installs the session before calling on_start, so the
+  // initial deployment below is already recorded).
+  if (telemetry::Telemetry* t = engine.metrics().telemetry()) audit_ = &t->audit();
+
   // The construction deployment was planned over the whole cluster, so the
   // assigned set starts as every device; pick_active() shrinks it below.
   active_.assign(available_.begin(), available_.end());
@@ -98,6 +104,8 @@ void Controller::attach(sim::Simulation& sim, engine::Engine& engine) {
   // An initial_devices cap below the construction deployment applies
   // before the first arrival (the engine pays its own transition cost --
   // with nothing in flight this is cheap for every engine).
+  pending_trigger_ = "initial";
+  pending_device_ = -1;
   apply_target(sim, /*forced=*/true);
 
   for (const ClusterEvent& ev : events_) {
@@ -142,7 +150,16 @@ bool Controller::apply_target(sim::Simulation& sim, bool forced) {
     if (last_elective_ >= 0 && sim.now() - last_elective_ < spec_.cooldown) return false;
     last_elective_ = sim.now();
   }
+  std::string plan_before;
+  std::vector<int> before;
+  if (audit_) {
+    plan_before = reconfigurable_->plan_digest();
+    before = active_;
+  }
   reconfigurable_->reconfigure(sim, want);
+  if (audit_) {
+    audit_decision(sim, "redeploy", forced, std::move(before), want, std::move(plan_before));
+  }
   active_ = std::move(want);
   active_history_.emplace_back(sim.now(), static_cast<int>(active_.size()));
   (forced ? stats_.forced_reconfigs : stats_.elective_reconfigs) += 1;
@@ -170,6 +187,8 @@ void Controller::handle_event(sim::Simulation& sim, const ClusterEvent& ev) {
         serving = std::find(used.begin(), used.end(), ev.device) != used.end();
       }
       if (serving) {
+        pending_trigger_ = "gpu_leave";
+        pending_device_ = ev.device;
         apply_target(sim, /*forced=*/true);
       } else {
         active_ = pick_active();
@@ -183,6 +202,8 @@ void Controller::handle_event(sim::Simulation& sim, const ClusterEvent& ev) {
       // applies).  Simultaneous rejoins therefore coalesce: the first one
       // re-deploys, the rest land on a later tick instead of charging one
       // teardown per device.
+      pending_trigger_ = "gpu_join";
+      pending_device_ = ev.device;
       apply_target(sim, /*forced=*/false);
       break;
     case ClusterEventKind::kLoadShift:
@@ -211,14 +232,40 @@ void Controller::handle_event(sim::Simulation& sim, const ClusterEvent& ev) {
         HETIS_INFO("Controller: device " << ev.device << " " << to_string(ev.kind) << " -> "
                                          << ev.factor << " at t=" << sim.now()
                                          << (now ? " (degraded)" : " (recovered)"));
+        pending_trigger_ = now ? "straggler_crossing" : "recovery_crossing";
+        pending_device_ = ev.device;
+        std::string plan_before;
+        std::vector<int> devs_before;
+        if (audit_) {
+          plan_before = reconfigurable_->plan_digest();
+          devs_before = reconfigurable_->active_devices();
+        }
         reconfigurable_->on_degradation(sim);
+        if (audit_) {
+          // Same device set, possibly a new layout (e.g. a straggling
+          // primary demoted to an Attention worker).
+          audit_decision(sim, "replan_in_place", /*forced=*/true, std::move(devs_before),
+                         reconfigurable_->active_devices(), std::move(plan_before));
+        }
       }
       break;
     }
     case ClusterEventKind::kPreemptNotice:
       ++stats_.preempt_notices;
       if (reconfigurable_) {
+        pending_trigger_ = "preempt_notice";
+        pending_device_ = ev.device;
+        std::string plan_before;
+        std::vector<int> devs_before;
+        if (audit_) {
+          plan_before = reconfigurable_->plan_digest();
+          devs_before = reconfigurable_->active_devices();
+        }
         reconfigurable_->on_preempt_notice(sim, ev.device, ev.time + ev.factor);
+        if (audit_) {
+          audit_decision(sim, "evacuate", /*forced=*/true, std::move(devs_before),
+                         reconfigurable_->active_devices(), std::move(plan_before));
+        }
       }
       break;
   }
@@ -265,6 +312,8 @@ void Controller::tick(sim::Simulation& sim) {
   target_count_ = std::min(std::max(policy_->target_devices(signals_, target_count_),
                                     spec_.min_devices),
                            cluster_->num_devices());
+  pending_trigger_ = "policy_tick";
+  pending_device_ = -1;
   apply_target(sim, /*forced=*/false);
 
   if (sim.now() + spec_.tick <= spec_.horizon) {
@@ -289,6 +338,44 @@ double Controller::device_seconds(Seconds until) const {
 
 void Controller::ewma(double& slot, double sample) {
   slot = spec_.signal_alpha * sample + (1.0 - spec_.signal_alpha) * slot;
+}
+
+void Controller::audit_decision(sim::Simulation& sim, const std::string& action, bool forced,
+                                std::vector<int> devices_before,
+                                std::vector<int> devices_after, std::string plan_before) {
+  if (!audit_) return;
+  telemetry::AuditRecord rec;
+  rec.time = sim.now();
+  rec.trigger = pending_trigger_.empty() ? "policy_tick" : pending_trigger_;
+  rec.action = action;
+  rec.forced = forced;
+  rec.device = pending_device_;
+  // EWMAs carry their latest smoothed state; the computed signals are
+  // re-derived NOW, so a churn-driven decision between ticks audits the
+  // queue it actually saw.
+  rec.signals = signals_;
+  rec.signals.now = sim.now();
+  rec.signals.queue_depth = arrived_ - prefilled_ + reprefilling_.size();
+  rec.signals.in_flight = arrived_ - finished_;
+  rec.signals.kv_pressure = engine_ ? engine_->kv_fill_fraction() : 0.0;
+  rec.signals.active_devices = static_cast<int>(devices_before.size());
+  rec.signals.available_devices = static_cast<int>(available_.size());
+  rec.signals.degraded_devices = count_degraded();
+  rec.devices_before = std::move(devices_before);
+  rec.devices_after = std::move(devices_after);
+  rec.plan_before = std::move(plan_before);
+  if (reconfigurable_) {
+    rec.plan_after = reconfigurable_->plan_digest();
+    if (const parallel::SearchDiagnostics* d = reconfigurable_->last_search_diagnostics()) {
+      rec.has_diagnostics = true;
+      rec.diagnostics = *d;
+      // Host wall-clock, the one non-sim field: zeroed so every audit
+      // artifact stays byte-reproducible across runs and --jobs levels
+      // (bench_search_overhead measures search wall time where it belongs).
+      rec.diagnostics.wall_time = 0;
+    }
+  }
+  audit_->record(std::move(rec));
 }
 
 void Controller::on_arrival(const workload::Request& r) {
@@ -368,6 +455,19 @@ void Controller::on_finish(workload::RequestId id, Seconds t) {
 void Controller::on_preempt(workload::RequestId id, Seconds t) {
   reprefilling_.insert(id);  // back in the admission queue until it decodes
   if (downstream_) downstream_->on_preempt(id, t);
+}
+
+void Controller::on_prefill_start(workload::RequestId id, Seconds t) {
+  if (downstream_) downstream_->on_prefill_start(id, t);
+}
+
+void Controller::on_migrate(workload::RequestId id, Seconds start, Seconds ready,
+                            int src_device, int dst_device) {
+  if (downstream_) downstream_->on_migrate(id, start, ready, src_device, dst_device);
+}
+
+void Controller::on_usage(const engine::UsageSample& s) {
+  if (downstream_) downstream_->on_usage(s);
 }
 
 }  // namespace hetis::control

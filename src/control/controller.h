@@ -44,6 +44,10 @@
 #include "hw/topology.h"
 #include "sim/simulation.h"
 
+namespace hetis::telemetry {
+class AuditTrail;
+}
+
 namespace hetis::control {
 
 /// Declarative configuration of one controlled run; carried by
@@ -136,10 +140,14 @@ class Controller final : public engine::RunObserver {
 
   // RunObserver stream: updates the signal EWMAs, then forwards downstream.
   void on_arrival(const workload::Request& r) override;
+  void on_prefill_start(workload::RequestId id, Seconds t) override;
   void on_prefill_done(workload::RequestId id, Seconds t) override;
   void on_token(workload::RequestId id, Seconds t, std::int64_t generated) override;
   void on_finish(workload::RequestId id, Seconds t) override;
   void on_preempt(workload::RequestId id, Seconds t) override;
+  void on_migrate(workload::RequestId id, Seconds start, Seconds ready, int src_device,
+                  int dst_device) override;
+  void on_usage(const engine::UsageSample& s) override;
 
  private:
   /// Shared constructor; `mutable_cluster` is null for the const overload.
@@ -159,6 +167,16 @@ class Controller final : public engine::RunObserver {
   /// link), feeding ControlSignals::degraded_devices.
   int count_degraded() const;
 
+  /// Appends one AuditRecord for an applied action (no-op when no telemetry
+  /// session is attached).  The computed signals (queue depth, in-flight,
+  /// kv pressure, device counts) are refreshed at DECISION time -- a forced
+  /// churn re-deploy between ticks must not audit half-a-tick-old values --
+  /// while the EWMAs carry their latest smoothed state as-is.
+  /// `plan_before` is the engine's digest captured before the action.
+  void audit_decision(sim::Simulation& sim, const std::string& action, bool forced,
+                      std::vector<int> devices_before, std::vector<int> devices_after,
+                      std::string plan_before);
+
   ControlSpec spec_;
   const hw::Cluster* cluster_;
   hw::Cluster* mutable_cluster_ = nullptr;  // non-null: may replay degradation
@@ -170,6 +188,15 @@ class Controller final : public engine::RunObserver {
   engine::Reconfigurable* reconfigurable_ = nullptr;
   engine::RunObserver* downstream_ = nullptr;
   std::string replan_objective_;
+
+  /// Decision audit trail, discovered at attach from the run's telemetry
+  /// session (nullptr when the run is untraced -- recording is then free).
+  telemetry::AuditTrail* audit_ = nullptr;
+  /// What fired the decision currently being applied ("initial", "gpu_leave",
+  /// "gpu_join", "policy_tick", ...); set by each entry point before it can
+  /// reach audit_decision, with the triggering device id where scoped.
+  std::string pending_trigger_;
+  int pending_device_ = -1;
 
   std::set<int> available_;     // device ids currently usable
   std::vector<int> active_;     // sorted; devices assigned to the engine

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/stats.h"
+#include "telemetry/telemetry.h"
 
 namespace hetis::engine {
 
@@ -162,14 +163,23 @@ RunReport run_trace(Engine& engine, const std::vector<workload::Request>& trace,
                     const RunOptions& opts) {
   sim::Simulation sim;
   // Detach on every exit path: if the run throws, the engine must not keep
-  // a pointer to a caller-owned observer that may die first.
+  // a pointer to a caller-owned observer (or telemetry session) that may
+  // die first.
   struct ObserverGuard {
     MetricsCollector& metrics;
-    ~ObserverGuard() { metrics.set_observer(nullptr); }
+    ~ObserverGuard() {
+      metrics.set_observer(nullptr);
+      metrics.set_telemetry(nullptr);
+    }
   } guard{engine.metrics()};
   engine.metrics().set_observer(opts.observer);
+  engine.metrics().set_telemetry(opts.telemetry);
   engine.metrics().reserve(trace.size());
   engine.start(sim);
+  // The sampler attaches before on_start so the control plane (which runs
+  // its initial deployment from on_start) can already see the session and
+  // its audit trail through engine.metrics().telemetry().
+  if (opts.telemetry != nullptr) opts.telemetry->attach(sim, engine);
   if (opts.on_start) opts.on_start(sim, engine);
   for (const auto& r : trace) {
     // Captures the request by reference -- the caller-owned trace outlives

@@ -18,6 +18,10 @@
 #include "sim/simulation.h"
 #include "workload/request.h"
 
+namespace hetis::telemetry {
+class Telemetry;
+}
+
 namespace hetis::engine {
 
 class Engine {
@@ -74,6 +78,12 @@ struct RunOptions {
   std::optional<SloSpec> slo;
   /// Optional per-request lifecycle stream (not owned; may be nullptr).
   RunObserver* observer = nullptr;
+  /// Optional telemetry session (not owned; may be nullptr).  run_trace
+  /// installs it as a second lifecycle sink beside `observer` and attaches
+  /// its sampler to the run's simulation; export (write_artifacts) is the
+  /// caller's job after the run returns.  Composes freely with `observer`
+  /// and with a control plane installed through `on_start`.
+  telemetry::Telemetry* telemetry = nullptr;
   /// Called once by run_trace after Engine::start and observer installation
   /// but before the first arrival -- the hook the elastic control plane
   /// (control::Controller::starter) uses to schedule churn events and

@@ -215,6 +215,7 @@ void PipelineInstance::pump(sim::Simulation& sim) {
       for (const auto& lr : prefill_batch) {
         scratch_lens_.push_back(lr.req.prompt_len);
         prefilling_.push_back(lr);
+        batch_.on_prefill_start(lr.req.id, sim.now());
       }
       exec_->iteration_time(cfg_, scratch_lens_, /*prefill=*/true, scratch_it_);
       const IterationTime& it = scratch_it_;

@@ -10,7 +10,19 @@
 #include "common/units.h"
 #include "workload/request.h"
 
+namespace hetis::telemetry {
+class Telemetry;
+}
+
 namespace hetis::engine {
+
+/// One sample of the Fig. 14 time series.
+struct UsageSample {
+  Seconds time = 0;
+  int device = -1;
+  double cache_used_fraction = 0;  // of the device's KV budget
+  double heads = 0;                // query heads resident
+};
 
 /// Streams per-request lifecycle events off the simulation clock while a
 /// run is in flight -- the hook point for live dashboards and online
@@ -18,11 +30,13 @@ namespace hetis::engine {
 /// its lifecycle through the MetricsCollector, which forwards here.
 ///
 /// Per request the event order is:
-///   on_arrival <= on_prefill_done <= on_token* <= on_finish
+///   on_arrival <= on_prefill_start <= on_prefill_done <= on_token* <= on_finish
 /// with on_preempt possible after prefill; a preempted request re-prefills,
-/// so on_token restarts but on_prefill_done fires only once (the TTFT
-/// reference).  The prefill-produced first token is signaled by
-/// on_prefill_done; on_token covers decode-produced tokens only.
+/// so on_prefill_start/on_token restart but on_prefill_done fires only once
+/// through this chain (the TTFT reference; a telemetry session installed
+/// via MetricsCollector::set_telemetry sees every completion).  The
+/// prefill-produced first token is signaled by on_prefill_done; on_token
+/// covers decode-produced tokens only.
 /// on_arrival's Request carries the workload tenant index, so observers can
 /// attribute the whole lifecycle per tenant (see harness::tenant_summaries).
 class RunObserver {
@@ -30,6 +44,12 @@ class RunObserver {
   virtual ~RunObserver() = default;
 
   virtual void on_arrival(const workload::Request& r) { (void)r; }
+  /// A prefill batch picked up `id` (fires again on re-prefills after
+  /// preemption; a span-tracing observer sees every attempt).
+  virtual void on_prefill_start(workload::RequestId id, Seconds t) {
+    (void)id;
+    (void)t;
+  }
   virtual void on_prefill_done(workload::RequestId id, Seconds t) {
     (void)id;
     (void)t;
@@ -47,6 +67,19 @@ class RunObserver {
     (void)id;
     (void)t;
   }
+  /// `id`'s KV cache is being hauled from `src_device` to `dst_device`;
+  /// decode resumes on the destination at `ready`.
+  virtual void on_migrate(workload::RequestId id, Seconds start, Seconds ready, int src_device,
+                          int dst_device) {
+    (void)id;
+    (void)start;
+    (void)ready;
+    (void)src_device;
+    (void)dst_device;
+  }
+  /// A periodic per-device occupancy sample (engines that record the
+  /// Fig. 14 series forward each point here as well).
+  virtual void on_usage(const UsageSample& s) { (void)s; }
 };
 
 struct RequestRecord {
@@ -73,14 +106,6 @@ struct RequestRecord {
   }
 };
 
-/// One sample of the Fig. 14 time series.
-struct UsageSample {
-  Seconds time = 0;
-  int device = -1;
-  double cache_used_fraction = 0;  // of the device's KV budget
-  double heads = 0;                // query heads resident
-};
-
 /// Aggregates per-request lifecycle events into RequestRecords.
 ///
 /// Storage is a flat vector kept sorted by id plus a dense id->slot index,
@@ -100,25 +125,53 @@ class MetricsCollector {
   /// front of it and forwards every event downstream).
   RunObserver* observer() const { return observer_; }
 
+  /// Installs (or clears) the telemetry session -- a second lifecycle sink
+  /// NEXT TO the observer chain, so span tracing composes with an installed
+  /// Controller without either knowing about the other.  run_trace manages
+  /// this from RunOptions::telemetry.  Defined in metrics.cc: the typed
+  /// pointer (Controller discovers the audit trail through it) and the
+  /// RunObserver-shaped sink used on the hot path are set together.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
   /// Pre-sizes the record table (run_trace calls this with the trace
   /// length so million-request replays never re-grow it).
   void reserve(std::size_t n);
 
   void on_arrival(const workload::Request& r);
+  /// A prefill batch picked up `id`.  Feeds the observer/telemetry sinks
+  /// only -- the record table keys TTFT off prefill completion.
+  void on_prefill_start(workload::RequestId id, Seconds t) {
+    if (observer_) observer_->on_prefill_start(id, t);
+    if (telemetry_sink_) telemetry_sink_->on_prefill_start(id, t);
+  }
   void on_first_token(workload::RequestId id, Seconds t);
   /// One decode-produced token appended for `id`; `generated` is the
-  /// request's output-token count afterwards.  Feeds the observer only.
+  /// request's output-token count afterwards.  Feeds the observer and
+  /// telemetry sinks only.
   void on_token(workload::RequestId id, Seconds t, std::int64_t generated) {
     if (observer_) observer_->on_token(id, t, generated);
+    if (telemetry_sink_) telemetry_sink_->on_token(id, t, generated);
   }
   void on_finish(workload::RequestId id, Seconds t);
   void on_preemption(workload::RequestId id, Seconds t);
+  /// KV migration for `id` from `src_device` to `dst_device`, ready at
+  /// `ready`.  Feeds the observer/telemetry sinks only.
+  void on_migrate(workload::RequestId id, Seconds start, Seconds ready, int src_device,
+                  int dst_device) {
+    if (observer_) observer_->on_migrate(id, start, ready, src_device, dst_device);
+    if (telemetry_sink_) telemetry_sink_->on_migrate(id, start, ready, src_device, dst_device);
+  }
 
   /// Module-latency accounting (§7.3): per decode iteration, the max
   /// per-stage module time multiplied by the number of stages.
   void add_decode_module_sample(Seconds mlp_time, Seconds attn_time);
 
-  void add_usage_sample(const UsageSample& s) { usage_.push_back(s); }
+  void add_usage_sample(const UsageSample& s) {
+    usage_.push_back(s);
+    if (observer_) observer_->on_usage(s);
+    if (telemetry_sink_) telemetry_sink_->on_usage(s);
+  }
 
   // --- Aggregation ---
   std::size_t arrived() const { return records_.size(); }
@@ -157,6 +210,12 @@ class MetricsCollector {
   Summary attn_module_;
   std::vector<UsageSample> usage_;
   RunObserver* observer_ = nullptr;
+  /// The telemetry session, twice: the typed pointer for discovery (the
+  /// Controller pulls the audit trail off it) and the base-class view the
+  /// inline hot-path forwards call through -- metrics.h never needs the
+  /// telemetry headers.  Both are set together by set_telemetry.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  RunObserver* telemetry_sink_ = nullptr;
 };
 
 /// Per-instance lifecycle buffer -- the simulator hot path's front end to
@@ -179,6 +238,9 @@ class MetricsBatch {
   MetricsBatch& operator=(const MetricsBatch&) = delete;
   ~MetricsBatch() { flush(); }
 
+  /// Prefill pickups feed the observer/telemetry sinks only (no record
+  /// mutation), so like on_token there is nothing to buffer.
+  void on_prefill_start(workload::RequestId id, Seconds t) { m_->on_prefill_start(id, t); }
   void on_first_token(workload::RequestId id, Seconds t) {
     if (m_->observer() != nullptr) {
       m_->on_first_token(id, t);

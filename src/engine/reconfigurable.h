@@ -31,6 +31,10 @@
 #include "parallel/objective.h"
 #include "sim/simulation.h"
 
+namespace hetis::parallel {
+struct SearchDiagnostics;
+}
+
 namespace hetis::engine {
 
 /// Cumulative reconfiguration accounting, reported by bench_elastic.
@@ -96,6 +100,18 @@ class Reconfigurable {
   }
 
   virtual const ReconfigStats& reconfig_stats() const = 0;
+
+  /// Diagnostics of the most recent plan search (tier, configurations
+  /// evaluated, LP solves, wall time), or nullptr for engines that never
+  /// replan.  The control plane copies these into its audit trail so every
+  /// replan record names the planner tier that produced it.
+  virtual const parallel::SearchDiagnostics* last_search_diagnostics() const { return nullptr; }
+
+  /// One-line fingerprint of the current deployment plan ("" when the
+  /// engine has none), e.g. "hetis:3inst[pp2,tp1+2attn,...]".  The audit
+  /// trail stores the digest before/after each action as the plan diff --
+  /// human-scannable, not parseable.
+  virtual std::string plan_digest() const { return ""; }
 };
 
 }  // namespace hetis::engine

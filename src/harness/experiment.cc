@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -14,6 +15,7 @@
 #include "harness/presets.h"
 #include "model/llm.h"
 #include "planner/planner.h"
+#include "telemetry/telemetry.h"
 #include "workload/trace.h"
 
 namespace hetis::harness {
@@ -81,6 +83,18 @@ std::vector<int> point_priorities(const WorkloadPoint& point) {
     any = any || t.priority != 0;
   }
   return any ? prios : std::vector<int>();
+}
+
+/// Trace artifacts are named after cell coordinates; model names may hold
+/// characters hostile to filenames -- map anything outside [A-Za-z0-9._-]
+/// to '-'.
+std::string sanitize_stem(std::string stem) {
+  for (char& c : stem) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' || c == '-')) {
+      c = '-';
+    }
+  }
+  return stem;
 }
 
 engine::EngineOptions options_for(const ExperimentSpec& spec, const std::string& engine_name) {
@@ -176,8 +190,24 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
         "run_sweep: a shared RunOptions::on_start requires jobs == 1; use "
         "ExperimentSpec::control for per-cell controllers under parallel sweeps");
   }
+  if (spec.run.telemetry != nullptr && spec.jobs != 1) {
+    throw std::invalid_argument(
+        "run_sweep: RunOptions::telemetry requires jobs == 1 -- one shared session "
+        "would interleave spans of unrelated cells; use ExperimentSpec::trace_dir for "
+        "per-cell sessions under parallel sweeps");
+  }
+  if (spec.run.telemetry != nullptr && !spec.trace_dir.empty()) {
+    throw std::invalid_argument(
+        "run_sweep: RunOptions::telemetry and ExperimentSpec::trace_dir are mutually "
+        "exclusive (trace_dir builds one telemetry session per cell)");
+  }
+  if (!spec.trace_dir.empty() && spec.telemetry_interval <= 0) {
+    throw std::invalid_argument("run_sweep: telemetry_interval must be > 0");
+  }
   planner::validate(spec.planner);  // "" = engine defaults; typos fail here
   hw::Cluster cluster = cluster_by_name(spec.cluster);
+  // Created once up front so parallel cells never race the first mkdir.
+  if (!spec.trace_dir.empty()) std::filesystem::create_directories(spec.trace_dir);
 
   // Traces depend only on (spec, point): build each once, shared read-only
   // by every (model, engine) cell of that point.
@@ -211,7 +241,8 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     const std::string& engine_name = spec.engines[ei];
     const std::string& objective_name = objectives[oi];
     engine::EngineOptions options = options_for(spec, engine_name);
-    if ((!objective_name.empty() || !spec.planner.empty()) &&
+    const bool traced = !spec.trace_dir.empty();
+    if ((!objective_name.empty() || !spec.planner.empty() || traced) &&
         engine::ascii_lower(engine_name) == "hetis") {
       // Plan under the requested objective and/or planner tier; the run's
       // SLO targets become the objective's targets.  Replacing only the
@@ -222,6 +253,13 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
         if (spec.run.slo) cfg.search.objective.slo = *spec.run.slo;
       }
       if (!spec.planner.empty()) cfg.search.planner = spec.planner;
+      if (traced && cfg.sample_interval <= 0) {
+        // Traced Hetis cells get the per-device occupancy tracks for free:
+        // UsageSamples feed only the telemetry session, never the
+        // RunReport, so the row bytes stay identical to an untraced sweep.
+        cfg.sample_interval = spec.telemetry_interval;
+        cfg.sample_horizon = spec.horizon;
+      }
       options.system = std::move(cfg);
     }
     if (options.tenant_priorities.empty()) {
@@ -256,6 +294,15 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
       // engine's cost model reads.
       controller = std::make_unique<control::Controller>(*spec.control, cell_hw);
       run.on_start = controller->starter();
+    }
+    std::unique_ptr<telemetry::Telemetry> cell_telemetry;
+    if (traced) {
+      telemetry::TelemetryConfig tcfg;
+      tcfg.sample_interval = spec.telemetry_interval;
+      tcfg.horizon = spec.horizon;
+      tcfg.slo = spec.run.slo;
+      cell_telemetry = std::make_unique<telemetry::Telemetry>(tcfg);
+      run.telemetry = cell_telemetry.get();
     }
 
     SweepRow row;
@@ -296,6 +343,16 @@ std::vector<SweepRow> run_sweep(const ExperimentSpec& spec, const RowCallback& o
     if (spec.run.slo) {
       const std::size_t ok = slo_attained_count(eng->metrics(), *spec.run.slo, spec.run.warmup);
       row.device_seconds_per_slo_request = ok ? row.device_seconds / ok : 0.0;
+    }
+    if (cell_telemetry) {
+      // Stem = every cell coordinate, so no two cells of one sweep (or of
+      // one multi-part bench sharing a trace_dir) collide.
+      std::string stem = spec.name + "_" + engine::ascii_lower(engine_name) + "_" +
+                         model_name + "_p" + std::to_string(pi) + "_" + row.scenario;
+      if (!objective_name.empty()) stem += "_" + objective_name;
+      if (controller) stem += "_" + row.control + "_" + row.policy;
+      cell_telemetry->write_artifacts(spec.trace_dir + "/" + sanitize_stem(stem) +
+                                      ".trace.json");
     }
     rows[ci] = std::move(row);
   };

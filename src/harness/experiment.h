@@ -124,6 +124,21 @@ struct ExperimentSpec {
       std::function<std::unique_ptr<engine::RunObserver>(const CellContext&)>;
   ObserverFactory observer_factory;
 
+  /// Telemetry: when non-empty, every cell runs with its OWN telemetry
+  /// session (so traced sweeps parallelize like observer_factory cells) and
+  /// writes its artifacts into this directory (created if missing) as
+  /// `<stem>.trace.json` / `<stem>.metrics.csv` / `<stem>.audit.json`,
+  /// where the stem encodes (experiment, engine, model, point, objective,
+  /// and -- when controlled -- churn + policy), so no two cells of one
+  /// sweep collide.  Hetis cells additionally get per-device usage
+  /// sampling switched on (when the spec left it off), so traces carry the
+  /// occupancy tracks; UsageSamples never feed RunReports, keeping every
+  /// row byte-identical to the untraced sweep.  Mutually exclusive with
+  /// RunOptions::telemetry (which is one SHARED session: jobs == 1 only).
+  std::string trace_dir;
+  /// Registry sampling period of trace_dir sessions (sim seconds).
+  Seconds telemetry_interval = 0.5;
+
   /// Appends one WorkloadPoint per rate for `dataset`.
   void add_rates(workload::Dataset dataset, const std::vector<double>& rates);
 

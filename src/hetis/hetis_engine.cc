@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/log.h"
 #include "common/rng.h"
@@ -126,6 +127,18 @@ void HetisEngine::submit(sim::Simulation& sim, const workload::Request& r) {
   least_filled()->submit(sim, r);
 }
 
+std::string HetisEngine::plan_digest() const {
+  std::ostringstream os;
+  os << "hetis:" << plan_.instances.size() << "inst[";
+  for (std::size_t i = 0; i < plan_.instances.size(); ++i) {
+    const parallel::InstanceConfig& inst = plan_.instances[i];
+    os << (i ? "," : "") << "pp" << inst.stages.size() << "/dev" << inst.primary_devices().size()
+       << "+" << inst.attention_workers.size() << "aw";
+  }
+  os << "]";
+  return os.str();
+}
+
 std::vector<int> HetisEngine::active_devices() const {
   std::vector<int> devs;
   for (const auto& inst : plan_.instances) {
@@ -213,6 +226,7 @@ void HetisEngine::apply_plan(sim::Simulation& sim, parallel::ParallelPlan plan) 
     const Bytes kv = m.kv_bytes_per_token() * c.lr.context();
     const Seconds done = hauler_.migrate(c.src_device, dst->primary_device(), kv, sim.now());
     if (dst->adopt(sim, c.lr, done)) {
+      metrics_.on_migrate(c.lr.req.id, sim.now(), done, c.src_device, dst->primary_device());
       ++stats_.migrated_requests;
       stats_.migrated_kv_bytes += kv;
     } else {
@@ -467,6 +481,7 @@ void HetisInstance::pump(sim::Simulation& sim) {
       for (const auto& lr : prefill_batch) {
         scratch_lens_.push_back(lr.req.prompt_len);
         prefilling_.push_back(lr);
+        batch_.on_prefill_start(lr.req.id, sim.now());
       }
       exec_->iteration_time(primary_only_, scratch_lens_, /*prefill=*/true, scratch_it_);
       const engine::IterationTime& it = scratch_it_;

@@ -77,6 +77,12 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   /// and the actual gpu_leave finds nothing left to rescue.
   void on_preempt_notice(sim::Simulation& sim, int device, Seconds leave_time) override;
   const engine::ReconfigStats& reconfig_stats() const override { return stats_; }
+  const parallel::SearchDiagnostics* last_search_diagnostics() const override {
+    return &search_diag_;
+  }
+  /// "hetis:<n>inst[pp<stages>/dev<count>+<w>aw,...]" -- the audit trail's
+  /// plan diff.
+  std::string plan_digest() const override;
 
   const parallel::ParallelPlan& plan() const { return plan_; }
   /// The objective the next plan search would use (construction value until

@@ -1,0 +1,79 @@
+// Controller decision audit trail: "why did it reconfigure here".
+//
+// The Controller (src/control/) appends one AuditRecord per control-plane
+// action -- every applied re-deploy, straggler-threshold crossing and
+// preemption-notice forward -- capturing the triggering signal values and
+// EWMAs (a ControlSignals snapshot refreshed at decision time), the device
+// sets and engine plan digests before/after, and the planner tier's
+// SearchDiagnostics for engines that replan.  The trail exports to JSON
+// (docs/OBSERVABILITY.md documents every field) and is injected into the
+// Chrome trace as instant events on the control track, so Perfetto shows
+// each decision pinned to the moment its signals crossed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "control/policy.h"
+#include "parallel/parallelizer.h"
+
+namespace hetis::telemetry {
+
+struct AuditRecord {
+  Seconds time = 0;
+  /// What fired the decision: "initial" | "gpu_leave" | "gpu_join" |
+  /// "policy_tick" | "straggler_crossing" | "recovery_crossing" |
+  /// "preempt_notice".
+  std::string trigger;
+  /// What the controller did: "redeploy" (device set changed),
+  /// "replan_in_place" (same devices, plan re-searched), "evacuate"
+  /// (preemption notice forwarded -- the engine may pre-migrate).
+  std::string action;
+  bool forced = false;  // churn-driven (true) vs elective/policy (false)
+  int device = -1;      // triggering device id (-1 when not device-scoped)
+  /// Signal snapshot at decision time, EWMAs included.
+  control::ControlSignals signals;
+  // Plan diff: assigned device sets and engine plan digests around the
+  // action (after == before for non-redeploy actions).
+  std::vector<int> devices_before;
+  std::vector<int> devices_after;
+  std::string plan_before;
+  std::string plan_after;
+  /// The replanning engine's search diagnostics for this action (planner
+  /// tier, configurations evaluated, LP solves, wall time); valid only when
+  /// has_diagnostics -- checkpoint-restart baselines have no planner.
+  bool has_diagnostics = false;
+  parallel::SearchDiagnostics diagnostics;
+};
+
+class AuditTrail {
+ public:
+  void record(AuditRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records that changed the deployment (action == "redeploy" or
+  /// "replan_in_place") -- the replan count of the post-run summary.
+  std::size_t replans() const;
+
+  /// (trigger, count) pairs in first-seen order -- the summary's
+  /// "triggers: gpu_leave x2, ..." line.
+  std::vector<std::pair<std::string, int>> trigger_counts() const;
+
+  /// Full-fidelity JSON array (one object per record, every field).
+  void write_json(std::ostream& os) const;
+
+  /// Appends the trail as Chrome instant events ("i", control track) to an
+  /// open traceEvents array; args carry the trigger, signals and planner
+  /// tier.  `first` tracks comma placement across writers.
+  void write_trace_events(std::ostream& os, bool& first) const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace hetis::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/trace.h"
+
+#include <ostream>
+
+#include "engine/engine.h"  // csv_double / json_escape
+
+namespace hetis::telemetry {
+
+namespace {
+
+// Sim time is seconds; Chrome trace `ts`/`dur` are microseconds.  %.17g via
+// csv_double keeps the export byte-identical across sweep thread counts.
+std::string micros_str(Seconds t) { return engine::csv_double(t * 1e6); }
+
+}  // namespace
+
+const char* to_string(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kQueue:
+      return "queue";
+    case SpanPhase::kPrefill:
+      return "prefill";
+    case SpanPhase::kDecode:
+      return "decode";
+    case SpanPhase::kPreempted:
+      return "preempted";
+    case SpanPhase::kMigrate:
+      return "migrate";
+  }
+  return "?";
+}
+
+int TraceRecorder::intern_track(const std::string& name) {
+  auto it = track_index_.find(name);
+  if (it != track_index_.end()) return it->second;
+  const int idx = static_cast<int>(tracks_.size());
+  tracks_.push_back(name);
+  track_index_.emplace(name, idx);
+  return idx;
+}
+
+void TraceRecorder::write_events(std::ostream& os, bool& first) const {
+  each_span([&](const SpanEvent& ev) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"({"ph":"X","pid":)" << kRequestsPid << R"(,"tid":)" << ev.tid << R"(,"ts":)"
+       << micros_str(ev.t0) << R"(,"dur":)" << micros_str(ev.t1 - ev.t0) << R"(,"name":")"
+       << to_string(ev.phase) << R"(","cat":"request","args":{)";
+    if (ev.phase == SpanPhase::kMigrate) {
+      os << R"("src_device":)" << ev.arg_a << R"(,"dst_device":)" << ev.arg_b;
+    } else {
+      os << R"("tenant":)" << ev.arg_a << R"(,"tokens":)" << ev.arg_b;
+    }
+    os << "}}";
+  });
+  each_counter([&](const CounterEvent& ev) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"({"ph":"C","pid":)" << kDevicesPid << R"(,"tid":0,"ts":)" << micros_str(ev.t)
+       << R"(,"name":")" << engine::json_escape(tracks_[static_cast<std::size_t>(ev.track)])
+       << R"(","args":{"value":)" << engine::csv_double(ev.value) << "}}";
+  });
+}
+
+}  // namespace hetis::telemetry

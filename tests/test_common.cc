@@ -54,6 +54,25 @@ TEST(Log, SetAndGet) {
   set_log_level(before);
 }
 
+// The level is an atomic: concurrent set/get from sweep workers must be
+// race-free (this test runs under the sanitizer lane, which would flag a
+// data race on the old plain LogLevel) and every read must return a value
+// some thread actually wrote.
+TEST(Log, ThreadSafeSetAndGet) {
+  const LogLevel before = log_level();
+  std::atomic<bool> bad{false};
+  ThreadPool pool(4);
+  pool.run_tasks(64, [&bad](std::size_t i) {
+    const LogLevel mine = (i % 2) ? LogLevel::kDebug : LogLevel::kOff;
+    set_log_level(mine);
+    const LogLevel seen = log_level();
+    if (seen != LogLevel::kDebug && seen != LogLevel::kOff) bad = true;
+  });
+  EXPECT_FALSE(bad);
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
 // --- rng ---
 
 TEST(Rng, DeterministicBySeed) {
