@@ -25,9 +25,13 @@
 //   --check PATH    threshold guard: compare this run against a committed
 //                   BENCH_simspeed.json and exit 2 if any (engine,
 //                   scenario) row regresses more than --tolerance in
-//                   requests-per-wall-second
+//                   requests-per-wall-second.  When the reference row ran
+//                   the same --requests, the event count must also match
+//                   EXACTLY (the determinism guard behind the hot-path
+//                   caches)
 //   --tolerance F   allowed relative regression for --check (default 0.2)
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -53,11 +57,18 @@ struct SpeedRow {
   double wall_seconds = 0;
   double requests_per_wall_second = 0;
   double events_per_wall_second = 0;
+  // Hot-path cache counters (engine::PerfCounters).  Observational only --
+  // the caches return bit-identical results -- but CI greps them: a Hetis
+  // row with lp_warm_hits == 0 means the warm path silently stopped firing.
+  std::uint64_t lp_solves = 0;
+  std::uint64_t lp_warm_hits = 0;
+  std::uint64_t costmodel_hits = 0;
 };
 
 constexpr const char* kCsvHeader =
     "engine,scenario,requests,finished,events,sim_span,wall_seconds,"
-    "requests_per_wall_second,events_per_wall_second";
+    "requests_per_wall_second,events_per_wall_second,"
+    "lp_solves,lp_warm_hits,costmodel_hits";
 
 std::string row_csv(const SpeedRow& r) {
   std::ostringstream oss;
@@ -65,7 +76,8 @@ std::string row_csv(const SpeedRow& r) {
       << r.requests << ',' << r.finished << ',' << r.events << ','
       << engine::csv_double(r.sim_span) << ',' << engine::csv_double(r.wall_seconds) << ','
       << engine::csv_double(r.requests_per_wall_second) << ','
-      << engine::csv_double(r.events_per_wall_second);
+      << engine::csv_double(r.events_per_wall_second) << ','
+      << r.lp_solves << ',' << r.lp_warm_hits << ',' << r.costmodel_hits;
   return oss.str();
 }
 
@@ -77,7 +89,9 @@ std::string row_json(const SpeedRow& r) {
       << ",\"sim_span\":" << engine::csv_double(r.sim_span)
       << ",\"wall_seconds\":" << engine::csv_double(r.wall_seconds)
       << ",\"requests_per_wall_second\":" << engine::csv_double(r.requests_per_wall_second)
-      << ",\"events_per_wall_second\":" << engine::csv_double(r.events_per_wall_second) << "}";
+      << ",\"events_per_wall_second\":" << engine::csv_double(r.events_per_wall_second)
+      << ",\"lp_solves\":" << r.lp_solves << ",\"lp_warm_hits\":" << r.lp_warm_hits
+      << ",\"costmodel_hits\":" << r.costmodel_hits << "}";
   return oss.str();
 }
 
@@ -114,6 +128,10 @@ SpeedRow timed_run(const std::string& engine_name, const std::string& scenario,
   row.requests = trace.size();
   row.finished = eng->metrics().finished();
   row.events = events;
+  const engine::PerfCounters pcs = eng->perf_counters();
+  row.lp_solves = pcs.lp_solves;
+  row.lp_warm_hits = pcs.lp_warm_hits;
+  row.costmodel_hits = pcs.costmodel_hits;
   row.sim_span = sim.now();
   row.wall_seconds = wall;
   row.requests_per_wall_second = static_cast<double>(trace.size()) / std::max(1e-9, wall);
@@ -122,11 +140,14 @@ SpeedRow timed_run(const std::string& engine_name, const std::string& scenario,
 }
 
 /// Minimal scanner for the rows of a BENCH_simspeed.json written by this
-/// bench: extracts (engine, scenario, requests_per_wall_second) triples.
+/// bench: extracts (engine, scenario, requests_per_wall_second) plus the
+/// (requests, events) pair behind the determinism guard.
 struct RefRow {
   std::string engine;
   std::string scenario;
   double rps = 0;
+  std::size_t requests = 0;
+  std::size_t events = 0;
 };
 
 std::vector<RefRow> load_reference(const std::string& path) {
@@ -157,6 +178,10 @@ std::vector<RefRow> load_reference(const std::string& path) {
     r.scenario = grab(pos, "scenario");
     const std::string rps = grab(pos, "requests_per_wall_second");
     r.rps = rps.empty() ? 0.0 : std::atof(rps.c_str());
+    const std::string reqs = grab(pos, "requests");
+    r.requests = reqs.empty() ? 0 : static_cast<std::size_t>(std::atoll(reqs.c_str()));
+    const std::string evs = grab(pos, "events");
+    r.events = evs.empty() ? 0 : static_cast<std::size_t>(std::atoll(evs.c_str()));
     if (!r.engine.empty() && !r.scenario.empty() && r.rps > 0) rows.push_back(r);
     ++pos;
   }
@@ -289,6 +314,18 @@ int main(int argc, char** argv) {
                        "tolerance %.0f%%)\n",
                        r.engine.c_str(), r.scenario.c_str(), cur.requests_per_wall_second,
                        floor, r.rps, tolerance * 100.0);
+          ++failures;
+        }
+        // Determinism guard: same trace length must execute the exact same
+        // event sequence -- the hot-path caches are only legal because they
+        // change no decision.  Skipped when the reference ran a different
+        // trace length (CI's short runs vs the committed 1M baseline).
+        if (r.requests == cur.requests && r.events != 0 && cur.events != r.events) {
+          std::fprintf(stderr,
+                       "FAIL: %s/%s event count diverged: %zu != baseline %zu at "
+                       "%zu requests (simulation is no longer bit-identical)\n",
+                       r.engine.c_str(), r.scenario.c_str(), cur.events, r.events,
+                       cur.requests);
           ++failures;
         }
       }

@@ -40,6 +40,12 @@ class HexgenEngine : public engine::Engine, public engine::Reconfigurable {
   void submit(sim::Simulation& sim, const workload::Request& r) override;
   Bytes usable_kv_capacity() const override;
   double kv_fill_fraction() const override;
+  /// No dispatch LP here; only the shared cost-model memo contributes.
+  engine::PerfCounters perf_counters() const override {
+    engine::PerfCounters pc;
+    pc.costmodel_hits = exec_.cost_cache_hits();
+    return pc;
+  }
 
   /// Per-tenant admission priorities (engine/options.h); call before the
   /// first submit.  Survives reconfiguration.

@@ -86,6 +86,28 @@ Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::
   return attention_time(gpu, total, head_sum);
 }
 
+Seconds KernelModel::decode_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
+                                           const std::vector<std::int64_t>& ctxs, int heads,
+                                           DecodeWorkCache* memo) const {
+  if (heads <= 0) return 0.0;
+  model::Work total;
+  total.kernels = 0;
+  double head_sum = 0;
+  for (std::int64_t ctx : ctxs) {
+    if (const model::Work* cached = memo->find(ctx, heads)) {
+      total += *cached;
+    } else {
+      model::Work w = model::decode_attention_work(m, ctx, heads);
+      memo->insert(ctx, heads, w);
+      total += w;
+    }
+    head_sum += heads;
+  }
+  if (head_sum == 0) return 0.0;
+  total.kernels = 1;
+  return attention_time(gpu, total, head_sum);
+}
+
 Seconds KernelModel::prefill_attention_time(const hw::GpuSpec& gpu, const model::ModelSpec& m,
                                             const std::vector<std::int64_t>& lens,
                                             int heads) const {

@@ -34,8 +34,11 @@ Dispatcher::Dispatcher(DispatcherConfig cfg) : cfg_(std::move(cfg)) {
   if (bph_ <= 0) throw std::invalid_argument("Dispatcher: bytes_per_head_token_layer <= 0");
 }
 
-Dispatcher::Aggregates Dispatcher::aggregate() const {
-  Aggregates agg;
+const Dispatcher::Aggregates& Dispatcher::aggregate() const {
+  if (!agg_dirty_) return agg_cache_;
+  Aggregates& agg = agg_cache_;
+  agg.local_heads = 0.0;
+  agg.local_head_tokens = 0.0;
   agg.worker_heads.assign(cfg_.workers.size(), 0.0);
   agg.worker_head_tokens.assign(cfg_.workers.size(), 0.0);
   for (const auto& [id, st] : requests_) {
@@ -46,7 +49,8 @@ Dispatcher::Aggregates Dispatcher::aggregate() const {
       agg.worker_head_tokens[w] += static_cast<double>(st.counts.worker_heads[w]) * st.ctx;
     }
   }
-  return agg;
+  agg_dirty_ = false;
+  return agg_cache_;
 }
 
 Seconds Dispatcher::stage_time(std::size_t k, double local_heads,
@@ -83,7 +87,7 @@ std::size_t Dispatcher::bottleneck_stage(double local_heads, double local_head_t
 }
 
 Seconds Dispatcher::device_time(std::size_t logical) const {
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   if (logical == 0) {
     Seconds worst = 0;
     for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
@@ -96,7 +100,7 @@ Seconds Dispatcher::device_time(std::size_t logical) const {
 }
 
 Seconds Dispatcher::attention_iteration_time() const {
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   Seconds worker_worst = 0;
   for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
     worker_worst =
@@ -129,7 +133,7 @@ Bytes Dispatcher::device_capacity(std::size_t logical) const {
 }
 
 Bytes Dispatcher::device_used(std::size_t logical) const {
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   if (logical == 0) {
     // Sum over stages: local head-tokens * bph * layers_k.
     double used = 0;
@@ -144,7 +148,7 @@ Bytes Dispatcher::device_used(std::size_t logical) const {
 
 std::optional<std::size_t> Dispatcher::first_overflowed() const {
   // Primary overflow must be judged per stage (the tightest stage binds).
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   double worst_ratio = 1.0;
   std::optional<std::size_t> out;
   for (const auto& s : cfg_.stages) {
@@ -194,7 +198,7 @@ bool Dispatcher::has_global_spare() const {
 }
 
 double Dispatcher::physical_heads(int device) const {
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
     const auto& devs = cfg_.stages[k].devices;
     if (std::find(devs.begin(), devs.end(), device) != devs.end()) {
@@ -208,7 +212,7 @@ double Dispatcher::physical_heads(int device) const {
 }
 
 double Dispatcher::physical_cache_fraction(int device) const {
-  Aggregates agg = aggregate();
+  const Aggregates& agg = aggregate();
   for (std::size_t k = 0; k < cfg_.stages.size(); ++k) {
     const auto& s = cfg_.stages[k];
     if (std::find(s.devices.begin(), s.devices.end(), device) != s.devices.end()) {
@@ -227,24 +231,7 @@ double Dispatcher::physical_cache_fraction(int device) const {
   return 0.0;
 }
 
-lp::MinMaxProblem Dispatcher::build_problem(
-    const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
-    workload::RequestId exclude) const {
-  Aggregates agg = aggregate();
-  if (exclude >= 0) {
-    auto it = requests_.find(exclude);
-    if (it != requests_.end()) {
-      const ReqState& st = it->second;
-      agg.local_heads -= st.counts.local;
-      agg.local_head_tokens -= static_cast<double>(st.counts.local) * st.ctx;
-      for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
-        agg.worker_heads[w] -= st.counts.worker_heads[w];
-        agg.worker_head_tokens[w] -= static_cast<double>(st.counts.worker_heads[w]) * st.ctx;
-      }
-    }
-  }
-
-  lp::MinMaxProblem p;
+void Dispatcher::fill_device_rows(const Aggregates& agg, lp::MinMaxProblem& p) const {
   p.group_size = cfg_.group_size;
   const std::size_t d = 1 + cfg_.workers.size();
   p.base_time.resize(d);
@@ -282,7 +269,36 @@ lp::MinMaxProblem Dispatcher::build_problem(
     p.mem_free[1 + w] =
         std::max(0.0, (static_cast<double>(wk.capacity) - used) / cfg_.total_layers);
   }
+}
 
+const lp::MinMaxProblem& Dispatcher::build_problem(
+    const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
+    workload::RequestId exclude) const {
+  const Aggregates* aggp = &aggregate();
+  if (exclude >= 0) {
+    auto it = requests_.find(exclude);
+    if (it != requests_.end()) {
+      // Copy-and-subtract into the scratch aggregates so the shared cache
+      // stays untouched.
+      agg_scratch_ = *aggp;
+      const ReqState& st = it->second;
+      agg_scratch_.local_heads -= st.counts.local;
+      agg_scratch_.local_head_tokens -= static_cast<double>(st.counts.local) * st.ctx;
+      for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+        agg_scratch_.worker_heads[w] -= st.counts.worker_heads[w];
+        agg_scratch_.worker_head_tokens[w] -=
+            static_cast<double>(st.counts.worker_heads[w]) * st.ctx;
+      }
+      aggp = &agg_scratch_;
+    }
+  }
+
+  lp::MinMaxProblem& p = prob_;
+  p.global_memory_only = false;  // reset: the buffer is recycled
+  fill_device_rows(*aggp, p);
+
+  p.demand.clear();
+  p.cache_per_head.clear();
   p.demand.reserve(new_requests.size());
   p.cache_per_head.reserve(new_requests.size());
   for (const auto& [id, ctx] : new_requests) {
@@ -296,31 +312,38 @@ std::optional<std::vector<PlacementCounts>> Dispatcher::dispatch(
     const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
     Seconds now) {
   if (new_requests.empty()) return std::vector<PlacementCounts>{};
-  lp::MinMaxProblem p = build_problem(new_requests, /*exclude=*/-1);
+  const lp::MinMaxProblem& p = build_problem(new_requests, /*exclude=*/-1);
 
-  std::vector<std::vector<int>> heads;
+  // `heads` points at either the locally rounded LP solution or the
+  // workspace's cached greedy assignment; round_to_groups always returns a
+  // d-row matrix (d >= 1 here), so "LP path taken" == relaxed.ok(), exactly
+  // as the old empty()-check did.
+  std::vector<std::vector<int>> rounded;
+  const std::vector<std::vector<int>>* heads = nullptr;
   if (cfg_.use_lp) {
-    lp::MinMaxSolution relaxed = lp::solve_relaxed(p);
+    const lp::MinMaxSolution& relaxed = lp::solve_relaxed(p, lp_ws_);
     if (relaxed.ok()) {
-      heads = lp::round_to_groups(p, relaxed);
+      rounded = lp::round_to_groups(p, relaxed);
+      heads = &rounded;
     }
   }
-  if (heads.empty()) heads = lp::greedy_dispatch(p);
+  if (heads == nullptr) heads = &lp::greedy_dispatch(p, lp_ws_);
 
   // Verify every request received its full head count (greedy may fall
   // short when the cluster is memory-exhausted).
   for (std::size_t j = 0; j < new_requests.size(); ++j) {
     int total = 0;
-    for (std::size_t i = 0; i < heads.size(); ++i) total += heads[i][j];
+    for (std::size_t i = 0; i < heads->size(); ++i) total += (*heads)[i][j];
     if (total != cfg_.heads) return std::nullopt;
   }
 
+  agg_dirty_ = true;
   std::vector<PlacementCounts> out(new_requests.size());
   for (std::size_t j = 0; j < new_requests.size(); ++j) {
     PlacementCounts pc;
-    pc.local = heads[0][j];
+    pc.local = (*heads)[0][j];
     pc.worker_heads.assign(cfg_.workers.size(), 0);
-    for (std::size_t w = 0; w < cfg_.workers.size(); ++w) pc.worker_heads[w] = heads[1 + w][j];
+    for (std::size_t w = 0; w < cfg_.workers.size(); ++w) pc.worker_heads[w] = (*heads)[1 + w][j];
     ReqState st;
     st.ctx = new_requests[j].second;
     st.arrival = now;
@@ -335,9 +358,28 @@ void Dispatcher::append_token(workload::RequestId id) {
   auto it = requests_.find(id);
   if (it == requests_.end()) throw std::out_of_range("Dispatcher::append_token: unknown id");
   it->second.ctx += 1;
+  agg_dirty_ = true;
 }
 
-void Dispatcher::remove(workload::RequestId id) { requests_.erase(id); }
+void Dispatcher::append_tokens(const std::vector<workload::RequestId>& ids) {
+  if (ids.empty()) return;
+  auto it = requests_.begin();
+  for (workload::RequestId id : ids) {
+    // `ids` ascends, so the map walk only ever advances.
+    while (it != requests_.end() && it->first < id) ++it;
+    if (it == requests_.end() || it->first != id) {
+      throw std::out_of_range("Dispatcher::append_tokens: unknown id");
+    }
+    it->second.ctx += 1;
+    ++it;
+  }
+  agg_dirty_ = true;
+}
+
+void Dispatcher::remove(workload::RequestId id) {
+  requests_.erase(id);
+  agg_dirty_ = true;
+}
 
 const PlacementCounts& Dispatcher::placement(workload::RequestId id) const {
   auto it = requests_.find(id);
@@ -356,19 +398,32 @@ Seconds Dispatcher::ideal_per_layer() const {
   // Re-dispatch everything from scratch: empty base state, all requests as
   // "new", single global memory constraint; solved by waterfilling (fast
   // approximation of §5.3.1's LP).
-  std::vector<std::pair<workload::RequestId, std::int64_t>> all;
-  all.reserve(requests_.size());
-  for (const auto& [id, st] : requests_) all.emplace_back(id, st.ctx);
-
-  Dispatcher empty_view(cfg_);  // same geometry, no requests
-  lp::MinMaxProblem p = empty_view.build_problem(all, -1);
-  // Global memory (7b relaxed to the cluster-wide constraint).
-  p.global_memory_only = true;
-  std::vector<std::vector<int>> heads = lp::greedy_dispatch(p);
+  if (!ideal_base_ready_) {
+    // The empty-state device rows depend only on the immutable config
+    // (every aggregate is zero -- what a fresh Dispatcher(cfg_) would
+    // report), so they are computed once; each call only refills the
+    // request columns below.
+    Aggregates zero;
+    zero.worker_heads.assign(cfg_.workers.size(), 0.0);
+    zero.worker_head_tokens.assign(cfg_.workers.size(), 0.0);
+    fill_device_rows(zero, ideal_prob_);
+    // Global memory (7b relaxed to the cluster-wide constraint).
+    ideal_prob_.global_memory_only = true;
+    ideal_base_ready_ = true;
+  }
+  lp::MinMaxProblem& p = ideal_prob_;
+  p.demand.clear();
+  p.cache_per_head.clear();
+  p.demand.reserve(requests_.size());
+  p.cache_per_head.reserve(requests_.size());
+  for (const auto& [id, st] : requests_) {
+    p.demand.push_back(static_cast<double>(cfg_.heads));
+    p.cache_per_head.push_back(static_cast<double>(st.ctx) * bph_);
+  }
   // The waterfill is an upper bound on the true f*; the current placement
   // is itself feasible for the re-dispatch problem, so f* can also never
   // exceed the present bottleneck.
-  return std::min(lp::eval_makespan(p, heads), worst_per_layer());
+  return std::min(lp::greedy_makespan(p, lp_ws_), worst_per_layer());
 }
 
 bool Dispatcher::should_rebalance() const {
@@ -386,20 +441,24 @@ Rebalance Dispatcher::plan_single(workload::RequestId victim) const {
   rb.from = it->second.counts;
 
   std::vector<std::pair<workload::RequestId, std::int64_t>> one{{victim, it->second.ctx}};
-  lp::MinMaxProblem p = build_problem(one, /*exclude=*/victim);
-  std::vector<std::vector<int>> heads;
+  const lp::MinMaxProblem& p = build_problem(one, /*exclude=*/victim);
+  std::vector<std::vector<int>> rounded;
+  const std::vector<std::vector<int>>* heads = nullptr;
   if (cfg_.use_lp) {
-    lp::MinMaxSolution relaxed = lp::solve_relaxed(p);
-    if (relaxed.ok()) heads = lp::round_to_groups(p, relaxed);
+    const lp::MinMaxSolution& relaxed = lp::solve_relaxed(p, lp_ws_);
+    if (relaxed.ok()) {
+      rounded = lp::round_to_groups(p, relaxed);
+      heads = &rounded;
+    }
   }
-  if (heads.empty()) heads = lp::greedy_dispatch(p);
+  if (heads == nullptr) heads = &lp::greedy_dispatch(p, lp_ws_);
   int total = 0;
-  for (std::size_t i = 0; i < heads.size(); ++i) total += heads[i][0];
+  for (std::size_t i = 0; i < heads->size(); ++i) total += (*heads)[i][0];
   if (total != cfg_.heads) return rb;  // infeasible
 
-  rb.to.local = heads[0][0];
+  rb.to.local = (*heads)[0][0];
   rb.to.worker_heads.assign(cfg_.workers.size(), 0);
-  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) rb.to.worker_heads[w] = heads[1 + w][0];
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) rb.to.worker_heads[w] = (*heads)[1 + w][0];
 
   // Moved heads: overlap-preserving reassignment means only net deltas move.
   double moved = std::max(0, rb.to.local - rb.from.local);
@@ -461,6 +520,7 @@ void Dispatcher::apply(const Rebalance& rb) {
   auto it = requests_.find(rb.victim);
   if (it == requests_.end()) throw std::out_of_range("Dispatcher::apply: unknown victim");
   it->second.counts = rb.to;
+  agg_dirty_ = true;
 }
 
 }  // namespace hetis::dispatch

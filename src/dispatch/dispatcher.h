@@ -29,6 +29,7 @@
 #include "common/units.h"
 #include "costmodel/attention_model.h"
 #include "lp/minmax.h"
+#include "lp/workspace.h"
 #include "workload/request.h"
 
 namespace hetis::dispatch {
@@ -94,6 +95,13 @@ class Dispatcher {
   /// Grows a request's context by one token (Eq. 8 state update).
   void append_token(workload::RequestId id);
 
+  /// Batched append_token for one decode iteration's survivors.  `ids` must
+  /// be strictly ascending (the engine's decode batches are built in id
+  /// order); the whole batch is applied with one walk of the request map
+  /// instead of one lookup per id.  Throws std::out_of_range on any unknown
+  /// id, like append_token.
+  void append_tokens(const std::vector<workload::RequestId>& ids);
+
   /// Removes a finished/preempted request and frees its accounting.
   void remove(workload::RequestId id);
 
@@ -150,6 +158,10 @@ class Dispatcher {
 
   const DispatcherConfig& config() const { return cfg_; }
 
+  /// Solver-workspace counters (lp_solves / lp_warm_hits) accumulated by
+  /// this dispatcher's memoized LP and greedy calls.
+  const lp::WorkspaceStats& lp_stats() const { return lp_ws_.stats(); }
+
  private:
   struct ReqState {
     std::int64_t ctx = 0;
@@ -163,13 +175,28 @@ class Dispatcher {
     std::vector<double> worker_heads;
     std::vector<double> worker_head_tokens;
   };
-  Aggregates aggregate() const;
+  /// Current aggregates, cached behind a dirty flag: every mutation
+  /// (dispatch / append / remove / apply) marks the cache stale and the
+  /// next reader recomputes.  The recompute walks requests_ in the same
+  /// map order with the same summation order as always, so a cached read
+  /// is bit-identical to an eager one.  The reference is valid until the
+  /// next mutation.
+  const Aggregates& aggregate() const;
 
   /// Builds the min-max problem for `new_requests` given current state.
-  /// Excludes `exclude` (for single-request re-dispatch).
-  lp::MinMaxProblem build_problem(
+  /// Excludes `exclude` (for single-request re-dispatch).  Fills the
+  /// reusable prob_ buffer in place (every field assigned, including a
+  /// global_memory_only reset); the reference is valid until the next
+  /// build_problem call.
+  const lp::MinMaxProblem& build_problem(
       const std::vector<std::pair<workload::RequestId, std::int64_t>>& new_requests,
       workload::RequestId exclude) const;
+
+  /// Writes the device-side rows (base_time / head_cost / cache_cost /
+  /// mem_free, plus group_size) for the given aggregates into `p`.  Shared
+  /// by build_problem and the ideal_per_layer base (whose rows use all-zero
+  /// aggregates and therefore depend only on the immutable config).
+  void fill_device_rows(const Aggregates& agg, lp::MinMaxProblem& p) const;
 
   /// Per-layer tau of stage k under given local aggregates.
   Seconds stage_time(std::size_t k, double local_heads, double local_head_tokens) const;
@@ -184,6 +211,18 @@ class Dispatcher {
   DispatcherConfig cfg_;
   std::map<workload::RequestId, ReqState> requests_;
   double bph_ = 0;  // bytes per head-token per layer
+
+  // Hot-path scratch and memo state.  All mutable: the accessors above are
+  // logically const (every cached value is bit-identical to an eager
+  // recompute), and the Dispatcher is single-threaded like the rest of the
+  // simulator.
+  mutable Aggregates agg_cache_;
+  mutable bool agg_dirty_ = true;
+  mutable Aggregates agg_scratch_;       // exclude-adjusted copy (plan_single)
+  mutable lp::MinMaxProblem prob_;       // build_problem's reusable buffer
+  mutable lp::MinMaxProblem ideal_prob_; // ideal_per_layer's reusable buffer
+  mutable bool ideal_base_ready_ = false;
+  mutable lp::SolveWorkspace lp_ws_;
 };
 
 }  // namespace hetis::dispatch

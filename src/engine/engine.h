@@ -7,6 +7,7 @@
 // name through engine/registry.h; configure a run through RunOptions.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -23,6 +24,18 @@ class Telemetry;
 }
 
 namespace hetis::engine {
+
+/// Hot-path accounting counters, cumulative over an engine's lifetime.
+/// `lp_solves` counts memoized dispatch-solver entry points taken (warm or
+/// cold), `lp_warm_hits` the subset served from the exact-match workspace
+/// cache, `costmodel_hits` the cost-model memo hits (dense-stage +
+/// decode-work tables).  Purely observational: the cached results are
+/// bit-identical to recomputation, so these never change a decision.
+struct PerfCounters {
+  std::uint64_t lp_solves = 0;
+  std::uint64_t lp_warm_hits = 0;
+  std::uint64_t costmodel_hits = 0;
+};
 
 class Engine {
  public:
@@ -45,6 +58,10 @@ class Engine {
   /// instance) -- the control plane's memory-pressure signal.  Engines that
   /// do not track live usage may report 0.
   virtual double kv_fill_fraction() const { return 0.0; }
+
+  /// Cumulative hot-path cache counters (see PerfCounters).  Engines that
+  /// do not memoize report all-zero.
+  virtual PerfCounters perf_counters() const { return {}; }
 
   MetricsCollector& metrics() { return metrics_; }
   const MetricsCollector& metrics() const { return metrics_; }

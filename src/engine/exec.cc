@@ -39,6 +39,25 @@ double ExecModel::stage_speed(const parallel::StageConfig& stage) const {
 Seconds ExecModel::stage_dense_time(const parallel::StageConfig& stage,
                                     std::int64_t tokens) const {
   if (stage.devices.empty() || stage.layers == 0 || tokens <= 0) return 0.0;
+  if (!cache_enabled_ || stage.devices.size() > kMaxCachedStageWidth) {
+    return stage_dense_time_uncached(stage, tokens);
+  }
+  refresh_cache_epoch();
+  DenseStageKey key;
+  key.tokens = tokens;
+  key.layers = stage.layers;
+  key.ndev = static_cast<std::int32_t>(stage.devices.size());
+  for (std::size_t i = 0; i < stage.devices.size(); ++i) {
+    key.devices[i] = stage.devices[i];
+  }
+  if (const Seconds* hit = dense_cache_.find(key)) return *hit;
+  const Seconds t = stage_dense_time_uncached(stage, tokens);
+  dense_cache_.insert(key, t);
+  return t;
+}
+
+Seconds ExecModel::stage_dense_time_uncached(const parallel::StageConfig& stage,
+                                             std::int64_t tokens) const {
   const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
   Seconds per_layer = kernel_.dense_layer_time(gpu, *model_, tokens, stage.tp());
   Seconds collectives = 0;
@@ -61,7 +80,10 @@ Seconds ExecModel::stage_attention_decode(const parallel::StageConfig& stage,
   if (stage.devices.empty() || stage.layers == 0 || ctxs.empty()) return 0.0;
   const hw::GpuSpec& gpu = cluster_->device(stage.devices.front()).spec();
   int heads_per_dev = std::max(1, heads / stage.tp());
-  Seconds per_layer = kernel_.decode_attention_time(gpu, *model_, ctxs, heads_per_dev);
+  Seconds per_layer =
+      cache_enabled_
+          ? kernel_.decode_attention_time(gpu, *model_, ctxs, heads_per_dev, &work_cache_)
+          : kernel_.decode_attention_time(gpu, *model_, ctxs, heads_per_dev);
   Seconds t = per_layer * stage.layers;
   const double speed = stage_speed(stage);
   if (speed != 1.0) t /= speed;

@@ -6,6 +6,7 @@
 // alpha-beta communication model.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "costmodel/comm_model.h"
@@ -80,11 +81,60 @@ class ExecModel {
   const model::ModelSpec& model_spec() const { return *model_; }
   const hw::Cluster& cluster() const { return *cluster_; }
 
+  /// Total cost-model memo hits (dense-stage table + decode-work table);
+  /// feeds the `costmodel_hits` bench/telemetry counter.
+  std::uint64_t cost_cache_hits() const {
+    return dense_cache_.hits() + work_cache_.hits();
+  }
+
+  /// Differential-test hook: with caching off every query recomputes from
+  /// scratch.  Results must be byte-identical either way (the caches store
+  /// exact outputs of the same code paths); tests/test_hotpath_cache.cc
+  /// flips this to prove it.  Toggling clears both tables.
+  void set_cost_cache_enabled(bool enabled) {
+    cache_enabled_ = enabled;
+    dense_cache_.clear();
+    work_cache_.clear();
+  }
+  bool cost_cache_enabled() const { return cache_enabled_; }
+
  private:
+  /// Dense-stage memo key: exact (device set, layers, tokens) tuple.
+  /// Padding-free: 8 + 10 x 4 = 48 bytes.  Stages wider than
+  /// kMaxCachedStageWidth devices bypass the cache (none of the shipped
+  /// presets produce one, and correctness never depends on a hit).
+  static constexpr std::size_t kMaxCachedStageWidth = 8;
+  struct DenseStageKey {
+    std::int64_t tokens = 0;
+    std::int32_t layers = 0;
+    std::int32_t ndev = 0;
+    std::int32_t devices[kMaxCachedStageWidth] = {};
+  };
+
+  Seconds stage_dense_time_uncached(const parallel::StageConfig& stage,
+                                    std::int64_t tokens) const;
+
+  /// Drops dense-stage entries when the cluster's condition overlay moved
+  /// (cached times embed device speeds and link scales).  The decode-work
+  /// table is exempt: Work is model geometry, independent of hardware state.
+  void refresh_cache_epoch() const {
+    const std::uint64_t e = cluster_->condition_epoch();
+    if (e != cache_epoch_) {
+      dense_cache_.clear();
+      cache_epoch_ = e;
+    }
+  }
+
   const hw::Cluster* cluster_;
   const model::ModelSpec* model_;
   costmodel::KernelModel kernel_;
   costmodel::CommModel comm_;
+  bool cache_enabled_ = true;
+  mutable std::uint64_t cache_epoch_ = 0;
+  // 32k slots: the key space (distinct token counts x stage shapes) runs to
+  // thousands of entries per run; the default 1024 thrashes.
+  mutable costmodel::EvalCache<DenseStageKey, Seconds> dense_cache_{1 << 15};
+  mutable costmodel::DecodeWorkCache work_cache_;
 };
 
 /// KV-cache budget of a device after reserving parameters + activations.

@@ -259,6 +259,22 @@ double HetisEngine::kv_fill_fraction() const {
   return worst;
 }
 
+engine::PerfCounters HetisEngine::perf_counters() const {
+  engine::PerfCounters pc;
+  for (const auto& inst : instances_) {
+    const lp::WorkspaceStats& s = inst->dispatcher().lp_stats();
+    pc.lp_solves += s.solves;
+    pc.lp_warm_hits += s.warm_hits;
+  }
+  for (const auto& inst : retired_) {
+    const lp::WorkspaceStats& s = inst->dispatcher().lp_stats();
+    pc.lp_solves += s.solves;
+    pc.lp_warm_hits += s.warm_hits;
+  }
+  pc.costmodel_hits = exec_.cost_cache_hits();
+  return pc;
+}
+
 int HetisEngine::rescue_redispatches() const {
   int n = 0;
   for (const auto& inst : instances_) n += inst->rescue_redispatches();
@@ -642,6 +658,12 @@ void HetisInstance::finish_decode(sim::Simulation& sim,
     return;
   }
   ++decode_iterations_;
+  // Survivors are compacted back into `decoded` (already id-ascending, and
+  // only positions at or behind the read cursor are overwritten) so their
+  // context growth lands in one append_tokens map walk instead of a
+  // per-request lookup.  Nothing in this loop reads dispatcher state, so
+  // deferring the appends to the end changes no observable value.
+  std::size_t survivors = 0;
   for (workload::RequestId id : decoded) {
     auto it = running_lower_bound(id);
     if (it == running_.end() || it->req.id != id) continue;  // preempted mid-flight
@@ -653,9 +675,11 @@ void HetisInstance::finish_decode(sim::Simulation& sim,
       batch_.on_finish(id, sim.now());
       running_.erase(it);
     } else {
-      dispatcher_.append_token(id);
+      decoded[survivors++] = id;
     }
   }
+  decoded.resize(survivors);
+  dispatcher_.append_tokens(decoded);
   decoded.clear();
   decoded_pool_.push_back(std::move(decoded));
   resolve_memory_pressure(sim);

@@ -45,6 +45,10 @@ class HetisEngine : public engine::Engine, public engine::Reconfigurable {
   void submit(sim::Simulation& sim, const workload::Request& r) override;
   Bytes usable_kv_capacity() const override;
   double kv_fill_fraction() const override;
+  /// Sums solver-workspace stats over live AND retired instances (a
+  /// reconfigure must not zero the cumulative counters) plus the shared
+  /// cost-model caches.
+  engine::PerfCounters perf_counters() const override;
 
   /// Per-tenant admission priorities (engine/options.h); call before the
   /// first submit.  Survives reconfiguration.

@@ -76,6 +76,7 @@ void Cluster::set_device_speed(int id, double ratio) {
     throw std::invalid_argument("Cluster::set_device_speed: device id out of range");
   }
   check_ratio(ratio, "set_device_speed");
+  ++condition_epoch_;
   if (ratio == 1.0) {
     speed_ratio_.erase(id);
   } else {
@@ -93,6 +94,7 @@ void Cluster::set_device_link_scale(int id, double scale) {
     throw std::invalid_argument("Cluster::set_device_link_scale: device id out of range");
   }
   check_ratio(scale, "set_device_link_scale");
+  ++condition_epoch_;
   if (scale == 1.0) {
     link_scale_.erase(id);
   } else {

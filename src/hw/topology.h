@@ -5,6 +5,7 @@
 // on PCIe.  `Cluster::paper_cluster()` builds exactly that.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -104,6 +105,13 @@ class Cluster {
   /// True when any device carries a speed ratio or link scale below 1.0.
   bool degraded() const { return !speed_ratio_.empty() || !link_scale_.empty(); }
 
+  /// Monotonic generation counter for the condition overlay: bumped on every
+  /// set_device_speed / set_device_link_scale call (even no-op resets to
+  /// 1.0).  Cost-model memo tables key their validity on this -- a cached
+  /// evaluation is only reusable while the overlay that priced it is
+  /// unchanged -- so callers compare epochs instead of diffing the maps.
+  std::uint64_t condition_epoch() const { return condition_epoch_; }
+
   /// Builds the sub-cluster containing exactly `device_ids` of this
   /// cluster, renumbered 0..n-1 in the given order.  Host structure,
   /// fabric parameters and the degradation overlay (speed ratios / link
@@ -140,6 +148,7 @@ class Cluster {
   // pair of empty-map checks.
   std::map<int, double> speed_ratio_;
   std::map<int, double> link_scale_;
+  std::uint64_t condition_epoch_ = 0;
 };
 
 }  // namespace hetis::hw

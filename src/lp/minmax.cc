@@ -33,6 +33,12 @@ bool all_finite(const std::vector<double>& v) {
 }  // namespace
 
 MinMaxSolution solve_relaxed(const MinMaxProblem& p) {
+  Problem lp;
+  Simplex solver;
+  return solve_relaxed(p, lp, solver);
+}
+
+MinMaxSolution solve_relaxed(const MinMaxProblem& p, Problem& lp, Simplex& solver) {
   // Non-finite numeric inputs (a profiler fit gone wrong, an impossible
   // cost-model query) come back as a typed kMalformed status before the
   // shape validation below, which throws only on API misuse.
@@ -58,7 +64,8 @@ MinMaxSolution solve_relaxed(const MinMaxProblem& p) {
   const std::size_t n = 1 + d * j;
   auto xvar = [j](std::size_t dev, std::size_t req) { return 1 + dev * j + req; };
 
-  Problem lp;
+  // The LP is filled in place -- every coefficient below is assigned, so a
+  // recycled `lp` only contributes its vectors' capacity, never values.
   lp.num_vars = n;
   lp.objective.assign(n, 0.0);
   lp.objective[0] = 1.0;  // min t
@@ -75,38 +82,44 @@ MinMaxSolution solve_relaxed(const MinMaxProblem& p) {
     }
   }
 
+  lp.constraints.resize(d + j + (p.global_memory_only ? 1 : d));
+  std::size_t cr = 0;
+  auto next_row = [&lp, &cr, n](Relation relation, double rhs) -> std::vector<double>& {
+    Constraint& c = lp.constraints[cr++];
+    c.coeffs.assign(n, 0.0);
+    c.rel = relation;
+    c.rhs = rhs;
+    return c.coeffs;
+  };
+
   // f_i - t <= -base[i]  (rearranged so rhs is constant).
   for (std::size_t i = 0; i < d; ++i) {
-    std::vector<double> row(n, 0.0);
+    std::vector<double>& row = next_row(Relation::kLe, -p.base_time[i]);
     row[0] = -1.0;
     for (std::size_t r = 0; r < j; ++r) {
       row[xvar(i, r)] = p.head_cost[i] + p.cache_cost[i] * p.cache_per_head[r];
     }
-    lp.add_le(std::move(row), -p.base_time[i]);
   }
   // Head integrity.
   for (std::size_t r = 0; r < j; ++r) {
-    std::vector<double> row(n, 0.0);
+    std::vector<double>& row = next_row(Relation::kEq, p.demand[r]);
     for (std::size_t i = 0; i < d; ++i) row[xvar(i, r)] = 1.0;
-    lp.add_eq(std::move(row), p.demand[r]);
   }
   // Memory.
   if (p.global_memory_only) {
-    std::vector<double> row(n, 0.0);
+    double total = std::accumulate(p.mem_free.begin(), p.mem_free.end(), 0.0);
+    std::vector<double>& row = next_row(Relation::kLe, total);
     for (std::size_t i = 0; i < d; ++i) {
       for (std::size_t r = 0; r < j; ++r) row[xvar(i, r)] = p.cache_per_head[r];
     }
-    double total = std::accumulate(p.mem_free.begin(), p.mem_free.end(), 0.0);
-    lp.add_le(std::move(row), total);
   } else {
     for (std::size_t i = 0; i < d; ++i) {
-      std::vector<double> row(n, 0.0);
+      std::vector<double>& row = next_row(Relation::kLe, std::max(0.0, p.mem_free[i]));
       for (std::size_t r = 0; r < j; ++r) row[xvar(i, r)] = p.cache_per_head[r];
-      lp.add_le(std::move(row), std::max(0.0, p.mem_free[i]));
     }
   }
 
-  Solution sol = solve(lp);
+  Solution sol = solver.solve(lp);
   out.status = sol.status;
   if (!sol.ok()) return out;
   out.objective = sol.x[0];
@@ -223,11 +236,21 @@ std::vector<std::vector<int>> round_to_groups(const MinMaxProblem& p,
 
 std::vector<std::vector<int>> greedy_dispatch(const MinMaxProblem& p) {
   p.validate();
+  std::vector<std::vector<int>> heads;
+  std::vector<double> load;
+  std::vector<double> mem_used;
+  greedy_dispatch_into(p, heads, load, mem_used);
+  return heads;
+}
+
+void greedy_dispatch_into(const MinMaxProblem& p, std::vector<std::vector<int>>& heads,
+                          std::vector<double>& load, std::vector<double>& mem_used) {
   const std::size_t d = p.num_devices();
   const std::size_t j = p.num_requests();
-  std::vector<std::vector<int>> heads(d, std::vector<int>(j, 0));
-  std::vector<double> load = p.base_time;
-  std::vector<double> mem_used(d, 0.0);
+  heads.resize(d);
+  for (std::vector<int>& row : heads) row.assign(j, 0);
+  load.assign(p.base_time.begin(), p.base_time.end());
+  mem_used.assign(d, 0.0);
 
   for (std::size_t r = 0; r < j; ++r) {
     const int groups = static_cast<int>(p.demand[r]) / p.group_size;
@@ -244,13 +267,12 @@ std::vector<std::vector<int>> greedy_dispatch(const MinMaxProblem& p) {
           best = i;
         }
       }
-      if (best == d) return heads;  // out of memory; caller must evict
+      if (best == d) return;  // out of memory; caller must evict
       heads[best][r] += p.group_size;
       load[best] = best_load;
       mem_used[best] += mem_need;
     }
   }
-  return heads;
 }
 
 }  // namespace hetis::lp

@@ -56,6 +56,14 @@ struct MinMaxSolution {
 /// Solves the continuous relaxation exactly via simplex.
 MinMaxSolution solve_relaxed(const MinMaxProblem& problem);
 
+/// Cold-path variant with recycled buffers: builds the epigraph LP into
+/// `lp_buffer` (reusing its row capacity) and solves through `solver`'s
+/// persistent tableau.  Bit-identical results to the plain overload -- the
+/// buffers only recycle allocations, never values.  SolveWorkspace
+/// (lp/workspace.h) adds the exact-match memo layer on top of this.
+MinMaxSolution solve_relaxed(const MinMaxProblem& problem, Problem& lp_buffer,
+                             Simplex& solver);
+
 /// Rounds a continuous solution to integral multiples of group_size per
 /// (device, request) while preserving column sums (= demand) and repairing
 /// per-device memory violations.  Returns integer head counts.
@@ -68,6 +76,15 @@ std::vector<std::vector<int>> round_to_groups(const MinMaxProblem& problem,
 /// "no-LP" ablation.  Returns integer head counts (may leave a request
 /// short only if the cluster is out of memory; callers must check).
 std::vector<std::vector<int>> greedy_dispatch(const MinMaxProblem& problem);
+
+/// Allocation-reusing form of greedy_dispatch: writes the assignment into
+/// `heads` and uses `load` / `mem_used` as scratch, all resized in place
+/// (capacity is kept across calls -- the dispatch hot path runs this once
+/// per decode iteration).  Identical arithmetic and iteration order to
+/// greedy_dispatch, so results match bit for bit.  Does NOT validate the
+/// problem; callers must run problem.validate() first.
+void greedy_dispatch_into(const MinMaxProblem& problem, std::vector<std::vector<int>>& heads,
+                          std::vector<double>& load, std::vector<double>& mem_used);
 
 /// Evaluates max_i f_i for an integral assignment.
 double eval_makespan(const MinMaxProblem& problem,

@@ -28,94 +28,69 @@ void Problem::add_eq(std::vector<double> coeffs, double rhs) {
   constraints.push_back(Constraint{std::move(coeffs), Relation::kEq, rhs});
 }
 
-namespace {
-
-// Dense tableau:
+// Dense tableau layout inside Simplex::tab_:
 //   rows 0..m-1 : constraints (basis-reduced)
 //   row  m      : phase objective (reduced costs), rhs = -objective value
-class Tableau {
- public:
-  Tableau(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
-  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
-
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
-
-  void pivot(std::size_t pr, std::size_t pc) {
-    double piv = at(pr, pc);
-    double inv = 1.0 / piv;
-    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
-    at(pr, pc) = 1.0;  // exact
-    for (std::size_t r = 0; r < rows_; ++r) {
-      if (r == pr) continue;
-      double factor = at(r, pc);
-      if (factor == 0.0) continue;
-      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
-      at(r, pc) = 0.0;  // exact
-    }
+void Simplex::pivot(std::size_t pr, std::size_t pc) {
+  const std::size_t rows = m_ + 1;
+  double piv = at(pr, pc);
+  double inv = 1.0 / piv;
+  for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+  at(pr, pc) = 1.0;  // exact
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r == pr) continue;
+    double factor = at(r, pc);
+    if (factor == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+    at(r, pc) = 0.0;  // exact
   }
+}
 
- private:
-  std::size_t rows_, cols_;
-  std::vector<double> data_;
-};
+// Returns kOptimal when reduced costs are all >= -eps, kUnbounded when a
+// negative column has no positive entry, kIterLimit otherwise.
+Status Simplex::iterate(std::size_t max_iter) {
+  const std::size_t obj = m_;
+  const std::size_t rhs_col = cols_ - 1;
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    // Bland's rule: entering = lowest-index column with negative reduced cost.
+    std::size_t enter = cols_;
+    for (std::size_t c = 0; c + 1 < cols_; ++c) {
+      if (at(obj, c) < -eps_) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == cols_) return Status::kOptimal;
 
-struct SimplexCore {
-  Tableau tab;
-  std::vector<std::size_t> basis;  // basis[r] = column basic in row r
-  std::size_t m;                   // constraint rows
-  std::size_t total_cols;          // structural + slack + artificial + rhs
-  double eps;
-  std::size_t pivots = 0;          // across every iterate() call
-
-  SimplexCore(std::size_t m_, std::size_t cols_, double eps_)
-      : tab(m_ + 1, cols_), basis(m_, 0), m(m_), total_cols(cols_), eps(eps_) {}
-
-  std::size_t rhs_col() const { return total_cols - 1; }
-
-  // Returns kOptimal when reduced costs are all >= -eps, kUnbounded when a
-  // negative column has no positive entry, kIterLimit otherwise.
-  Status iterate(std::size_t max_iter) {
-    const std::size_t obj = m;
-    for (std::size_t it = 0; it < max_iter; ++it) {
-      // Bland's rule: entering = lowest-index column with negative reduced cost.
-      std::size_t enter = total_cols;
-      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
-        if (tab.at(obj, c) < -eps) {
-          enter = c;
-          break;
+    // Ratio test; Bland tie-break on the lowest basis column.
+    std::size_t leave = m_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m_; ++r) {
+      double a = at(r, enter);
+      if (a > eps_) {
+        double ratio = at(r, rhs_col) / a;
+        if (ratio < best_ratio - eps_ ||
+            (ratio < best_ratio + eps_ && (leave == m_ || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
         }
       }
-      if (enter == total_cols) return Status::kOptimal;
-
-      // Ratio test; Bland tie-break on the lowest basis column.
-      std::size_t leave = m;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (std::size_t r = 0; r < m; ++r) {
-        double a = tab.at(r, enter);
-        if (a > eps) {
-          double ratio = tab.at(r, rhs_col()) / a;
-          if (ratio < best_ratio - eps ||
-              (ratio < best_ratio + eps && (leave == m || basis[r] < basis[leave]))) {
-            best_ratio = ratio;
-            leave = r;
-          }
-        }
-      }
-      if (leave == m) return Status::kUnbounded;
-      tab.pivot(leave, enter);
-      basis[leave] = enter;
-      ++pivots;
     }
-    return Status::kIterLimit;
+    if (leave == m_) return Status::kUnbounded;
+    pivot(leave, enter);
+    basis_[leave] = enter;
+    ++pivots_;
   }
-};
-
-}  // namespace
+  return Status::kIterLimit;
+}
 
 Solution solve(const Problem& problem, const SolverOptions& opts) {
+  Simplex workspace;
+  return workspace.solve(problem, opts);
+}
+
+Solution Simplex::solve(const Problem& problem, const SolverOptions& opts) {
   const std::size_t n = problem.num_vars;
   const std::size_t m = problem.constraints.size();
   if (problem.objective.size() != n) {
@@ -155,18 +130,18 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
   //   >=  -> surplus (-1) + artificial
   //   ==  -> artificial
   std::size_t n_slack = 0, n_art = 0;
-  std::vector<int> row_sign(m, 1);
-  std::vector<Relation> rel(m);
+  row_sign_.assign(m, 1);
+  rel_.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
-    rel[r] = problem.constraints[r].rel;
+    rel_[r] = problem.constraints[r].rel;
     if (problem.constraints[r].rhs < 0.0) {
-      row_sign[r] = -1;
-      if (rel[r] == Relation::kLe) rel[r] = Relation::kGe;
-      else if (rel[r] == Relation::kGe) rel[r] = Relation::kLe;
+      row_sign_[r] = -1;
+      if (rel_[r] == Relation::kLe) rel_[r] = Relation::kGe;
+      else if (rel_[r] == Relation::kGe) rel_[r] = Relation::kLe;
     }
-    if (rel[r] == Relation::kLe) {
+    if (rel_[r] == Relation::kLe) {
       ++n_slack;
-    } else if (rel[r] == Relation::kGe) {
+    } else if (rel_[r] == Relation::kGe) {
       ++n_slack;
       ++n_art;
     } else {
@@ -174,93 +149,97 @@ Solution solve(const Problem& problem, const SolverOptions& opts) {
     }
   }
 
-  const std::size_t cols = n + n_slack + n_art + 1;  // + rhs
-  SimplexCore core(m, cols, opts.eps);
-  Tableau& tab = core.tab;
+  m_ = m;
+  cols_ = n + n_slack + n_art + 1;  // + rhs
+  eps_ = opts.eps;
+  pivots_ = 0;
+  tab_.assign((m + 1) * cols_, 0.0);  // reuses capacity across solves
+  basis_.assign(m, 0);
+  art_cols_.clear();
+  const std::size_t rhs_col = cols_ - 1;
 
   std::size_t slack_at = n;
   std::size_t art_at = n + n_slack;
-  std::vector<std::size_t> art_cols;
 
   for (std::size_t r = 0; r < m; ++r) {
     const auto& c = problem.constraints[r];
-    for (std::size_t j = 0; j < n; ++j) tab.at(r, j) = row_sign[r] * c.coeffs[j];
-    tab.at(r, core.rhs_col()) = row_sign[r] * c.rhs;
-    if (rel[r] == Relation::kLe) {
-      tab.at(r, slack_at) = 1.0;
-      core.basis[r] = slack_at++;
-    } else if (rel[r] == Relation::kGe) {
-      tab.at(r, slack_at) = -1.0;
+    for (std::size_t j = 0; j < n; ++j) at(r, j) = row_sign_[r] * c.coeffs[j];
+    at(r, rhs_col) = row_sign_[r] * c.rhs;
+    if (rel_[r] == Relation::kLe) {
+      at(r, slack_at) = 1.0;
+      basis_[r] = slack_at++;
+    } else if (rel_[r] == Relation::kGe) {
+      at(r, slack_at) = -1.0;
       ++slack_at;
-      tab.at(r, art_at) = 1.0;
-      core.basis[r] = art_at;
-      art_cols.push_back(art_at++);
+      at(r, art_at) = 1.0;
+      basis_[r] = art_at;
+      art_cols_.push_back(art_at++);
     } else {
-      tab.at(r, art_at) = 1.0;
-      core.basis[r] = art_at;
-      art_cols.push_back(art_at++);
+      at(r, art_at) = 1.0;
+      basis_[r] = art_at;
+      art_cols_.push_back(art_at++);
     }
   }
 
   // --- Phase 1: minimize sum of artificials ---
-  if (!art_cols.empty()) {
+  if (!art_cols_.empty()) {
     const std::size_t obj = m;
-    for (std::size_t c : art_cols) tab.at(obj, c) = 1.0;
+    for (std::size_t c : art_cols_) at(obj, c) = 1.0;
     // Reduce: subtract rows whose basis is artificial.
     for (std::size_t r = 0; r < m; ++r) {
-      bool is_art = std::find(art_cols.begin(), art_cols.end(), core.basis[r]) != art_cols.end();
+      bool is_art = std::find(art_cols_.begin(), art_cols_.end(), basis_[r]) != art_cols_.end();
       if (is_art) {
-        for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) -= tab.at(r, c);
+        for (std::size_t c = 0; c < cols_; ++c) at(obj, c) -= at(r, c);
       }
     }
-    Status st = core.iterate(opts.max_iterations);
-    if (st == Status::kIterLimit) return Solution{Status::kIterLimit, 0.0, {}, core.pivots};
-    double phase1 = -tab.at(obj, core.rhs_col());
-    if (phase1 > 1e-6) return Solution{Status::kInfeasible, 0.0, {}, core.pivots};
+    Status st = iterate(opts.max_iterations);
+    if (st == Status::kIterLimit) return Solution{Status::kIterLimit, 0.0, {}, pivots_};
+    double phase1 = -at(obj, rhs_col);
+    if (phase1 > 1e-6) return Solution{Status::kInfeasible, 0.0, {}, pivots_};
     // Drive any artificial still basic (at zero level) out of the basis.
     for (std::size_t r = 0; r < m; ++r) {
-      bool is_art = std::find(art_cols.begin(), art_cols.end(), core.basis[r]) != art_cols.end();
+      bool is_art = std::find(art_cols_.begin(), art_cols_.end(), basis_[r]) != art_cols_.end();
       if (!is_art) continue;
-      std::size_t enter = cols;
+      std::size_t enter = cols_;
       for (std::size_t c = 0; c < n + n_slack; ++c) {
-        if (std::abs(tab.at(r, c)) > opts.eps) {
+        if (std::abs(at(r, c)) > opts.eps) {
           enter = c;
           break;
         }
       }
-      if (enter != cols) {
-        tab.pivot(r, enter);
-        core.basis[r] = enter;
-        ++core.pivots;
+      if (enter != cols_) {
+        pivot(r, enter);
+        basis_[r] = enter;
+        ++pivots_;
       }
       // Else the row is all-zero (redundant constraint); leave it.
     }
     // Clear phase-1 objective row.
-    for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) at(obj, c) = 0.0;
   }
 
   // --- Phase 2: original objective ---
   {
     const std::size_t obj = m;
-    for (std::size_t j = 0; j < n; ++j) tab.at(obj, j) = problem.objective[j];
+    for (std::size_t j = 0; j < n; ++j) at(obj, j) = problem.objective[j];
     // Forbid artificials from re-entering.
-    for (std::size_t c : art_cols) tab.at(obj, c) = 1e30;
+    for (std::size_t c : art_cols_) at(obj, c) = 1e30;
     // Reduce objective row by basic columns.
     for (std::size_t r = 0; r < m; ++r) {
-      double coeff = tab.at(obj, core.basis[r]);
+      double coeff = at(obj, basis_[r]);
       if (coeff == 0.0) continue;
-      for (std::size_t c = 0; c < cols; ++c) tab.at(obj, c) -= coeff * tab.at(r, c);
+      for (std::size_t c = 0; c < cols_; ++c) at(obj, c) -= coeff * at(r, c);
     }
-    Status st = core.iterate(opts.max_iterations);
-    if (st != Status::kOptimal) return Solution{st, 0.0, {}, core.pivots};
+    Status st = iterate(opts.max_iterations);
+    if (st != Status::kOptimal) return Solution{st, 0.0, {}, pivots_};
   }
 
   Solution sol;
   sol.status = Status::kOptimal;
-  sol.iterations = core.pivots;
+  sol.iterations = pivots_;
   sol.x.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
-    if (core.basis[r] < n) sol.x[core.basis[r]] = tab.at(r, core.rhs_col());
+    if (basis_[r] < n) sol.x[basis_[r]] = at(r, rhs_col);
   }
   for (double& v : sol.x) {
     if (v < 0.0 && v > -1e-7) v = 0.0;  // numerical cleanup

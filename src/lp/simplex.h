@@ -62,4 +62,30 @@ struct SolverOptions {
 /// are API misuse rather than problem-instance pathologies.
 Solution solve(const Problem& problem, const SolverOptions& opts = {});
 
+/// Reusable solver workspace.  solve() here runs the same two-phase
+/// algorithm as the free function -- same pivot sequence, same
+/// floating-point order, bit-identical Solutions -- but the tableau, basis
+/// and bookkeeping buffers persist across calls, so a caller solving a
+/// stream of same-shaped problems (the dispatch hot path) allocates
+/// nothing in steady state.  Not thread-safe; one workspace per caller.
+class Simplex {
+ public:
+  Solution solve(const Problem& problem, const SolverOptions& opts = {});
+
+ private:
+  double& at(std::size_t r, std::size_t c) { return tab_[r * cols_ + c]; }
+  void pivot(std::size_t pr, std::size_t pc);
+  Status iterate(std::size_t max_iter);
+
+  std::vector<double> tab_;          // (m + 1) x cols, row-major
+  std::vector<std::size_t> basis_;   // basis[r] = column basic in row r
+  std::vector<int> row_sign_;
+  std::vector<Relation> rel_;
+  std::vector<std::size_t> art_cols_;
+  std::size_t m_ = 0;
+  std::size_t cols_ = 0;
+  double eps_ = 1e-9;
+  std::size_t pivots_ = 0;
+};
+
 }  // namespace hetis::lp

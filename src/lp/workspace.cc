@@ -1,0 +1,151 @@
+#include "lp/workspace.h"
+
+#include <cstring>
+
+namespace hetis::lp {
+
+namespace {
+
+constexpr std::size_t kProbeWindow = 8;
+
+/// FNV-1a over the raw bytes of a double vector, folded 8 bytes at a time
+/// (the arrays are 8-byte aligned, and key comparison is memcmp-exact, so
+/// hashing bit patterns -- not values -- is precisely what we want: -0.0
+/// and 0.0, or two NaN payloads, must key differently iff they differ).
+std::uint64_t mix_vector(std::uint64_t h, const std::vector<double>& v) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  h = (h ^ v.size()) * kPrime;
+  for (double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h = (h ^ bits) * kPrime;
+  }
+  return h;
+}
+
+std::uint64_t problem_hash(const MinMaxProblem& p) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = mix_vector(h, p.base_time);
+  h = mix_vector(h, p.head_cost);
+  h = mix_vector(h, p.cache_cost);
+  h = mix_vector(h, p.mem_free);
+  h = mix_vector(h, p.demand);
+  h = mix_vector(h, p.cache_per_head);
+  h = (h ^ static_cast<std::uint64_t>(p.group_size)) * 1099511628211ull;
+  h = (h ^ static_cast<std::uint64_t>(p.global_memory_only)) * 1099511628211ull;
+  return h;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Bitwise problem identity -- NOT operator== semantics on doubles (which
+/// would conflate -0.0/0.0 and reject NaN self-matches).
+bool problems_identical(const MinMaxProblem& a, const MinMaxProblem& b) {
+  return a.group_size == b.group_size && a.global_memory_only == b.global_memory_only &&
+         bits_equal(a.base_time, b.base_time) && bits_equal(a.head_cost, b.head_cost) &&
+         bits_equal(a.cache_cost, b.cache_cost) && bits_equal(a.mem_free, b.mem_free) &&
+         bits_equal(a.demand, b.demand) && bits_equal(a.cache_per_head, b.cache_per_head);
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SolveWorkspace::SolveWorkspace(std::size_t slots) {
+  const std::size_t n = round_up_pow2(slots < 2 ? 2 : slots);
+  mask_ = n - 1;
+  relaxed_.resize(n);
+  greedy_.resize(n);
+}
+
+template <typename Value>
+SolveWorkspace::Entry<Value>& SolveWorkspace::locate(std::vector<Entry<Value>>& table,
+                                                     const MinMaxProblem& p,
+                                                     std::size_t hash, bool* found) {
+  std::size_t victim = hash & mask_;
+  std::uint64_t victim_stamp = table[victim].stamp;
+  for (std::size_t k = 0; k < kProbeWindow; ++k) {
+    Entry<Value>& e = table[(hash + k) & mask_];
+    if (e.used && e.hash == hash && problems_identical(e.key, p)) {
+      *found = true;
+      return e;
+    }
+    if (!e.used) {
+      *found = false;
+      return e;  // first free slot in the window
+    }
+    if (e.stamp < victim_stamp) {
+      victim_stamp = e.stamp;
+      victim = (hash + k) & mask_;
+    }
+  }
+  *found = false;
+  return table[victim];
+}
+
+const MinMaxSolution& solve_relaxed(const MinMaxProblem& p, SolveWorkspace& ws) {
+  ++ws.stats_.solves;
+  const std::size_t hash = problem_hash(p);
+  bool found = false;
+  auto& e = ws.locate(ws.relaxed_, p, hash, &found);
+  if (found) {
+    ++ws.stats_.warm_hits;
+    return e.value;
+  }
+  // Cold solve first: validate() may throw, and a throwing problem must
+  // never occupy a slot.
+  MinMaxSolution sol = solve_relaxed(p, ws.lp_buffer_, ws.solver_);
+  e.used = true;
+  e.stamp = ++ws.clock_;
+  e.hash = hash;
+  e.key = p;
+  e.value = std::move(sol);
+  return e.value;
+}
+
+SolveWorkspace::GreedyValue& SolveWorkspace::greedy_entry(const MinMaxProblem& p) {
+  ++stats_.solves;
+  const std::size_t hash = problem_hash(p);
+  bool found = false;
+  auto& e = locate(greedy_, p, hash, &found);
+  if (found) {
+    ++stats_.warm_hits;
+    return e.value;
+  }
+  // Validate before touching the entry: a throwing problem must neither
+  // occupy a slot nor clobber the (possibly still-live) victim's value.
+  // Past validate() the fill is in place -- the entry's heads rows and the
+  // workspace scratch keep their capacity across misses, so the steady
+  // state allocates nothing.
+  p.validate();
+  greedy_dispatch_into(p, e.value.heads, greedy_load_, greedy_mem_);
+  e.used = true;
+  e.stamp = ++clock_;
+  e.hash = hash;
+  e.key = p;
+  e.value.makespan_set = false;
+  return e.value;
+}
+
+const std::vector<std::vector<int>>& greedy_dispatch(const MinMaxProblem& p,
+                                                     SolveWorkspace& ws) {
+  return ws.greedy_entry(p).heads;
+}
+
+double greedy_makespan(const MinMaxProblem& p, SolveWorkspace& ws) {
+  SolveWorkspace::GreedyValue& v = ws.greedy_entry(p);
+  if (!v.makespan_set) {
+    v.makespan = eval_makespan(p, v.heads);
+    v.makespan_set = true;
+  }
+  return v.makespan;
+}
+
+}  // namespace hetis::lp

@@ -1,0 +1,108 @@
+// Reusable dispatch-LP workspace: warm-start memo + recycled solver buffers.
+//
+// The dispatch hot path (per-admission Eq. 7 solves, per-probe f*
+// waterfills) revisits recurring instance states -- an idle instance
+// admitting two equal-length prompts poses the same problem twice -- so a
+// solve memo turns those repeats into lookups.  Repeat rates are workload
+// dependent (steady saturated traces repeat rarely; bursty and replayed
+// ones much more), so the miss path matters as much as the hit path: cold
+// solves run in recycled buffers and fill their table entry in place,
+// making a miss cost a hash plus the solve itself, with no steady-state
+// allocation.
+//
+// Warm-start contract.  A genuinely basis-seeded simplex cannot guarantee
+// bit-identical solutions to a cold solve: a different pivot sequence
+// rounds differently, and min-max dispatch problems are massively
+// degenerate (many optimal bases).  The repository's determinism contract
+// (golden CSVs byte-compared in CI) forbids that, so the warm path here is
+// EXACT problem matching: the cache key is every byte of the MinMaxProblem,
+// a hit returns the stored copy of what the deterministic cold solver
+// produced for those bytes, and the fallback on any mismatch is a cold
+// solve into recycled buffers.  Identity is structural, not approximate --
+// the differential suite in tests/test_hotpath_cache.cc enforces it.
+//
+// Invalidation.  None needed: the key is the entire problem, so any change
+// to the device set, head counts, fitted coefficients or overlay-priced
+// costs changes the key bytes and simply misses.  Entries are replaced
+// oldest-first within a short probe window when the table fills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/minmax.h"
+#include "lp/simplex.h"
+
+namespace hetis::lp {
+
+/// Counters behind the bench/telemetry `lp_solves` / `lp_warm_hits`
+/// columns.  `solves` counts every memoized entry point taken (warm or
+/// cold); `warm_hits` the subset served from cache, so cold solver runs
+/// are `solves - warm_hits`.
+struct WorkspaceStats {
+  std::uint64_t solves = 0;
+  std::uint64_t warm_hits = 0;
+};
+
+class SolveWorkspace {
+ public:
+  /// `slots` is rounded up to a power of two; both memo tables (relaxed
+  /// solutions, greedy assignments) get their own table of this size.
+  explicit SolveWorkspace(std::size_t slots = 1024);
+
+  const WorkspaceStats& stats() const { return stats_; }
+
+ private:
+  template <typename Value>
+  struct Entry {
+    bool used = false;
+    std::uint64_t stamp = 0;
+    std::size_t hash = 0;
+    MinMaxProblem key;
+    Value value;
+  };
+  struct GreedyValue {
+    std::vector<std::vector<int>> heads;
+    double makespan = 0.0;
+    bool makespan_set = false;
+  };
+
+  friend const MinMaxSolution& solve_relaxed(const MinMaxProblem& p, SolveWorkspace& ws);
+  friend const std::vector<std::vector<int>>& greedy_dispatch(const MinMaxProblem& p,
+                                                              SolveWorkspace& ws);
+  friend double greedy_makespan(const MinMaxProblem& p, SolveWorkspace& ws);
+
+  /// Open-addressing lookup: returns the matching entry, or the
+  /// replacement victim (unused or oldest in the probe window) with
+  /// `*found = false`.
+  template <typename Value>
+  Entry<Value>& locate(std::vector<Entry<Value>>& table, const MinMaxProblem& p,
+                       std::size_t hash, bool* found);
+  GreedyValue& greedy_entry(const MinMaxProblem& p);
+
+  std::size_t mask_ = 0;
+  std::uint64_t clock_ = 0;  // insertion stamp for oldest-first replacement
+  std::vector<Entry<MinMaxSolution>> relaxed_;
+  std::vector<Entry<GreedyValue>> greedy_;
+  WorkspaceStats stats_;
+  // Cold-solve scratch, recycled across misses.
+  Problem lp_buffer_;
+  Simplex solver_;
+  std::vector<double> greedy_load_;
+  std::vector<double> greedy_mem_;
+};
+
+/// Memoized solve_relaxed: bit-identical to the cold overloads in
+/// lp/minmax.h (exact key match + deterministic solver).  The reference is
+/// valid until the next workspace call.
+const MinMaxSolution& solve_relaxed(const MinMaxProblem& p, SolveWorkspace& ws);
+
+/// Memoized greedy_dispatch; same contract as above.
+const std::vector<std::vector<int>>& greedy_dispatch(const MinMaxProblem& p,
+                                                     SolveWorkspace& ws);
+
+/// eval_makespan(p, greedy_dispatch(p)) with both halves memoized -- the
+/// f* waterfill probe (§5.3.1) collapsed into one cached number.
+double greedy_makespan(const MinMaxProblem& p, SolveWorkspace& ws);
+
+}  // namespace hetis::lp

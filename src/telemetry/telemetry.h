@@ -165,6 +165,9 @@ class Telemetry final : public engine::RunObserver {
   int g_in_flight_ = -1;
   int g_kv_fill_ = -1;
   int g_arrival_rate_ = -1;
+  int g_lp_solves_ = -1;
+  int g_lp_warm_hits_ = -1;
+  int g_costmodel_hits_ = -1;
   int g_slo_ = -1;
   int h_ttft_ = -1;
   int h_e2e_ = -1;

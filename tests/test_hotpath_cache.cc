@@ -1,0 +1,451 @@
+// Differential tests for the hot-path caches (PR: warm-started dispatch LP
+// + cost-model memoization).  The contract under test is strict: every
+// cached path must return results BIT-identical to the cold path it
+// shadows -- not approximately equal, byte-for-byte equal -- because the
+// repo's golden CSVs are byte-compared in CI and a single ULP of drift in
+// a dispatch decision cascades into a different event trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "costmodel/kernel_model.h"
+#include "dispatch/dispatcher.h"
+#include "engine/exec.h"
+#include "hw/topology.h"
+#include "lp/minmax.h"
+#include "lp/workspace.h"
+#include "model/llm.h"
+#include "parallel/plan.h"
+
+namespace hetis {
+namespace {
+
+/// Bit pattern of a double: the identity the golden-determinism contract
+/// actually needs.  EXPECT_EQ on doubles would conflate -0.0 with 0.0 and
+/// reject NaN self-matches; comparing bits does neither.
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+void expect_bits_eq(double a, double b) { EXPECT_EQ(bits(a), bits(b)); }
+
+void expect_heads_identical(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) expect_bits_eq(a[i][j], b[i][j]);
+  }
+}
+
+/// A feasible randomized min-max dispatch problem (shapes the Dispatcher
+/// actually builds: one device row per logical device, one column per
+/// request, group-divisible demand).
+lp::MinMaxProblem random_problem(Rng& rng, std::size_t d, std::size_t j, int group) {
+  lp::MinMaxProblem p;
+  p.group_size = group;
+  for (std::size_t i = 0; i < d; ++i) {
+    p.base_time.push_back(rng.uniform(0.0, 1e-3));
+    p.head_cost.push_back(rng.uniform(1e-7, 5e-6));
+    p.cache_cost.push_back(rng.uniform(1e-15, 1e-12));
+    p.mem_free.push_back(rng.uniform(1e9, 4e10));
+  }
+  for (std::size_t r = 0; r < j; ++r) {
+    p.demand.push_back(static_cast<double>(group * static_cast<int>(rng.uniform_int(1, 8))));
+    p.cache_per_head.push_back(rng.uniform(1e3, 1e6));
+  }
+  return p;
+}
+
+// --- SolveWorkspace: warm path vs cold path -------------------------------
+
+TEST(SolveWorkspace, RelaxedMatchesColdOnRandomizedProblems) {
+  Rng rng(20251116);
+  lp::SolveWorkspace ws;
+  for (int trial = 0; trial < 60; ++trial) {
+    lp::MinMaxProblem p =
+        random_problem(rng, 2 + trial % 5, 1 + trial % 9, 1 + (trial % 2) * 7);
+    lp::MinMaxSolution cold = lp::solve_relaxed(p);
+    const lp::MinMaxSolution& warm = lp::solve_relaxed(p, ws);
+    EXPECT_EQ(cold.status, warm.status);
+    expect_bits_eq(cold.objective, warm.objective);
+    expect_heads_identical(cold.heads, warm.heads);
+  }
+}
+
+TEST(SolveWorkspace, RepeatedProblemHitsWarmPathBitIdentically) {
+  Rng rng(7);
+  lp::SolveWorkspace ws;
+  lp::MinMaxProblem p = random_problem(rng, 4, 6, 8);
+  lp::MinMaxSolution first = lp::solve_relaxed(p, ws);  // copy the cold result
+  ASSERT_EQ(ws.stats().warm_hits, 0u);
+  const lp::MinMaxSolution& again = lp::solve_relaxed(p, ws);
+  EXPECT_EQ(ws.stats().solves, 2u);
+  EXPECT_EQ(ws.stats().warm_hits, 1u);
+  EXPECT_EQ(first.status, again.status);
+  expect_bits_eq(first.objective, again.objective);
+  expect_heads_identical(first.heads, again.heads);
+}
+
+TEST(SolveWorkspace, SignedZeroKeysDifferently) {
+  // The memo keys on bit patterns, not double values: a problem with -0.0
+  // base time is NOT the same key as one with +0.0 (operator== would say
+  // so), so the warm path can never alias them.
+  Rng rng(11);
+  lp::SolveWorkspace ws;
+  lp::MinMaxProblem p = random_problem(rng, 3, 4, 1);
+  p.base_time[0] = 0.0;
+  lp::solve_relaxed(p, ws);
+  p.base_time[0] = -0.0;
+  lp::solve_relaxed(p, ws);
+  EXPECT_EQ(ws.stats().warm_hits, 0u);
+}
+
+TEST(SolveWorkspace, GreedyMatchesColdOnRandomizedProblems) {
+  Rng rng(20251116);
+  lp::SolveWorkspace ws;
+  for (int trial = 0; trial < 60; ++trial) {
+    lp::MinMaxProblem p =
+        random_problem(rng, 2 + trial % 4, 1 + trial % 7, 1 + (trial % 3) * 3);
+    std::vector<std::vector<int>> cold = lp::greedy_dispatch(p);
+    const std::vector<std::vector<int>>& warm = lp::greedy_dispatch(p, ws);
+    EXPECT_EQ(cold, warm);
+    expect_bits_eq(lp::eval_makespan(p, cold), lp::greedy_makespan(p, ws));
+  }
+}
+
+TEST(SolveWorkspace, DegenerateTiesResolveIdentically) {
+  // Every device identical -> the argmin tie-breaks purely by scan order in
+  // both paths.  Any divergence here would flip real dispatch decisions.
+  lp::MinMaxProblem p;
+  p.group_size = 4;
+  for (int i = 0; i < 6; ++i) {
+    p.base_time.push_back(0.5);
+    p.head_cost.push_back(1e-6);
+    p.cache_cost.push_back(1e-13);
+    p.mem_free.push_back(1e10);
+  }
+  for (int r = 0; r < 5; ++r) {
+    p.demand.push_back(8);
+    p.cache_per_head.push_back(4096);
+  }
+  lp::SolveWorkspace ws;
+  EXPECT_EQ(lp::greedy_dispatch(p), lp::greedy_dispatch(p, ws));
+  lp::MinMaxSolution cold = lp::solve_relaxed(p);
+  const lp::MinMaxSolution& warm = lp::solve_relaxed(p, ws);
+  EXPECT_EQ(cold.status, warm.status);
+  expect_bits_eq(cold.objective, warm.objective);
+  expect_heads_identical(cold.heads, warm.heads);
+}
+
+TEST(SolveWorkspace, DeviceSetAlternationSurvivesEvictionChurn) {
+  // Adversarial replacement pattern: a tiny 2-slot table cycling through
+  // more problems than it can hold (d alternating 4 <-> 2, like a device
+  // leave/join flap).  Every answer must still match a cold solve -- the
+  // memo may evict whatever it likes, it may never corrupt.
+  Rng rng(42);
+  lp::SolveWorkspace ws(2);
+  std::vector<lp::MinMaxProblem> probs;
+  for (int k = 0; k < 8; ++k) probs.push_back(random_problem(rng, k % 2 ? 4 : 2, 3, 1));
+  for (int round = 0; round < 5; ++round) {
+    for (const lp::MinMaxProblem& p : probs) {
+      lp::MinMaxSolution cold = lp::solve_relaxed(p);
+      const lp::MinMaxSolution& warm = lp::solve_relaxed(p, ws);
+      EXPECT_EQ(cold.status, warm.status);
+      expect_bits_eq(cold.objective, warm.objective);
+      expect_heads_identical(cold.heads, warm.heads);
+      EXPECT_EQ(lp::greedy_dispatch(p), lp::greedy_dispatch(p, ws));
+    }
+  }
+}
+
+TEST(SolveWorkspace, MalformedProblemThrowsAndNeverOccupiesASlot) {
+  Rng rng(3);
+  lp::SolveWorkspace ws(2);
+  lp::MinMaxProblem good = random_problem(rng, 3, 4, 1);
+  lp::MinMaxSolution cold = lp::solve_relaxed(good, ws);  // copy
+  const std::vector<std::vector<int>> greedy_cold = lp::greedy_dispatch(good, ws);
+
+  lp::MinMaxProblem bad = good;
+  bad.head_cost.pop_back();  // shape mismatch -> validate() throws
+  EXPECT_THROW(lp::solve_relaxed(bad, ws), std::invalid_argument);
+  EXPECT_THROW(lp::greedy_dispatch(bad, ws), std::invalid_argument);
+
+  // The earlier entry must still be served correctly: the throwing problem
+  // may not have clobbered a victim entry's value.
+  const lp::MinMaxSolution& after = lp::solve_relaxed(good, ws);
+  EXPECT_EQ(cold.status, after.status);
+  expect_bits_eq(cold.objective, after.objective);
+  expect_heads_identical(cold.heads, after.heads);
+  EXPECT_EQ(greedy_cold, lp::greedy_dispatch(good, ws));
+}
+
+TEST(SolveWorkspace, ZeroRequestProblem) {
+  lp::MinMaxProblem p;
+  p.base_time = {0.1, 0.2};
+  p.head_cost = {1e-6, 2e-6};
+  p.cache_cost = {1e-13, 1e-13};
+  p.mem_free = {1e9, 1e9};
+  lp::SolveWorkspace ws;
+  lp::MinMaxSolution cold = lp::solve_relaxed(p);
+  const lp::MinMaxSolution& warm = lp::solve_relaxed(p, ws);
+  EXPECT_EQ(cold.status, warm.status);
+  expect_bits_eq(cold.objective, warm.objective);
+  EXPECT_EQ(lp::greedy_dispatch(p), lp::greedy_dispatch(p, ws));
+}
+
+TEST(GreedyDispatchInto, ReusedBuffersMatchFreshOnes) {
+  // The in-place form must be oblivious to whatever garbage (sizes AND
+  // values) its buffers held from a previous, differently-shaped problem.
+  Rng rng(99);
+  std::vector<std::vector<int>> heads(7, std::vector<int>(11, -5));
+  std::vector<double> load(13, std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> mem(1, 1e300);
+  for (int trial = 0; trial < 30; ++trial) {
+    lp::MinMaxProblem p = random_problem(rng, 2 + trial % 5, 1 + trial % 6, 1);
+    lp::greedy_dispatch_into(p, heads, load, mem);
+    EXPECT_EQ(heads, lp::greedy_dispatch(p));
+  }
+}
+
+// --- DecodeWorkCache ------------------------------------------------------
+
+TEST(DecodeWorkCache, RoundTripAndCounters) {
+  costmodel::DecodeWorkCache cache;
+  const model::ModelSpec& m = model::llama_13b();
+  EXPECT_EQ(cache.find(128, 4), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  model::Work w = model::decode_attention_work(m, 128, 4);
+  cache.insert(128, 4, w);
+  const model::Work* hit = cache.find(128, 4);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_bits_eq(hit->flops, w.flops);
+  EXPECT_EQ(hit->kv_bytes, w.kv_bytes);
+  EXPECT_EQ(hit->act_bytes, w.act_bytes);
+  // Neighbouring keys don't alias.
+  EXPECT_EQ(cache.find(128, 5), nullptr);
+  EXPECT_EQ(cache.find(127, 4), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.find(128, 4), nullptr);
+}
+
+TEST(DecodeWorkCache, OutOfRangeKeysAreIgnoredNotStored) {
+  costmodel::DecodeWorkCache cache;
+  model::Work w;
+  cache.insert(-1, 4, w);
+  cache.insert(1, -4, w);
+  cache.insert(std::int64_t{1} << 40, 4, w);  // absurd ctx: must not allocate
+  EXPECT_EQ(cache.find(-1, 4), nullptr);
+  EXPECT_EQ(cache.find(1, -4), nullptr);
+  EXPECT_EQ(cache.find(std::int64_t{1} << 40, 4), nullptr);
+}
+
+TEST(KernelModel, MemoizedDecodeAttentionBitIdentical) {
+  // The memoized overload vs the plain one, across repeated and permuted
+  // context vectors (summation order is part of the contract).
+  const model::ModelSpec& m = model::llama_13b();
+  const hw::GpuSpec& gpu = hw::gpu_spec(hw::GpuType::kA100_80G);
+  costmodel::KernelModel k;
+  costmodel::DecodeWorkCache memo;
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::int64_t> ctxs;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 30));
+    for (int i = 0; i < n; ++i) ctxs.push_back(rng.uniform_int(1, 400));
+    const int heads = 1 + static_cast<int>(rng.uniform_int(0, 39));
+    expect_bits_eq(k.decode_attention_time(gpu, m, ctxs, heads),
+                   k.decode_attention_time(gpu, m, ctxs, heads, &memo));
+  }
+  EXPECT_GT(memo.hits(), 0u);  // repeated (ctx, heads) pairs actually hit
+}
+
+// --- ExecModel cost-cache differential ------------------------------------
+
+class ExecCacheDifferential : public ::testing::Test {
+ protected:
+  ExecCacheDifferential()
+      : cluster_(hw::Cluster::paper_cluster()),
+        cached_(cluster_, model::llama_13b()),
+        cold_(cluster_, model::llama_13b()) {
+    cold_.set_cost_cache_enabled(false);
+    parallel::StageConfig s0;
+    s0.devices = {0, 1};
+    s0.layers = 28;
+    parallel::StageConfig s1;
+    s1.devices = {4, 5, 6};
+    s1.layers = 12;
+    inst_.stages = {s0, s1};
+  }
+
+  void expect_identical_iterations() {
+    Rng rng(17);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<std::int64_t> lens;
+      const int n = 1 + static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < n; ++i) lens.push_back(rng.uniform_int(1, 2000));
+      const bool prefill = trial % 3 == 0;
+      engine::IterationTime a = cached_.iteration_time(inst_, lens, prefill);
+      engine::IterationTime b = cold_.iteration_time(inst_, lens, prefill);
+      ASSERT_EQ(a.stages.size(), b.stages.size());
+      for (std::size_t s = 0; s < a.stages.size(); ++s) {
+        expect_bits_eq(a.stages[s].dense, b.stages[s].dense);
+        expect_bits_eq(a.stages[s].attention, b.stages[s].attention);
+        expect_bits_eq(a.stages[s].comm_out, b.stages[s].comm_out);
+      }
+    }
+  }
+
+  hw::Cluster cluster_;
+  engine::ExecModel cached_;
+  engine::ExecModel cold_;
+  parallel::InstanceConfig inst_;
+};
+
+TEST_F(ExecCacheDifferential, CachedMatchesUncachedOnHealthyCluster) {
+  expect_identical_iterations();
+  EXPECT_GT(cached_.cost_cache_hits(), 0u);
+  EXPECT_EQ(cold_.cost_cache_hits(), 0u);
+}
+
+TEST_F(ExecCacheDifferential, ConditionOverlayInvalidatesDenseEntries) {
+  expect_identical_iterations();  // warm the caches
+  // Degrade a stage-0 device: cached dense times embed device speed, so a
+  // stale entry would now be visibly wrong.  condition_epoch() must flush.
+  cluster_.set_device_speed(0, 0.5);
+  expect_identical_iterations();
+  // Restore (another epoch bump -- even a reset to 1.0 must invalidate).
+  cluster_.set_device_speed(0, 1.0);
+  expect_identical_iterations();
+}
+
+TEST_F(ExecCacheDifferential, LinkScaleOverlayAlsoInvalidates) {
+  expect_identical_iterations();
+  cluster_.set_device_link_scale(4, 0.25);
+  expect_identical_iterations();
+}
+
+TEST_F(ExecCacheDifferential, WideStagesBypassTheCacheCorrectly) {
+  // 9 devices > kMaxCachedStageWidth: the dense cache must step aside, not
+  // truncate the key.
+  parallel::StageConfig wide;
+  for (int i = 0; i < 9; ++i) wide.devices.push_back(i % 16);
+  wide.layers = 40;
+  parallel::InstanceConfig inst;
+  inst.stages = {wide};
+  std::vector<std::int64_t> lens{100, 200, 300};
+  engine::IterationTime a = cached_.iteration_time(inst, lens, true);
+  engine::IterationTime b = cold_.iteration_time(inst, lens, true);
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    expect_bits_eq(a.stages[s].dense, b.stages[s].dense);
+  }
+}
+
+// --- Dispatcher: batched appends + cached aggregates ----------------------
+
+// Mirrors test_dispatch.cc's two-stage + two-worker shape.
+dispatch::DispatcherConfig dispatcher_config() {
+  dispatch::DispatcherConfig cfg;
+  cfg.heads = 32;
+  cfg.group_size = 1;
+  cfg.bytes_per_head_token_layer = 512.0;
+  cfg.total_layers = 40;
+  cfg.theta = 0.5;
+  dispatch::StageDesc s0;
+  s0.devices = {0, 1};
+  s0.layers = 28;
+  s0.attn = costmodel::AttnParams{2e-8, 1.0 / 1.1e12, 3e-6};
+  s0.capacity = 40ll * GiB;
+  dispatch::StageDesc s1;
+  s1.devices = {2, 3};
+  s1.layers = 12;
+  s1.attn = costmodel::AttnParams{4.5e-8, 1.0 / 0.6e12, 4e-6};
+  s1.capacity = 20ll * GiB;
+  cfg.stages = {s0, s1};
+  for (int w = 0; w < 2; ++w) {
+    dispatch::WorkerDesc wd;
+    wd.device = 8 + w;
+    wd.attn = costmodel::AttnParams{1.1e-7, 1.0 / 0.34e12, 8e-6};
+    wd.transfer = costmodel::TransferParams{1.0 / 12.5e9, 4e-5};
+    wd.capacity = 10ll * GiB;
+    cfg.workers.push_back(wd);
+  }
+  return cfg;
+}
+
+TEST(DispatcherHotPath, BatchedAppendEquivalentToLoop) {
+  dispatch::Dispatcher batched(dispatcher_config());
+  dispatch::Dispatcher looped(dispatcher_config());
+  const std::vector<std::pair<workload::RequestId, std::int64_t>> reqs{
+      {1, 500}, {2, 1200}, {3, 3000}, {4, 80}};
+  ASSERT_TRUE(batched.dispatch(reqs, 0.0).has_value());
+  ASSERT_TRUE(looped.dispatch(reqs, 0.0).has_value());
+  const std::vector<workload::RequestId> ids{1, 2, 3, 4};
+  for (int iter = 0; iter < 50; ++iter) {
+    batched.append_tokens(ids);
+    for (workload::RequestId id : ids) looped.append_token(id);
+  }
+  for (std::size_t dev = 0; dev < batched.num_logical(); ++dev) {
+    expect_bits_eq(batched.device_time(dev), looped.device_time(dev));
+  }
+  expect_bits_eq(batched.worst_per_layer(), looped.worst_per_layer());
+  expect_bits_eq(batched.ideal_per_layer(), looped.ideal_per_layer());
+  expect_bits_eq(batched.attention_iteration_time(), looped.attention_iteration_time());
+  for (workload::RequestId id : ids) EXPECT_EQ(batched.context(id), looped.context(id));
+}
+
+TEST(DispatcherHotPath, BatchedAppendUnknownIdThrows) {
+  dispatch::Dispatcher d(dispatcher_config());
+  ASSERT_TRUE(d.dispatch({{1, 500}}, 0.0).has_value());
+  EXPECT_THROW(d.append_tokens({1, 7}), std::out_of_range);
+}
+
+TEST(DispatcherHotPath, InterleavedReadsSeeFreshAggregates) {
+  // The aggregates cache is dirty-flagged; reads interleaved with mutations
+  // must always match a freshly-built twin performing the same mutations.
+  dispatch::Dispatcher d(dispatcher_config());
+  dispatch::Dispatcher twin(dispatcher_config());
+  ASSERT_TRUE(d.dispatch({{1, 500}, {2, 2500}}, 0.0).has_value());
+  // Read between every mutation on `d`; the twin mutates first, reads once.
+  (void)d.worst_per_layer();
+  d.append_token(1);
+  (void)d.ideal_per_layer();
+  (void)d.device_time(0);
+  d.append_token(2);
+  (void)d.attention_iteration_time();
+  d.remove(1);
+  ASSERT_TRUE(twin.dispatch({{1, 500}, {2, 2500}}, 0.0).has_value());
+  twin.append_token(1);
+  twin.append_token(2);
+  twin.remove(1);
+  for (std::size_t dev = 0; dev < d.num_logical(); ++dev) {
+    expect_bits_eq(d.device_time(dev), twin.device_time(dev));
+  }
+  expect_bits_eq(d.worst_per_layer(), twin.worst_per_layer());
+  expect_bits_eq(d.ideal_per_layer(), twin.ideal_per_layer());
+  EXPECT_GT(d.lp_stats().solves, 0u);
+}
+
+TEST(DispatcherHotPath, RepeatedIdealProbeIsStableAndCounted) {
+  dispatch::Dispatcher d(dispatcher_config());
+  ASSERT_TRUE(d.dispatch({{1, 900}, {2, 900}}, 0.0).has_value());
+  const std::uint64_t solves_before = d.lp_stats().solves;
+  Seconds first = d.ideal_per_layer();
+  Seconds second = d.ideal_per_layer();
+  expect_bits_eq(first, second);
+  // Both probes went through the workspace (memoized entry points), and the
+  // second, state-unchanged probe was served warm.
+  EXPECT_GE(d.lp_stats().solves, solves_before + 2);
+  EXPECT_GT(d.lp_stats().warm_hits, 0u);
+}
+
+}  // namespace
+}  // namespace hetis
